@@ -1,0 +1,124 @@
+// E7: cost and precision of the [VG90] inter-argument inference the paper
+// imports. Prints the inferred constraint store for the key corpus
+// programs with fixpoint statistics, ablates the widening delay, and times
+// the fixpoint per program.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "termilog/termilog.h"
+
+using namespace termilog;
+
+namespace {
+
+void PrintInference(const char* name) {
+  const CorpusEntry& entry = *FindCorpusEntry(name);
+  Program program = ParseProgram(entry.source).value();
+  ArgSizeDb db;
+  std::map<PredId, InferenceStats> stats;
+  Status status =
+      ConstraintInference::Run(program, &db, InferenceOptions(), &stats);
+  std::printf("---- %s ----\n", name);
+  if (!status.ok()) {
+    std::printf("  %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("%s", db.ToString(program).c_str());
+  for (const auto& [pred, s] : stats) {
+    std::printf("  SCC of %s: %d sweeps%s\n",
+                program.PredName(pred).c_str(), s.sweeps,
+                s.widened ? " (widened)" : "");
+  }
+  std::printf("\n");
+}
+
+void PrintWideningAblation() {
+  std::printf("==== widening-delay ablation (split/3 of mergesort) ====\n");
+  std::printf("%-12s %-8s %-40s\n", "widen_delay", "sweeps",
+              "keeps a1 = a2 + a3?");
+  const CorpusEntry& entry = *FindCorpusEntry("mergesort");
+  for (int delay : {1, 2, 3, 5}) {
+    Program program = ParseProgram(entry.source).value();
+    ArgSizeDb db;
+    InferenceOptions options;
+    options.widen_delay = delay;
+    std::map<PredId, InferenceStats> stats;
+    Status status = ConstraintInference::Run(program, &db, options, &stats);
+    if (!status.ok()) {
+      std::printf("%-12d %-8s %s\n", delay, "-", status.ToString().c_str());
+      continue;
+    }
+    PredId split{program.symbols().Lookup("split"), 3};
+    Constraint key;
+    key.coeffs = {Rational(1), Rational(-1), Rational(-1)};
+    key.constant = Rational(0);
+    key.rel = Relation::kEq;
+    int sweeps = 0;
+    for (const auto& [pred, s] : stats) {
+      if (pred == split) sweeps = s.sweeps;
+    }
+    std::printf("%-12d %-8d %-40s\n", delay, sweeps,
+                db.Get(split).Entails(key) ? "yes" : "NO (precision lost)");
+  }
+  std::printf("\n");
+}
+
+void BM_Inference(benchmark::State& state, const char* name) {
+  const CorpusEntry& entry = *FindCorpusEntry(name);
+  Program program = ParseProgram(entry.source).value();
+  for (auto _ : state) {
+    ArgSizeDb db;
+    Status status = ConstraintInference::Run(program, &db);
+    benchmark::DoNotOptimize(status.ok());
+  }
+}
+
+void BM_ConvexHullJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Polyhedron a = Polyhedron::NonNegativeOrthant(n);
+  Polyhedron b = Polyhedron::NonNegativeOrthant(n);
+  {
+    Constraint row;
+    row.coeffs.assign(n, Rational(1));
+    row.constant = Rational(0);
+    row.rel = Relation::kEq;
+    a.AddConstraint(row);
+  }
+  {
+    Constraint row;
+    row.coeffs.assign(n, Rational(1));
+    row.coeffs[0] = Rational(2);
+    row.constant = Rational(-4);
+    row.rel = Relation::kEq;
+    b.AddConstraint(row);
+  }
+  for (auto _ : state) {
+    Result<Polyhedron> hull = Polyhedron::ConvexHull(a, b);
+    benchmark::DoNotOptimize(hull.ok());
+  }
+  state.SetComplexityN(n);
+}
+
+BENCHMARK_CAPTURE(BM_Inference, append, "append");
+BENCHMARK_CAPTURE(BM_Inference, quicksort, "quicksort");
+BENCHMARK_CAPTURE(BM_Inference, mergesort, "mergesort");
+BENCHMARK_CAPTURE(BM_Inference, expr_parser, "expr_parser");
+BENCHMARK_CAPTURE(BM_Inference, gcd_subtract, "gcd_subtract");
+BENCHMARK(BM_ConvexHullJoin)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E7: inferred inter-argument constraints ====\n\n");
+  for (const char* name :
+       {"append", "perm", "quicksort", "mergesort", "expr_parser",
+        "gcd_subtract", "naive_reverse"}) {
+    PrintInference(name);
+  }
+  PrintWideningAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E8: empirical soundness validation. For every corpus entry the analyzer
+// PROVES, run its validation queries under full-tree SLD resolution and
+// confirm the search exhausts (terminates); for nonterminating entries,
+// confirm the budget trips. Also benchmarks interpreter throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "termilog/termilog.h"
+
+using namespace termilog;
+
+namespace {
+
+void PrintValidation() {
+  std::printf("==== E8: SLD validation of analyzer verdicts ====\n\n");
+  std::printf("%-22s %-8s %-34s %-10s %-9s %s\n", "program", "verdict",
+              "query", "solutions", "steps", "tree");
+  int proved_and_validated = 0, proved_total = 0, mismatches = 0;
+  for (const CorpusEntry& entry : Corpus()) {
+    Program program = ParseProgram(entry.source).value();
+    AnalysisOptions options;
+    options.apply_transformations = entry.needs_transformations;
+    options.allow_negative_deltas = entry.needs_negative_deltas;
+    options.supplied_constraints = entry.supplied_constraints;
+    TerminationAnalyzer analyzer(options);
+    bool proved = analyzer.Analyze(program, entry.query).value().proved;
+    if (proved) ++proved_total;
+    bool all_exhausted = true;
+    for (const std::string& query : entry.validation_queries) {
+      SldResult run = RunQuery(program, query).value();
+      bool exhausted = run.outcome == SldOutcome::kExhausted;
+      all_exhausted = all_exhausted && exhausted;
+      std::printf("%-22s %-8s %-34s %-10zu %-9lld %s\n", entry.name.c_str(),
+                  proved ? "proved" : "-", query.c_str(), run.num_solutions,
+                  static_cast<long long>(run.steps),
+                  exhausted ? "exhausted" : "BUDGET/DEPTH");
+    }
+    if (proved && !entry.validation_queries.empty()) {
+      if (all_exhausted) {
+        ++proved_and_validated;
+      } else {
+        ++mismatches;
+      }
+    }
+  }
+  std::printf(
+      "\nproved entries: %d; proved entries with validation queries all "
+      "exhausted: %d; SOUNDNESS VIOLATIONS: %d\n\n",
+      proved_total, proved_and_validated, mismatches);
+}
+
+void BM_SldQuery(benchmark::State& state, const char* corpus_name,
+                 const char* query) {
+  const CorpusEntry& entry = *FindCorpusEntry(corpus_name);
+  Program program = ParseProgram(entry.source).value();
+  for (auto _ : state) {
+    Result<SldResult> run = RunQuery(program, query);
+    benchmark::DoNotOptimize(run.ok());
+  }
+}
+
+void BM_SldQuicksortScaling(benchmark::State& state) {
+  const CorpusEntry& entry = *FindCorpusEntry("quicksort");
+  Program program = ParseProgram(entry.source).value();
+  const int n = static_cast<int>(state.range(0));
+  std::string query = "qs([";
+  for (int i = n; i >= 1; --i) {
+    query += std::to_string(i);
+    if (i > 1) query += ",";
+  }
+  query += "],S)";
+  for (auto _ : state) {
+    Result<SldResult> run = RunQuery(program, query);
+    benchmark::DoNotOptimize(run.ok());
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_BottomUpAppend(benchmark::State& state) {
+  Program program = ParseProgram(R"(
+    item(a).
+    list([]).
+    list([X|Xs]) :- item(X), list(Xs).
+    append([], Ys, Ys) :- list(Ys).
+    append([X|Xs], Ys, [X|Zs]) :- item(X), append(Xs, Ys, Zs).
+  )").value();
+  BottomUpOptions options;
+  options.max_term_size = static_cast<int>(state.range(0));
+  BottomUpEvaluator eval(program, options);
+  for (auto _ : state) {
+    auto facts = eval.Evaluate();
+    benchmark::DoNotOptimize(facts.ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+BENCHMARK_CAPTURE(BM_SldQuery, perm_abc, "perm", "perm([a,b,c],Q)");
+BENCHMARK_CAPTURE(BM_SldQuery, merge, "merge", "merge([1,3,5],[2,4],R)");
+BENCHMARK_CAPTURE(BM_SldQuery, hanoi3, "hanoi",
+                  "hanoi(s(s(s(z))), a, b, c)");
+BENCHMARK(BM_SldQuicksortScaling)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Complexity();
+BENCHMARK(BM_BottomUpAppend)->Arg(8)->Arg(10)->Arg(12)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintValidation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E9 (ablation): the cost of exact rational arithmetic, the foundation the
+// verifier stands on. Compares BigInt/Rational operations against native
+// int64 equivalents and measures coefficient growth along FM-style row
+// combinations -- the reason fixed-width arithmetic is unsound here.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "termilog/termilog.h"
+
+using namespace termilog;
+
+namespace {
+
+void BM_RationalDotProduct(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Rational> a, b;
+  for (int i = 0; i < n; ++i) {
+    a.emplace_back(i + 1, 3);
+    b.emplace_back(2 * i + 1, 7);
+  }
+  for (auto _ : state) {
+    Rational sum;
+    for (int i = 0; i < n; ++i) sum += a[i] * b[i];
+    benchmark::DoNotOptimize(sum.is_zero());
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_Int64DotProduct(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int64_t> a, b;
+  for (int i = 0; i < n; ++i) {
+    a.push_back(i + 1);
+    b.push_back(2 * i + 1);
+  }
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (int i = 0; i < n; ++i) sum += a[i] * b[i];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_BigIntMultiply(benchmark::State& state) {
+  const int digits = static_cast<int>(state.range(0));
+  std::string sa(digits, '7'), sb(digits, '3');
+  BigInt a = BigInt::FromString(sa).value();
+  BigInt b = BigInt::FromString(sb).value();
+  for (auto _ : state) {
+    BigInt c = a * b;
+    benchmark::DoNotOptimize(c.is_zero());
+  }
+  state.SetComplexityN(digits);
+}
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  const int digits = static_cast<int>(state.range(0));
+  BigInt a = BigInt::FromString(std::string(2 * digits, '9')).value();
+  BigInt b = BigInt::FromString(std::string(digits, '7')).value();
+  for (auto _ : state) {
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    benchmark::DoNotOptimize(q.is_zero());
+  }
+  state.SetComplexityN(digits);
+}
+
+void BM_RationalGcdNormalization(benchmark::State& state) {
+  // The normalization that keeps FM coefficients small.
+  Constraint row;
+  for (int i = 1; i <= 12; ++i) {
+    row.coeffs.emplace_back(6 * i, 35);
+  }
+  row.constant = Rational(30, 7);
+  row.rel = Relation::kGe;
+  for (auto _ : state) {
+    Constraint copy = row;
+    copy.Normalize();
+    benchmark::DoNotOptimize(copy.constant.is_zero());
+  }
+}
+
+BENCHMARK(BM_RationalDotProduct)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+BENCHMARK(BM_Int64DotProduct)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+BENCHMARK(BM_BigIntMultiply)->Arg(9)->Arg(36)->Arg(144)->Complexity();
+BENCHMARK(BM_BigIntDivMod)->Arg(9)->Arg(36)->Complexity();
+BENCHMARK(BM_RationalGcdNormalization);
+
+void PrintCoefficientGrowth() {
+  std::printf("==== E9: coefficient growth under repeated FM combination ====\n");
+  std::printf("(why int64 is unsound: numerator bit-length after k "
+              "combination rounds)\n");
+  // Combine rows pairwise like FM does, without normalization.
+  Rational x(3, 7), y(5, 11);
+  std::printf("%-8s %-20s\n", "round", "numerator digits");
+  Rational acc = x;
+  for (int round = 1; round <= 24; ++round) {
+    acc = acc * y + x;  // mimic multiplier-scaled row addition
+    if (round % 4 == 0) {
+      std::printf("%-8d %-20zu\n", round, acc.num().ToString().size());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCoefficientGrowth();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

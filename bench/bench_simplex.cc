@@ -1,0 +1,124 @@
+// E6 (second half): exact-rational simplex cost on random LPs of growing
+// size and on the analyzer's final feasibility systems. The paper reduces
+// the termination condition to "a feasibility problem in linear
+// programming"; this is what that costs with exact arithmetic.
+
+#include <benchmark/benchmark.h>
+
+#include "termilog/termilog.h"
+
+using namespace termilog;
+
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % (hi - lo + 1));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Random feasible LP: constraints a.x <= b with b >= 0 keep x = 0 feasible.
+ConstraintSystem RandomFeasible(Rng* rng, int num_vars, int num_rows) {
+  ConstraintSystem sys(num_vars);
+  for (int r = 0; r < num_rows; ++r) {
+    Constraint row;
+    row.rel = Relation::kGe;
+    row.coeffs.resize(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      row.coeffs[v] = Rational(-rng->Range(0, 4));
+    }
+    row.constant = Rational(rng->Range(1, 20));
+    sys.Add(std::move(row));
+  }
+  return sys;
+}
+
+void BM_SimplexMaximize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  ConstraintSystem sys = RandomFeasible(&rng, n, 2 * n);
+  std::vector<Rational> objective(n, Rational(1));
+  for (auto _ : state) {
+    LpResult r = SimplexSolver::Maximize(sys, objective);
+    benchmark::DoNotOptimize(r.status);
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_SimplexFeasibility(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 99);
+  ConstraintSystem sys = RandomFeasible(&rng, n, 2 * n);
+  for (auto _ : state) {
+    LpResult r = SimplexSolver::FindFeasible(sys);
+    benchmark::DoNotOptimize(r.status);
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_SimplexWithEqualities(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 7);
+  ConstraintSystem sys = RandomFeasible(&rng, n, n);
+  // Chain equalities x0 = x1 + 1, x1 = x2 + 1, ...
+  for (int i = 0; i + 1 < n; ++i) {
+    Constraint row;
+    row.rel = Relation::kEq;
+    row.coeffs.resize(n);
+    row.coeffs[i] = Rational(1);
+    row.coeffs[i + 1] = Rational(-1);
+    row.constant = Rational(-1);
+    sys.Add(std::move(row));
+  }
+  std::vector<Rational> objective(n);
+  objective[0] = Rational(1);
+  for (auto _ : state) {
+    LpResult r = SimplexSolver::Minimize(sys, objective);
+    benchmark::DoNotOptimize(r.status);
+  }
+  state.SetComplexityN(n);
+}
+
+// The analyzer's actual final system for merge (Example 5.1) solved in a
+// loop: global theta feasibility.
+void BM_MergeFinalFeasibility(benchmark::State& state) {
+  ConstraintSystem sys(2);
+  auto ge = [&sys](std::vector<int64_t> c, int64_t k) {
+    Constraint row;
+    for (int64_t v : c) row.coeffs.emplace_back(v);
+    row.constant = Rational(k);
+    row.rel = Relation::kGe;
+    sys.Add(std::move(row));
+  };
+  ge({1, 0}, 0);
+  ge({1, -1}, 0);
+  ge({-1, 1}, 0);
+  ge({0, 2}, -1);
+  ge({0, 1}, 0);
+  ge({2, 0}, -1);
+  for (auto _ : state) {
+    LpResult r = SimplexSolver::FindFeasible(sys);
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+
+BENCHMARK(BM_SimplexMaximize)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Complexity();
+BENCHMARK(BM_SimplexFeasibility)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+    ->Complexity();
+BENCHMARK(BM_SimplexWithEqualities)->Arg(4)->Arg(8)->Arg(12)->Complexity();
+BENCHMARK(BM_MergeFinalFeasibility);
+
+}  // namespace
+
+BENCHMARK_MAIN();

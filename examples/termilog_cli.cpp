@@ -1,0 +1,232 @@
+// termilog_cli: command-line driver for the analyzer. This is the shape a
+// downstream user consumes the library in: point it at a Prolog-subset
+// file, name a query pattern, get a verdict and a certificate.
+//
+// Usage:
+//   termilog_cli FILE QUERY [options]
+//   termilog_cli --corpus NAME [options]
+//
+//   FILE    program file (Prolog subset; see README)
+//   QUERY   entry pattern, e.g. "perm(b,f)" (b = bound, f = free).
+//           Omitted if the file has a `:- mode(pred(b,f)).` directive.
+//
+// Options:
+//   --transform            run the Appendix A pipeline first
+//   --negative-deltas      enable the Appendix C free-delta mode
+//   --no-inference         skip inter-argument inference (manual mode)
+//   --supply P/N:SPEC      supply constraints, e.g. --supply "edge/2:a1 >= 1 + a2"
+//   --run GOAL             after analysis, run GOAL under SLD resolution
+//   --reorder              if analysis fails, search for a subgoal order
+//                          that is provably terminating (capture rules)
+//   --explain              print the full proof trace (Eq. 1 blocks,
+//                          Eq. 9 rows, deltas, certificate)
+//   --show-constraints     print the inter-argument constraint store
+//   --baselines            also run the three prior-art analyzers
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "termilog/termilog.h"
+
+using namespace termilog;
+
+namespace {
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "termilog_cli: %s\n", message);
+  return EXIT_FAILURE;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source, query;
+  AnalysisOptions options;
+  std::vector<std::string> run_goals;
+  bool show_constraints = false, run_baselines = false, reorder = false;
+  bool explain = false;
+  std::string corpus_name;
+
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--transform") {
+      options.apply_transformations = true;
+    } else if (arg == "--negative-deltas") {
+      options.allow_negative_deltas = true;
+    } else if (arg == "--no-inference") {
+      options.run_inference = false;
+    } else if (arg == "--reorder") {
+      reorder = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--show-constraints") {
+      show_constraints = true;
+    } else if (arg == "--baselines") {
+      run_baselines = true;
+    } else if (arg == "--supply" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        return Fail("--supply wants pred/arity:constraints");
+      }
+      options.supplied_constraints.emplace_back(spec.substr(0, colon),
+                                                spec.substr(colon + 1));
+    } else if (arg == "--run" && i + 1 < argc) {
+      run_goals.emplace_back(argv[++i]);
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      corpus_name = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      return Fail(("unknown option " + arg).c_str());
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (!corpus_name.empty()) {
+    const CorpusEntry* entry = FindCorpusEntry(corpus_name);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "unknown corpus entry; available:\n");
+      for (const CorpusEntry& e : Corpus()) {
+        std::fprintf(stderr, "  %-22s %s\n", e.name.c_str(),
+                     e.description.c_str());
+      }
+      return EXIT_FAILURE;
+    }
+    source = entry->source;
+    query = entry->query;
+    options.apply_transformations |= entry->needs_transformations;
+    options.allow_negative_deltas |= entry->needs_negative_deltas;
+    for (const auto& supplied : entry->supplied_constraints) {
+      options.supplied_constraints.push_back(supplied);
+    }
+  } else {
+    if (positional.empty()) {
+      return Fail("usage: termilog_cli FILE [QUERY] | --corpus NAME");
+    }
+    std::ifstream in(positional[0]);
+    if (!in) return Fail("cannot open program file");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+    if (positional.size() > 1) query = positional[1];
+  }
+
+  std::vector<std::string> warnings;
+  Result<Program> parsed = ParseProgram(source, &warnings);
+  if (!parsed.ok()) return Fail(parsed.status().ToString().c_str());
+  for (const std::string& warning : warnings) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
+  Program& program = *parsed;
+
+  if (query.empty()) {
+    if (program.mode_decls().empty()) {
+      return Fail("no QUERY given and no :- mode(...) directive in the file");
+    }
+    if (program.mode_decls().size() > 1) {
+      // Analyze every declared mode (the capture-rule setting: one proof
+      // per bound-free pattern).
+      TerminationAnalyzer analyzer(options);
+      auto reports = analyzer.AnalyzeDeclaredModes(program);
+      if (!reports.ok()) return Fail(reports.status().ToString().c_str());
+      bool all_proved = true;
+      for (const auto& [decl, mode_report] : *reports) {
+        std::printf("==== mode %s(%s) ====\n%s\n",
+                    program.symbols().Name(decl.pred.symbol).c_str(),
+                    AdornmentToString(decl.adornment).c_str(),
+                    mode_report.ToString().c_str());
+        all_proved = all_proved && mode_report.proved;
+      }
+      return all_proved ? EXIT_SUCCESS : 2;
+    }
+    const ModeDecl& decl = program.mode_decls().front();
+    query = program.symbols().Name(decl.pred.symbol) + "(";
+    for (size_t i = 0; i < decl.adornment.size(); ++i) {
+      if (i > 0) query += ",";
+      query += decl.adornment[i] == Mode::kBound ? "b" : "f";
+    }
+    query += ")";
+  }
+
+  TerminationAnalyzer analyzer(options);
+  Result<TerminationReport> report = analyzer.Analyze(program, query);
+  if (!report.ok()) return Fail(report.status().ToString().c_str());
+  if (reorder && !report->proved) {
+    ReorderOptions reorder_options;
+    reorder_options.analysis = options;
+    Result<ReorderResult> search =
+        FindTerminatingOrder(program, query, reorder_options);
+    if (search.ok() && search->proved) {
+      std::printf("reordering found a terminating subgoal order "
+                  "(%d attempts):\n",
+                  search->attempts);
+      for (const std::string& line : search->log) {
+        std::printf("  %s\n", line.c_str());
+      }
+      program = search->program;
+      *report = search->report;
+    } else if (search.ok()) {
+      std::printf("reordering search exhausted (%d attempts), no "
+                  "terminating order found\n",
+                  search->attempts);
+    }
+  }
+  if (explain) {
+    Result<std::string> trace = ExplainAnalysis(program, query, options);
+    if (trace.ok()) std::printf("%s\n", trace->c_str());
+  }
+  std::printf("query: %s\n%s", query.c_str(), report->ToString().c_str());
+  if (show_constraints) {
+    std::printf("\ninter-argument constraints:\n%s",
+                report->arg_sizes.ToString(report->analyzed_program).c_str());
+  }
+
+  if (run_baselines) {
+    Result<std::pair<PredId, Adornment>> parsed_query =
+        ParseQuerySpec(program, query);
+    if (parsed_query.ok()) {
+      ArgSizeDb db;
+      (void)ConstraintInference::Run(program, &db);
+      std::printf("\nprior methods:\n");
+      std::printf("  naish'83 subset descent : %s\n",
+                  BaselineVerdictName(
+                      NaishAnalyzer::Analyze(program, parsed_query->first,
+                                             parsed_query->second)
+                          .verdict));
+      std::printf("  uvg'88 pairwise descent : %s\n",
+                  BaselineVerdictName(
+                      UvgAnalyzer::Analyze(program, parsed_query->first,
+                                           parsed_query->second)
+                          .verdict));
+      std::printf("  argument mapping        : %s\n",
+                  BaselineVerdictName(
+                      ArgMapAnalyzer::Analyze(program, parsed_query->first,
+                                              parsed_query->second, db)
+                          .verdict));
+    }
+  }
+
+  for (const std::string& goal : run_goals) {
+    Result<SldResult> run = RunQuery(program, goal);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run error: %s\n",
+                   run.status().ToString().c_str());
+      continue;
+    }
+    std::printf("\n?- %s\n", goal.c_str());
+    for (const TermPtr& solution : run->solutions) {
+      std::printf("   %s\n", solution->ToString(program.symbols()).c_str());
+    }
+    std::printf("   %zu solution(s); %lld steps; search tree %s.\n",
+                run->num_solutions, static_cast<long long>(run->steps),
+                run->outcome == SldOutcome::kExhausted ? "exhausted"
+                                                       : "NOT exhausted");
+  }
+  return report->proved ? EXIT_SUCCESS : 2;
+}

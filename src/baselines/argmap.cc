@@ -1,0 +1,233 @@
+#include "baselines/argmap.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "graph/minplus.h"
+#include "lp/simplex.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// Term-order graph for one rule prefix: nodes are structurally distinct
+// terms, edges carry upper bounds on size differences:
+//   edge u -> v with weight w  means  size(v) <= size(u) + w.
+class OrderGraph {
+ public:
+  int NodeFor(const TermPtr& term) {
+    for (size_t i = 0; i < terms_.size(); ++i) {
+      if (Term::Equal(terms_[i], term)) return static_cast<int>(i);
+    }
+    terms_.push_back(term);
+    return static_cast<int>(terms_.size()) - 1;
+  }
+
+  // Adds the term and all of its subterms, with structural edges
+  // t -> child of weight -arity(t) (size(child) <= size(t) - arity(t)).
+  int AddTermWithSubterms(const TermPtr& term) {
+    int node = NodeFor(term);
+    if (!term->IsCompound()) return node;
+    for (const TermPtr& arg : term->args()) {
+      int child = AddTermWithSubterms(arg);
+      edges_.push_back({node, child, -static_cast<int64_t>(term->arity())});
+    }
+    return node;
+  }
+
+  void AddEdge(int from, int to, int64_t weight) {
+    edges_.push_back({from, to, weight});
+  }
+
+  // All-pairs shortest size-difference bounds.
+  MinPlusClosure Close() const {
+    MinPlusClosure closure(static_cast<int>(terms_.size()));
+    for (const auto& [from, to, weight] : edges_) {
+      closure.AddEdge(from, to, weight);
+    }
+    // size(t) <= size(t) + 0.
+    for (size_t i = 0; i < terms_.size(); ++i) {
+      closure.AddEdge(static_cast<int>(i), static_cast<int>(i), 0);
+    }
+    closure.Run();
+    return closure;
+  }
+
+ private:
+  struct Edge {
+    int from, to;
+    int64_t weight;
+  };
+  std::vector<TermPtr> terms_;
+  std::vector<Edge> edges_;
+};
+
+// Pairwise order facts entailed by the predicate's polyhedron:
+// max c such that P |= z_i >= z_j + c, as an integer (or nullopt if none).
+std::optional<int64_t> PairwiseGap(const Polyhedron& knowledge, int i,
+                                   int j) {
+  std::vector<Rational> objective(knowledge.num_vars());
+  objective[i] = Rational(1);
+  objective[j] = Rational(-1);
+  std::vector<bool> all_free(knowledge.num_vars(), true);
+  LpResult lp =
+      SimplexSolver::Minimize(knowledge.constraints(), objective, all_free);
+  if (lp.status != LpStatus::kOptimal) return std::nullopt;  // unbounded below
+  // Largest integer c with z_i - z_j >= c everywhere: floor of the minimum.
+  BigInt q, r;
+  BigInt::DivMod(lp.objective.num(), lp.objective.den(), &q, &r);
+  int64_t c = q.ToInt64();
+  if (!r.is_zero() && lp.objective.sign() < 0) --c;
+  return c;
+}
+
+// Minimal total weight over injective mappings from subgoal bound args to
+// head bound args (brute force; arities are tiny).
+std::optional<int64_t> BestMapping(const MinPlusClosure& closure,
+                                   const std::vector<int>& head_nodes,
+                                   const std::vector<int>& sub_nodes) {
+  if (sub_nodes.size() > head_nodes.size()) return std::nullopt;
+  std::vector<int> order(head_nodes.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::optional<int64_t> best;
+  std::vector<int> perm(order);
+  do {
+    int64_t total = 0;
+    bool feasible = true;
+    for (size_t k = 0; k < sub_nodes.size(); ++k) {
+      int64_t d = closure.Distance(head_nodes[perm[k]], sub_nodes[k]);
+      if (d >= MinPlusClosure::kInfinity) {
+        feasible = false;
+        break;
+      }
+      total += d;
+    }
+    if (feasible && (!best.has_value() || total < *best)) best = total;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+// Looks up `pred` in the db, falling back to its base name when `pred` is
+// an adornment clone ("append__ffb" -> "append") created by the shared
+// preprocessing: size knowledge is adornment-independent.
+std::optional<Polyhedron> DbLookup(const Program& program,
+                                   const ArgSizeDb& db, const PredId& pred) {
+  if (db.Has(pred)) return db.Get(pred);
+  const std::string& name = program.symbols().Name(pred.symbol);
+  size_t cut = name.rfind("__");
+  if (cut == std::string::npos) return std::nullopt;
+  int base = program.symbols().Lookup(name.substr(0, cut));
+  if (base < 0) return std::nullopt;
+  PredId base_pred{base, pred.arity};
+  if (!db.Has(base_pred)) return std::nullopt;
+  return db.Get(base_pred);
+}
+
+BaselineReport CheckScc(const Program& program, const ArgSizeDb& db,
+                        const std::vector<PredId>& scc_preds,
+                        const std::map<PredId, Adornment>& modes) {
+  const int m = static_cast<int>(scc_preds.size());
+  std::map<PredId, int> index;
+  std::map<PredId, std::vector<int>> bound_positions;
+  for (int i = 0; i < m; ++i) {
+    index[scc_preds[i]] = i;
+    std::vector<int> positions;
+    const Adornment& adornment = modes.at(scc_preds[i]);
+    for (size_t k = 0; k < adornment.size(); ++k) {
+      if (adornment[k] == Mode::kBound) positions.push_back(static_cast<int>(k));
+    }
+    if (positions.empty()) {
+      return {BaselineVerdict::kNotProved,
+              StrCat("no bound argument on ", program.PredName(scc_preds[i]))};
+    }
+    bound_positions[scc_preds[i]] = std::move(positions);
+  }
+
+  std::map<std::pair<int, int>, int64_t> edge_weight;
+  for (const Rule& rule : program.rules()) {
+    auto from = index.find(rule.head.pred_id());
+    if (from == index.end()) continue;
+    for (size_t s = 0; s < rule.body.size(); ++s) {
+      auto to = index.find(rule.body[s].atom.pred_id());
+      if (to == index.end()) continue;
+
+      // Build the order graph from the head, the recursive subgoal, and
+      // the preceding positive subgoals' pairwise order knowledge.
+      OrderGraph graph;
+      std::vector<int> head_nodes, sub_nodes;
+      for (int position : bound_positions.at(rule.head.pred_id())) {
+        head_nodes.push_back(
+            graph.AddTermWithSubterms(rule.head.args[position]));
+      }
+      for (int position : bound_positions.at(rule.body[s].atom.pred_id())) {
+        sub_nodes.push_back(
+            graph.AddTermWithSubterms(rule.body[s].atom.args[position]));
+      }
+      for (size_t k = 0; k < s; ++k) {
+        const Literal& lit = rule.body[k];
+        if (!lit.positive) continue;
+        std::optional<Polyhedron> looked_up =
+            DbLookup(program, db, lit.atom.pred_id());
+        if (!looked_up.has_value()) continue;
+        Polyhedron knowledge = std::move(*looked_up);
+        if (knowledge.IsEmpty()) continue;
+        std::vector<int> arg_nodes;
+        for (const TermPtr& arg : lit.atom.args) {
+          arg_nodes.push_back(graph.AddTermWithSubterms(arg));
+        }
+        const int arity = static_cast<int>(arg_nodes.size());
+        for (int i = 0; i < arity; ++i) {
+          for (int j = 0; j < arity; ++j) {
+            if (i == j) continue;
+            std::optional<int64_t> gap = PairwiseGap(knowledge, i, j);
+            if (gap.has_value() && *gap > INT64_MIN / 4) {
+              // z_i >= z_j + c  =>  size(t_j) <= size(t_i) - c.
+              graph.AddEdge(arg_nodes[i], arg_nodes[j], -*gap);
+            }
+          }
+        }
+      }
+      MinPlusClosure closure = graph.Close();
+      std::optional<int64_t> weight =
+          BestMapping(closure, head_nodes, sub_nodes);
+      if (!weight.has_value()) {
+        return {BaselineVerdict::kNotProved,
+                StrCat("no order relation covers the recursive call in rule '",
+                       rule.ToString(program.symbols()), "'")};
+      }
+      auto [it, inserted] =
+          edge_weight.try_emplace({from->second, to->second}, *weight);
+      if (!inserted && *weight > it->second) it->second = *weight;
+    }
+  }
+
+  // All dependency cycles must strictly decrease the bound-argument sum.
+  MinPlusClosure cycles(m);
+  for (const auto& [edge, weight] : edge_weight) {
+    cycles.AddEdge(edge.first, edge.second, -weight);
+  }
+  cycles.Run();
+  if (cycles.HasNonPositiveCycle()) {
+    return {BaselineVerdict::kNotProved,
+            "a dependency cycle does not strictly decrease under the best "
+            "argument mapping"};
+  }
+  return {BaselineVerdict::kProved, "argument mapping with order constraints"};
+}
+
+}  // namespace
+
+BaselineReport ArgMapAnalyzer::Analyze(const Program& program,
+                                       const PredId& query,
+                                       const Adornment& adornment,
+                                       const ArgSizeDb& db) {
+  return baselines_internal::AnalyzeBySccs(
+      program, query, adornment,
+      [&db](const Program& analyzed, const std::vector<PredId>& scc_preds,
+            const std::map<PredId, Adornment>& modes) {
+        return CheckScc(analyzed, db, scc_preds, modes);
+      });
+}
+
+}  // namespace termilog

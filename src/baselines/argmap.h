@@ -1,0 +1,34 @@
+#ifndef TERMILOG_BASELINES_ARGMAP_H_
+#define TERMILOG_BASELINES_ARGMAP_H_
+
+#include "baselines/common.h"
+#include "constraints/arg_size_db.h"
+#include "program/ast.h"
+
+namespace termilog {
+
+/// Reconstruction of Brodsky-Sagiv style argument mapping [BS89a, BS89b]
+/// following the translation sketched in the paper's Appendix B: the only
+/// size knowledge available is PARTIAL ORDER information between pairs of
+/// argument positions — structural subterm edges read off unification, plus
+/// pairwise (two-argument) order facts entailed by the per-predicate
+/// knowledge base (the Appendix B "EDB partial order constraints").
+///
+/// Per recursive call, an injective mapping from the subgoal's bound
+/// arguments into the head's bound arguments is sought whose mapped pairs
+/// are related through the order graph; the per-call guaranteed descent is
+/// accumulated around dependency cycles, all of which must strictly
+/// decrease. Three-or-more-variable constraints (append1 + append2 =
+/// append3) are inexpressible here by construction, which reproduces the
+/// Appendix B observation that this translation handles Examples 5.1 and
+/// 6.1 but not Example 3.1.
+class ArgMapAnalyzer {
+ public:
+  static BaselineReport Analyze(const Program& program, const PredId& query,
+                                const Adornment& adornment,
+                                const ArgSizeDb& db);
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_BASELINES_ARGMAP_H_

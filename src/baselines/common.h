@@ -1,0 +1,109 @@
+#ifndef TERMILOG_BASELINES_COMMON_H_
+#define TERMILOG_BASELINES_COMMON_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/scc.h"
+#include "program/ast.h"
+#include "program/modes.h"
+#include "transform/adornment.h"
+#include "util/string_util.h"
+
+namespace termilog {
+
+/// Verdict of a baseline (prior-art) termination analyzer.
+enum class BaselineVerdict {
+  kProved,
+  kNotProved,
+  kUnsupported,  // the method's preconditions do not apply
+};
+
+inline const char* BaselineVerdictName(BaselineVerdict verdict) {
+  switch (verdict) {
+    case BaselineVerdict::kProved:
+      return "PROVED";
+    case BaselineVerdict::kNotProved:
+      return "NOT_PROVED";
+    case BaselineVerdict::kUnsupported:
+      return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+struct BaselineReport {
+  BaselineVerdict verdict = BaselineVerdict::kNotProved;
+  std::string detail;
+};
+
+namespace baselines_internal {
+
+/// Shared scaffolding for the three reconstructed prior methods: repair
+/// adornment conflicts by cloning (same preprocessing the main analyzer
+/// gets, so the comparison is apples-to-apples), run the mode dataflow,
+/// decompose the reachable predicates into SCCs, and apply `check_scc` to
+/// every recursive SCC. The overall verdict is kProved iff every recursive
+/// SCC is proved. The callback receives the (possibly cloned) program.
+inline BaselineReport AnalyzeBySccs(
+    const Program& original_program, const PredId& original_query,
+    const Adornment& adornment,
+    const std::function<BaselineReport(const Program&,
+                                       const std::vector<PredId>&,
+                                       const std::map<PredId, Adornment>&)>&
+        check_scc) {
+  Program program = original_program;
+  PredId query = original_query;
+  ModeAnalysisResult modes = InferModes(program, query, adornment);
+  for (int round = 0; round < 4 && modes.HasConflicts(); ++round) {
+    AdornmentCloneResult cloned =
+        CloneConflictingAdornments(program, query, adornment);
+    if (!cloned.changed) break;
+    program = std::move(cloned.program);
+    query = cloned.query;
+    modes = InferModes(program, query, adornment);
+  }
+  if (modes.HasConflicts()) {
+    return {BaselineVerdict::kUnsupported, modes.conflicts.front()};
+  }
+  std::vector<PredId> preds;
+  for (const auto& [pred, a] : modes.adornments) {
+    (void)a;
+    preds.push_back(pred);
+  }
+  std::map<PredId, int> index;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    index[preds[i]] = static_cast<int>(i);
+  }
+  Digraph graph(static_cast<int>(preds.size()));
+  for (const Rule& rule : program.rules()) {
+    auto from = index.find(rule.head.pred_id());
+    if (from == index.end()) continue;
+    for (const Literal& lit : rule.body) {
+      auto to = index.find(lit.atom.pred_id());
+      if (to != index.end()) graph.AddEdge(from->second, to->second);
+    }
+  }
+  for (const std::vector<int>& component :
+       StronglyConnectedComponents(graph)) {
+    if (!IsRecursiveComponent(graph, component)) continue;
+    std::vector<PredId> scc_preds;
+    for (int node : component) scc_preds.push_back(preds[node]);
+    BaselineReport scc = check_scc(program, scc_preds, modes.adornments);
+    if (scc.verdict != BaselineVerdict::kProved) {
+      if (scc.detail.empty()) {
+        scc.detail = StrCat("failed on SCC containing ",
+                            program.PredName(scc_preds.front()));
+      }
+      return scc;
+    }
+  }
+  return {BaselineVerdict::kProved, ""};
+}
+
+}  // namespace baselines_internal
+}  // namespace termilog
+
+#endif  // TERMILOG_BASELINES_COMMON_H_

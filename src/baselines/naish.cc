@@ -1,0 +1,111 @@
+#include "baselines/naish.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// True if `sub` occurs strictly inside `super`.
+bool ProperSubterm(const TermPtr& sub, const TermPtr& super) {
+  if (super->IsVariable()) return false;
+  for (const TermPtr& arg : super->args()) {
+    if (Term::Equal(sub, arg) || ProperSubterm(sub, arg)) return true;
+  }
+  return false;
+}
+
+BaselineReport CheckScc(const Program& program,
+                        const std::vector<PredId>& scc_preds,
+                        const std::map<PredId, Adornment>& modes) {
+  if (scc_preds.size() > 1) {
+    return {BaselineVerdict::kUnsupported,
+            "Naish-style position-wise descent does not handle mutual "
+            "recursion"};
+  }
+  const PredId pred = scc_preds.front();
+  const Adornment& adornment = modes.at(pred);
+  std::vector<int> bound_positions;
+  for (size_t i = 0; i < adornment.size(); ++i) {
+    if (adornment[i] == Mode::kBound) {
+      bound_positions.push_back(static_cast<int>(i));
+    }
+  }
+  if (bound_positions.empty()) {
+    return {BaselineVerdict::kNotProved, "no bound arguments"};
+  }
+
+  // Collect all recursive calls (head args, subgoal args).
+  struct Call {
+    const Atom* head;
+    const Atom* subgoal;
+  };
+  std::vector<Call> calls;
+  for (int index : program.RuleIndicesFor(pred)) {
+    const Rule& rule = program.rules()[index];
+    for (const Literal& lit : rule.body) {
+      if (lit.atom.pred_id() == pred) {
+        calls.push_back({&rule.head, &lit.atom});
+      }
+    }
+  }
+
+  // Subset search: bitmask over the bound positions.
+  const int n = static_cast<int>(bound_positions.size());
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    bool subset_ok = true;
+    for (const Call& call : calls) {
+      bool any_decrease = false;
+      bool all_ok = true;
+      for (int k = 0; k < n; ++k) {
+        if (!(mask & (1u << k))) continue;
+        int position = bound_positions[k];
+        const TermPtr& head_arg = call.head->args[position];
+        const TermPtr& sub_arg = call.subgoal->args[position];
+        if (Term::Equal(sub_arg, head_arg)) continue;
+        if (ProperSubterm(sub_arg, head_arg)) {
+          any_decrease = true;
+          continue;
+        }
+        all_ok = false;
+        break;
+      }
+      if (!all_ok || !any_decrease) {
+        subset_ok = false;
+        break;
+      }
+    }
+    if (subset_ok) {
+      std::string detail = "descending subset {";
+      bool first = true;
+      for (int k = 0; k < n; ++k) {
+        if (mask & (1u << k)) {
+          if (!first) detail += ",";
+          first = false;
+          detail += StrCat(bound_positions[k] + 1);
+        }
+      }
+      detail += "}";
+      return {BaselineVerdict::kProved, detail};
+    }
+  }
+  return {BaselineVerdict::kNotProved,
+          StrCat("no descending subset of bound arguments for ",
+                 program.PredName(pred))};
+}
+
+}  // namespace
+
+BaselineReport NaishAnalyzer::Analyze(const Program& program,
+                                      const PredId& query,
+                                      const Adornment& adornment) {
+  return baselines_internal::AnalyzeBySccs(
+      program, query, adornment,
+      [](const Program& analyzed, const std::vector<PredId>& scc_preds,
+         const std::map<PredId, Adornment>& modes) {
+        return CheckScc(analyzed, scc_preds, modes);
+      });
+}
+
+}  // namespace termilog

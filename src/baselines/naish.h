@@ -1,0 +1,31 @@
+#ifndef TERMILOG_BASELINES_NAISH_H_
+#define TERMILOG_BASELINES_NAISH_H_
+
+#include "baselines/common.h"
+#include "program/ast.h"
+
+namespace termilog {
+
+/// Reconstruction of Naish's method [Nai83] as characterized in Section 1.1
+/// of the paper: search for a subset S of the bound argument positions of
+/// the recursive predicate such that on every recursive call
+///  - every position in S is unchanged or replaced by a proper subterm of
+///    the head's term at the SAME position, and
+///  - at least one position in S is a proper subterm.
+/// "<" is the proper-subterm partial order. The search over subsets is
+/// exponential (the paper notes Sagiv-Ullman later made it
+/// semi-polynomial); arities here are small.
+///
+/// The method compares arguments position-wise within one predicate, so
+/// SCCs with mutual recursion are reported kUnsupported, and any recursive
+/// call that permutes arguments (the paper's Example 5.1 variant) defeats
+/// it.
+class NaishAnalyzer {
+ public:
+  static BaselineReport Analyze(const Program& program, const PredId& query,
+                                const Adornment& adornment);
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_BASELINES_NAISH_H_

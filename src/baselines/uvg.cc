@@ -1,0 +1,141 @@
+#include "baselines/uvg.h"
+
+#include <map>
+#include <optional>
+
+#include "graph/minplus.h"
+#include "term/size.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// Max product of per-predicate choices explored (safety valve; SCCs in
+// practice have a handful of predicates with small arities).
+constexpr int64_t kMaxChoices = 1 << 14;
+
+// Offset c such that size(sub) <= size(head) + c for all variable sizes,
+// or nullopt when the subgoal polynomial is not coefficient-dominated.
+std::optional<int64_t> DominanceOffset(const TermPtr& head_arg,
+                                       const TermPtr& sub_arg) {
+  LinearExpr head = StructuralSize(head_arg);
+  LinearExpr sub = StructuralSize(sub_arg);
+  LinearExpr diff = sub - head;
+  for (const auto& [var, coeff] : diff.coeffs()) {
+    (void)var;
+    if (coeff.sign() > 0) return std::nullopt;
+  }
+  // All variable coefficients <= 0; the worst case is all of them zero.
+  const Rational& c = diff.constant();
+  // Sizes are integers; round up.
+  BigInt num = c.num();
+  BigInt den = c.den();
+  BigInt q, r;
+  BigInt::DivMod(num, den, &q, &r);
+  int64_t offset = q.ToInt64();
+  if (!r.is_zero() && c.sign() > 0) ++offset;
+  return offset;
+}
+
+BaselineReport CheckScc(const Program& program,
+                        const std::vector<PredId>& scc_preds,
+                        const std::map<PredId, Adornment>& modes) {
+  const int m = static_cast<int>(scc_preds.size());
+  std::map<PredId, int> index;
+  std::vector<std::vector<int>> bound_positions(m);
+  int64_t num_choices = 1;
+  for (int i = 0; i < m; ++i) {
+    index[scc_preds[i]] = i;
+    const Adornment& adornment = modes.at(scc_preds[i]);
+    for (size_t k = 0; k < adornment.size(); ++k) {
+      if (adornment[k] == Mode::kBound) {
+        bound_positions[i].push_back(static_cast<int>(k));
+      }
+    }
+    if (bound_positions[i].empty()) {
+      return {BaselineVerdict::kNotProved,
+              StrCat("no bound argument on ",
+                     program.PredName(scc_preds[i]))};
+    }
+    num_choices *= static_cast<int64_t>(bound_positions[i].size());
+    if (num_choices > kMaxChoices) {
+      return {BaselineVerdict::kUnsupported, "choice space too large"};
+    }
+  }
+
+  // Recursive calls of the SCC.
+  struct Call {
+    int i, j;
+    const Atom* head;
+    const Atom* subgoal;
+  };
+  std::vector<Call> calls;
+  for (const Rule& rule : program.rules()) {
+    auto from = index.find(rule.head.pred_id());
+    if (from == index.end()) continue;
+    for (const Literal& lit : rule.body) {
+      auto to = index.find(lit.atom.pred_id());
+      if (to == index.end()) continue;
+      calls.push_back({from->second, to->second, &rule.head, &lit.atom});
+    }
+  }
+
+  std::vector<int> choice(m, 0);
+  for (int64_t code = 0; code < num_choices; ++code) {
+    int64_t rest = code;
+    for (int i = 0; i < m; ++i) {
+      choice[i] = static_cast<int>(
+          rest % static_cast<int64_t>(bound_positions[i].size()));
+      rest /= static_cast<int64_t>(bound_positions[i].size());
+    }
+    // Per-edge worst offset; +inf (nullopt) kills the choice.
+    bool viable = true;
+    std::map<std::pair<int, int>, int64_t> edge_offset;
+    for (const Call& call : calls) {
+      int head_pos = bound_positions[call.i][choice[call.i]];
+      int sub_pos = bound_positions[call.j][choice[call.j]];
+      std::optional<int64_t> offset = DominanceOffset(
+          call.head->args[head_pos], call.subgoal->args[sub_pos]);
+      if (!offset.has_value()) {
+        viable = false;
+        break;
+      }
+      auto [it, inserted] =
+          edge_offset.try_emplace({call.i, call.j}, *offset);
+      if (!inserted && *offset > it->second) it->second = *offset;
+    }
+    if (!viable) continue;
+    // Every cycle must accumulate offset <= -1: negate and require all
+    // cycles strictly positive.
+    MinPlusClosure closure(m);
+    for (const auto& [edge, offset] : edge_offset) {
+      closure.AddEdge(edge.first, edge.second, -offset);
+    }
+    closure.Run();
+    if (!closure.HasNonPositiveCycle()) {
+      std::string detail = "designated arguments:";
+      for (int i = 0; i < m; ++i) {
+        detail += StrCat(" ", program.PredName(scc_preds[i]), "#",
+                         bound_positions[i][choice[i]] + 1);
+      }
+      return {BaselineVerdict::kProved, detail};
+    }
+  }
+  return {BaselineVerdict::kNotProved,
+          "no designated-argument assignment with pairwise size descent"};
+}
+
+}  // namespace
+
+BaselineReport UvgAnalyzer::Analyze(const Program& program,
+                                    const PredId& query,
+                                    const Adornment& adornment) {
+  return baselines_internal::AnalyzeBySccs(
+      program, query, adornment,
+      [](const Program& analyzed, const std::vector<PredId>& scc_preds,
+         const std::map<PredId, Adornment>& modes) {
+        return CheckScc(analyzed, scc_preds, modes);
+      });
+}
+
+}  // namespace termilog

@@ -1,0 +1,30 @@
+#ifndef TERMILOG_BASELINES_UVG_H_
+#define TERMILOG_BASELINES_UVG_H_
+
+#include "baselines/common.h"
+#include "program/ast.h"
+
+namespace termilog {
+
+/// Reconstruction of the Ullman-Van Gelder style test [UVG88] as
+/// characterized in Sections 1.1 and 5 of the paper: a total size measure
+/// on terms, ONE designated bound argument per predicate of the SCC, and
+/// only pairwise (two-variable) size relations x >= y + c read directly off
+/// the term structure: the designated subgoal argument's size polynomial
+/// must be dominated coefficient-wise by the designated head argument's.
+/// Around every dependency cycle the accumulated offset must be <= -1
+/// (checked by min-plus closure).
+///
+/// This captures what the paper's Example 3.1 discussion calls "order
+/// relationships among pairs of arguments": no three-variable constraint
+/// like append1 + append2 = append3 is available, which is why perm/append
+/// defeats it.
+class UvgAnalyzer {
+ public:
+  static BaselineReport Analyze(const Program& program, const PredId& query,
+                                const Adornment& adornment);
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_BASELINES_UVG_H_

@@ -1,0 +1,221 @@
+#include "constraints/inference.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/digraph.h"
+#include "graph/scc.h"
+#include "term/size.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// Shifts a size polynomial over rule-local variable ids into the rule
+// system's column space: logical variable v -> column var_base + v.
+LinearExpr ShiftVars(const LinearExpr& expr, int var_base) {
+  LinearExpr out(expr.constant());
+  for (const auto& [var, coeff] : expr.coeffs()) {
+    out.SetCoeff(var_base + var, coeff);
+  }
+  return out;
+}
+
+// A row is trivially implied by variable nonnegativity when it is a kGe row
+// with nonnegative coefficients and constant; skipping such rows keeps the
+// FM systems small.
+bool TriviallyImplied(const Constraint& row) {
+  if (row.rel != Relation::kGe) return false;
+  if (row.constant.sign() < 0) return false;
+  for (const Rational& c : row.coeffs) {
+    if (c.sign() < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Polyhedron> ConstraintInference::RuleTransfer(
+    const Program& program, const Rule& rule,
+    const std::map<PredId, Polyhedron>& current, const ArgSizeDb& db,
+    const FmOptions& fm) {
+  (void)program;  // reserved for diagnostics
+  const int arity = static_cast<int>(rule.head.args.size());
+  const int var_base = arity;
+  const int width = arity + rule.num_vars();
+  ConstraintSystem system(width);
+
+  // Head argument size equations: x_i - size(t_i) = 0.
+  for (int i = 0; i < arity; ++i) {
+    LinearExpr expr = LinearExpr::Variable(i);
+    expr -= ShiftVars(StructuralSize(rule.head.args[i]), var_base);
+    system.AddExpr(expr, Relation::kEq);
+  }
+  // Logical variable sizes are nonnegative.
+  for (int v = 0; v < rule.num_vars(); ++v) {
+    system.AddNonNegativity(var_base + v);
+  }
+  // Body subgoal contributions.
+  for (const Literal& lit : rule.body) {
+    if (!lit.positive) continue;  // negative subgoals carry no size info
+    PredId callee = lit.atom.pred_id();
+    const Polyhedron* callee_poly = nullptr;
+    auto it = current.find(callee);
+    if (it != current.end()) {
+      callee_poly = &it->second;
+    } else if (db.Has(callee)) {
+      // Trusted / lower-SCC knowledge.
+    } else {
+      // Unknown predicate: nonnegative orthant contributes nothing beyond
+      // what variable nonnegativity already implies.
+      continue;
+    }
+    Polyhedron stored = callee_poly ? *callee_poly : db.Get(callee);
+    if (stored.IsEmpty()) {
+      // No derivable fact can satisfy this subgoal (yet): the rule derives
+      // nothing this sweep.
+      return Polyhedron::Empty(arity);
+    }
+    std::vector<LinearExpr> images;
+    images.reserve(lit.atom.args.size());
+    for (const TermPtr& arg : lit.atom.args) {
+      images.push_back(ShiftVars(StructuralSize(arg), var_base));
+    }
+    ConstraintSystem instantiated = stored.Instantiate(images, width);
+    for (const Constraint& row : instantiated.rows()) {
+      if (!TriviallyImplied(row)) system.Add(row);
+    }
+  }
+
+  std::vector<int> keep(arity);
+  for (int i = 0; i < arity; ++i) keep[i] = i;
+  Result<ConstraintSystem> projected =
+      FourierMotzkin::Project(system, keep, fm);
+  if (!projected.ok()) return projected.status();
+  Polyhedron out = Polyhedron::FromSystem(std::move(projected).value());
+  out.Minimize();
+  return out;
+}
+
+Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
+                                const InferenceOptions& options,
+                                std::map<PredId, InferenceStats>* stats) {
+  // Dependency graph over defined predicates.
+  std::vector<PredId> preds;
+  for (const PredId& pred : program.DefinedPredicates()) {
+    preds.push_back(pred);
+  }
+  std::map<PredId, int> index;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    index[preds[i]] = static_cast<int>(i);
+  }
+  Digraph graph(static_cast<int>(preds.size()));
+  for (const Rule& rule : program.rules()) {
+    int from = index.at(rule.head.pred_id());
+    for (const Literal& lit : rule.body) {
+      auto it = index.find(lit.atom.pred_id());
+      if (it != index.end()) graph.AddEdge(from, it->second);
+    }
+  }
+
+  // Callees-first order (Tarjan emits reverse topological order).
+  for (const std::vector<int>& component :
+       StronglyConnectedComponents(graph)) {
+    std::vector<PredId> scc_preds;
+    for (int node : component) {
+      const PredId& pred = preds[node];
+      if (!db->Has(pred)) scc_preds.push_back(pred);
+    }
+    if (scc_preds.empty()) continue;  // fully user-supplied
+
+    std::map<PredId, Polyhedron> current;
+    for (const PredId& pred : scc_preds) {
+      current.emplace(pred, Polyhedron::Empty(pred.arity));
+    }
+    std::vector<int> rule_indices;
+    for (const PredId& pred : scc_preds) {
+      for (int r : program.RuleIndicesFor(pred)) rule_indices.push_back(r);
+    }
+    std::sort(rule_indices.begin(), rule_indices.end());
+
+    InferenceStats scc_stats;
+    for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+      ++scc_stats.sweeps;
+      std::map<PredId, Polyhedron> before = current;
+      for (int r : rule_indices) {
+        const Rule& rule = program.rules()[r];
+        PredId pred = rule.head.pred_id();
+        Result<Polyhedron> transferred =
+            RuleTransfer(program, rule, current, *db, options.fm);
+        if (!transferred.ok()) return transferred.status();
+        Result<Polyhedron> joined = Polyhedron::ConvexHull(
+            current.at(pred), *transferred, options.fm);
+        if (!joined.ok()) return joined.status();
+        current.at(pred) = std::move(joined).value();
+      }
+      bool stable = true;
+      for (const PredId& pred : scc_preds) {
+        if (!before.at(pred).Contains(current.at(pred))) {
+          stable = false;
+          break;
+        }
+      }
+      if (stable) {
+        scc_stats.reached_fixpoint = true;
+        break;
+      }
+      if (sweep + 1 >= options.widen_delay) {
+        scc_stats.widened = true;
+        for (const PredId& pred : scc_preds) {
+          current.at(pred) = before.at(pred).Widen(current.at(pred));
+        }
+      }
+    }
+    if (!scc_stats.reached_fixpoint) {
+      return Status::ResourceExhausted(
+          StrCat("constraint inference did not converge within ",
+                 options.max_sweeps, " sweeps"));
+    }
+    // One descending refinement pass: lfp <= F(stable) <= stable, and
+    // F(stable) recovers facts (like argument nonnegativity bounds) that
+    // widening discarded.
+    {
+      std::map<PredId, Polyhedron> refined;
+      for (const PredId& pred : scc_preds) {
+        refined.emplace(pred, Polyhedron::Empty(pred.arity));
+      }
+      bool refine_ok = true;
+      for (int r : rule_indices) {
+        const Rule& rule = program.rules()[r];
+        PredId pred = rule.head.pred_id();
+        Result<Polyhedron> transferred =
+            ConstraintInference::RuleTransfer(program, rule, current, *db,
+                                              options.fm);
+        if (!transferred.ok()) {
+          refine_ok = false;
+          break;
+        }
+        Result<Polyhedron> joined = Polyhedron::ConvexHull(
+            refined.at(pred), *transferred, options.fm);
+        if (!joined.ok()) {
+          refine_ok = false;
+          break;
+        }
+        refined.at(pred) = std::move(joined).value();
+      }
+      if (refine_ok) current = std::move(refined);
+    }
+    for (PredId pred : scc_preds) {
+      Polyhedron polyhedron = current.at(pred);
+      polyhedron.Minimize();
+      db->Set(pred, std::move(polyhedron));
+    }
+    if (stats != nullptr) {
+      stats->emplace(scc_preds.front(), scc_stats);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace termilog

@@ -1,0 +1,67 @@
+#ifndef TERMILOG_CONSTRAINTS_INFERENCE_H_
+#define TERMILOG_CONSTRAINTS_INFERENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/arg_size_db.h"
+#include "fm/fourier_motzkin.h"
+#include "program/ast.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Knobs for the inter-argument size-constraint inference.
+struct InferenceOptions {
+  /// Number of plain convex-hull sweeps before widening kicks in. Larger
+  /// values are more precise on bounded chains, smaller converge faster.
+  int widen_delay = 2;
+  /// Safety valve on fixpoint sweeps per SCC.
+  int max_sweeps = 60;
+  FmOptions fm;
+};
+
+/// Per-SCC fixpoint statistics (exported for E7 benchmarking).
+struct InferenceStats {
+  int sweeps = 0;
+  bool widened = false;
+  bool reached_fixpoint = false;
+};
+
+/// Infers, for every defined predicate, a polyhedron over its argument
+/// sizes that over-approximates all derivable facts — the capability the
+/// paper imports from Van Gelder [VG90] (Section 3: the c / C matrices of
+/// Eq. 1 come from here).
+///
+/// Implementation: polyhedral abstract interpretation bottom-up over the
+/// SCCs of the dependency graph. The transfer function of a rule conjoins
+/// the head argument-size equations with the instantiated polyhedra of the
+/// body subgoals and projects onto the head argument sizes; the join is the
+/// closed convex hull (lifted Fourier-Motzkin); termination of the fixpoint
+/// is forced by standard constraint widening after `widen_delay` sweeps.
+///
+/// Predicates already present in `db` (user-supplied, e.g. EDB relations
+/// with known properties) are treated as trusted inputs and not recomputed.
+class ConstraintInference {
+ public:
+  /// Runs the inference over all defined predicates of `program`,
+  /// populating `db`. Optionally reports per-SCC stats keyed by the
+  /// lexicographically first predicate of the SCC.
+  static Status Run(const Program& program, ArgSizeDb* db,
+                    const InferenceOptions& options = InferenceOptions(),
+                    std::map<PredId, InferenceStats>* stats = nullptr);
+
+  /// Transfer function for one rule under the given per-predicate
+  /// polyhedra: the polyhedron of head-argument sizes derivable through
+  /// this rule. Exposed for tests and for Section 6.2 (nonlinear
+  /// recursion needs whole-SCC constraints before termination analysis).
+  static Result<Polyhedron> RuleTransfer(
+      const Program& program, const Rule& rule,
+      const std::map<PredId, Polyhedron>& current, const ArgSizeDb& db,
+      const FmOptions& fm);
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_CONSTRAINTS_INFERENCE_H_

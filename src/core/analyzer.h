@@ -1,0 +1,127 @@
+#ifndef TERMILOG_CORE_ANALYZER_H_
+#define TERMILOG_CORE_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "constraints/inference.h"
+#include "core/certificate.h"
+#include "core/rule_system.h"
+#include "program/ast.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Options for the end-to-end termination analysis.
+struct AnalysisOptions {
+  /// Run the [VG90] inter-argument constraint inference to populate the
+  /// imported feasibility constraints. When false, only the
+  /// `supplied_constraints` below are used (the paper's manual-input mode,
+  /// Section 8).
+  bool run_inference = true;
+  /// Apply the Appendix A syntactic transformations (positive-equality
+  /// elimination, then alternating safe unfolding / predicate splitting)
+  /// before analysis.
+  bool apply_transformations = false;
+  /// Number of unfold/split phase pairs (the paper suggests 3).
+  int transform_phases = 3;
+  /// Appendix C: when the nonnegative-delta system is infeasible, retry
+  /// with free deltas constrained only by positive-cycle path constraints.
+  bool allow_negative_deltas = false;
+  /// Cross-validate every PROVED verdict on the primal side (exact LP).
+  bool validate_certificates = true;
+  /// User-supplied inter-argument constraints: predicate spec "name/arity"
+  /// -> constraint spec over a1..an (see ArgSizeDb::ParseSpec). These
+  /// override / pre-empt inference for those predicates.
+  std::vector<std::pair<std::string, std::string>> supplied_constraints;
+
+  InferenceOptions inference;
+  FmOptions fm;
+};
+
+/// Verdict for one SCC of the dependency graph.
+enum class SccStatus {
+  kNonRecursive,      // no recursive subgoal: nothing to prove
+  kProved,            // termination certificate found and (optionally) validated
+  kNotProved,         // the sufficient condition failed (no feasible theta)
+  kNonPositiveCycle,  // Section 6.1 step 3: zero-weight delta cycle --
+                      // "strong evidence of nontermination"
+  kUnsupported,       // preconditions violated (e.g. adornment conflicts)
+  kResourceLimit,     // FM or inference blowup
+};
+
+const char* SccStatusName(SccStatus status);
+
+/// Per-SCC analysis report.
+struct SccReport {
+  std::vector<PredId> preds;
+  SccStatus status = SccStatus::kNonRecursive;
+  /// Valid when status == kProved.
+  TerminationCertificate certificate;
+  bool used_negative_deltas = false;
+  /// Final reduced constraints over the thetas (after delta substitution),
+  /// printable; empty for non-recursive SCCs.
+  std::string reduced_constraints;
+  std::vector<std::string> notes;
+};
+
+/// Whole-program analysis report.
+struct TerminationReport {
+  /// True iff every reachable recursive SCC was proved.
+  bool proved = false;
+  std::vector<SccReport> sccs;
+  std::map<PredId, Adornment> modes;
+  /// Inter-argument constraints used (inferred + supplied).
+  ArgSizeDb arg_sizes;
+  /// The program the verdict refers to (after transformations, if any).
+  Program analyzed_program;
+  std::vector<std::string> notes;
+
+  std::string ToString() const;
+};
+
+/// Parses a query spec like "perm(b,f)" against the program's symbol
+/// table; the named predicate must be defined with the given arity.
+Result<std::pair<PredId, Adornment>> ParseQuerySpec(const Program& program,
+                                                    std::string_view spec);
+
+/// The paper's analyzer (Sections 3-6 plus Appendices A, C, D).
+class TerminationAnalyzer {
+ public:
+  explicit TerminationAnalyzer(AnalysisOptions options = AnalysisOptions())
+      : options_(std::move(options)) {}
+
+  const AnalysisOptions& options() const { return options_; }
+
+  /// Analyzes top-down termination of `query` (entry predicate + bound/free
+  /// adornment) over `program`.
+  Result<TerminationReport> Analyze(const Program& program,
+                                    const PredId& query,
+                                    const Adornment& adornment) const;
+
+  /// Convenience overload taking "pred(b,f,...)" syntax.
+  Result<TerminationReport> Analyze(const Program& program,
+                                    std::string_view query_spec) const;
+
+  /// Analyzes every `:- mode(...)` directive of the program — the paper's
+  /// capture-rule setting, where "different orders can be chosen for
+  /// different bound-free query patterns" and each pattern needs its own
+  /// termination proof. Fails if the program declares no modes.
+  Result<std::vector<std::pair<ModeDecl, TerminationReport>>>
+  AnalyzeDeclaredModes(const Program& program) const;
+
+ private:
+  SccReport AnalyzeScc(const Program& program,
+                       const std::vector<PredId>& scc_preds,
+                       const std::map<PredId, Adornment>& modes,
+                       const ArgSizeDb& db, bool has_conflict) const;
+
+  AnalysisOptions options_;
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_CORE_ANALYZER_H_

@@ -1,0 +1,164 @@
+#include "core/certificate.h"
+
+#include <utility>
+
+#include "graph/minplus.h"
+#include "lp/simplex.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+
+std::string TerminationCertificate::ToString(
+    const Program& program, const std::map<PredId, Adornment>& modes) const {
+  std::string out;
+  for (const auto& [pred, coeffs] : theta) {
+    out += StrCat("  level(", program.PredName(pred), ") = ");
+    auto it = modes.find(pred);
+    std::vector<int> bound_positions;
+    if (it != modes.end()) {
+      for (size_t i = 0; i < it->second.size(); ++i) {
+        if (it->second[i] == Mode::kBound) {
+          bound_positions.push_back(static_cast<int>(i) + 1);
+        }
+      }
+    }
+    bool first = true;
+    for (size_t k = 0; k < coeffs.size(); ++k) {
+      if (coeffs[k].is_zero()) continue;
+      if (!first) out += " + ";
+      first = false;
+      std::string arg =
+          k < bound_positions.size()
+              ? StrCat("|arg", bound_positions[k], "|")
+              : StrCat("|bound", k + 1, "|");
+      if (coeffs[k] == Rational(1)) {
+        out += arg;
+      } else {
+        out += StrCat(coeffs[k].ToString(), "*", arg);
+      }
+    }
+    if (first) out += "0";
+    out += "\n";
+  }
+  for (const auto& [edge, value] : delta) {
+    out += StrCat("  delta(", program.symbols().Name(edge.first.symbol), ",",
+                  program.symbols().Name(edge.second.symbol),
+                  ") = ", value.ToString(), "\n");
+  }
+  return out;
+}
+
+Status ValidateCertificate(const std::vector<RuleSubgoalSystem>& systems,
+                           const std::vector<PredId>& scc_preds,
+                           const TerminationCertificate& certificate) {
+  // theta >= 0 componentwise.
+  for (const auto& [pred, coeffs] : certificate.theta) {
+    for (const Rational& coeff : coeffs) {
+      if (coeff.sign() < 0) {
+        return Status::Internal("certificate has a negative theta");
+      }
+    }
+  }
+
+  for (const RuleSubgoalSystem& sys : systems) {
+    auto theta_it = certificate.theta.find(sys.head_pred);
+    auto eta_it = certificate.theta.find(sys.subgoal_pred);
+    auto delta_it = certificate.delta.find({sys.head_pred, sys.subgoal_pred});
+    if (theta_it == certificate.theta.end() ||
+        eta_it == certificate.theta.end() ||
+        delta_it == certificate.delta.end()) {
+      return Status::Internal("certificate missing theta or delta entries");
+    }
+    const std::vector<Rational>& theta = theta_it->second;
+    const std::vector<Rational>& eta = eta_it->second;
+    if (static_cast<int>(theta.size()) != sys.nx() ||
+        static_cast<int>(eta.size()) != sys.ny()) {
+      return Status::Internal("certificate theta arity mismatch");
+    }
+
+    // Primal system over [x | y | phi], all nonnegative.
+    const int K = sys.num_phi();
+    const int width = sys.nx() + sys.ny() + K;
+    const int y_base = sys.nx();
+    const int phi_base = sys.nx() + sys.ny();
+    ConstraintSystem primal(width);
+    for (int i = 0; i < sys.nx(); ++i) {
+      Constraint row;
+      row.rel = Relation::kEq;
+      row.coeffs.assign(width, Rational());
+      row.coeffs[i] = Rational(1);
+      for (int k = 0; k < K; ++k) row.coeffs[phi_base + k] = -sys.A.At(i, k);
+      row.constant = -sys.a[i];
+      primal.Add(std::move(row));
+    }
+    for (int j = 0; j < sys.ny(); ++j) {
+      Constraint row;
+      row.rel = Relation::kEq;
+      row.coeffs.assign(width, Rational());
+      row.coeffs[y_base + j] = Rational(1);
+      for (int k = 0; k < K; ++k) row.coeffs[phi_base + k] = -sys.B.At(j, k);
+      row.constant = -sys.b[j];
+      primal.Add(std::move(row));
+    }
+    for (int m = 0; m < sys.num_imported(); ++m) {
+      Constraint row;
+      row.rel = Relation::kEq;
+      row.coeffs.assign(width, Rational());
+      for (int k = 0; k < K; ++k) row.coeffs[phi_base + k] = sys.C.At(m, k);
+      row.constant = sys.c[m];
+      primal.Add(std::move(row));
+    }
+
+    std::vector<Rational> objective(width);
+    for (int i = 0; i < sys.nx(); ++i) objective[i] = theta[i];
+    for (int j = 0; j < sys.ny(); ++j) objective[y_base + j] = -eta[j];
+
+    LpResult lp = SimplexSolver::Minimize(primal, objective);
+    if (lp.status == LpStatus::kInfeasible) continue;  // unreachable pair
+    if (lp.status != LpStatus::kOptimal) {
+      return Status::Internal(
+          StrCat("primal check unbounded for rule #", sys.rule_index,
+                 " subgoal #", sys.subgoal_index));
+    }
+    if (lp.objective < delta_it->second) {
+      return Status::Internal(StrCat(
+          "certificate violated: min decrease ", lp.objective.ToString(),
+          " < delta ", delta_it->second.ToString(), " for rule #",
+          sys.rule_index, " subgoal #", sys.subgoal_index));
+    }
+  }
+
+  // Cycle positivity: scale deltas to integers and run min-plus closure.
+  BigInt denom_lcm(1);
+  for (const auto& [edge, value] : certificate.delta) {
+    (void)edge;
+    BigInt g = BigInt::Gcd(denom_lcm, value.den());
+    denom_lcm = denom_lcm / g * value.den();
+  }
+  std::map<PredId, int> index;
+  for (size_t i = 0; i < scc_preds.size(); ++i) {
+    index[scc_preds[i]] = static_cast<int>(i);
+  }
+  MinPlusClosure closure(static_cast<int>(scc_preds.size()));
+  for (const auto& [edge, value] : certificate.delta) {
+    auto from = index.find(edge.first);
+    auto to = index.find(edge.second);
+    if (from == index.end() || to == index.end()) {
+      return Status::Internal("certificate delta edge outside the SCC");
+    }
+    Rational scaled = value * Rational(denom_lcm);
+    TERMILOG_CHECK(scaled.is_integer());
+    if (!scaled.num().FitsInt64()) {
+      return Status::Internal("certificate delta too large to verify");
+    }
+    closure.AddEdge(from->second, to->second, scaled.num().ToInt64());
+  }
+  closure.Run();
+  if (closure.HasNonPositiveCycle()) {
+    return Status::Internal("certificate has a non-positive delta cycle");
+  }
+  return Status::Ok();
+}
+
+}  // namespace termilog

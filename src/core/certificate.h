@@ -1,0 +1,45 @@
+#ifndef TERMILOG_CORE_CERTIFICATE_H_
+#define TERMILOG_CORE_CERTIFICATE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rule_system.h"
+#include "program/ast.h"
+#include "rational/rational.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// A machine-checkable termination certificate for one SCC: the level
+/// mapping coefficients theta_i (one nonnegative rational per bound
+/// argument of each predicate) and the offsets delta_ij, such that for
+/// every rule and recursive subgoal,
+///   theta_i . x >= theta_j . y + delta_ij
+/// holds for all argument sizes satisfying Eq. 1, and every dependency
+/// cycle has positive total delta weight.
+struct TerminationCertificate {
+  std::map<PredId, std::vector<Rational>> theta;
+  std::map<std::pair<PredId, PredId>, Rational> delta;
+
+  std::string ToString(const Program& program,
+                       const std::map<PredId, Adornment>& modes) const;
+};
+
+/// Independently validates a certificate against the PRIMAL side of the
+/// problem: for each (rule, recursive subgoal) system, solves
+///   minimize theta_i . x - theta_j . y   subject to Eq. 1
+/// with exact simplex and checks the minimum is >= delta_ij (an infeasible
+/// primal is vacuously fine), then checks cycle positivity by min-plus
+/// closure over scaled integer weights. Because the analyzer derives
+/// certificates through the DUAL + Fourier-Motzkin path, this check is an
+/// end-to-end cross-validation of the whole pipeline.
+Status ValidateCertificate(const std::vector<RuleSubgoalSystem>& systems,
+                           const std::vector<PredId>& scc_preds,
+                           const TerminationCertificate& certificate);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_CORE_CERTIFICATE_H_

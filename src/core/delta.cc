@@ -1,0 +1,68 @@
+#include "core/delta.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/minplus.h"
+#include "util/check.h"
+
+namespace termilog {
+namespace {
+
+// A row forces delta_ij <= 0 when its delta coefficient is negative and no
+// positive theta coefficient (nor a positive constant) can compensate under
+// THETA >= 0.
+bool ForcesDeltaZero(const ThetaRow& row) {
+  if (row.delta_coeff.sign() >= 0) return false;
+  if (row.constant.sign() > 0) return false;
+  for (const Rational& coeff : row.theta_coeffs) {
+    if (coeff.sign() > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DeltaAssignment AssignDeltas(const std::vector<DerivedConstraints>& derived,
+                             const std::vector<PredId>& scc_preds) {
+  DeltaAssignment out;
+  std::set<std::pair<PredId, PredId>> edges;
+  std::set<std::pair<PredId, PredId>> forced;
+  for (const DerivedConstraints& d : derived) {
+    std::pair<PredId, PredId> edge{d.i, d.j};
+    edges.insert(edge);
+    for (const ThetaRow& row : d.rows) {
+      if (ForcesDeltaZero(row)) {
+        forced.insert(edge);
+        break;
+      }
+    }
+  }
+  for (const auto& edge : edges) {
+    bool zero = forced.count(edge) != 0;
+    out.values[edge] = zero ? 0 : 1;
+    if (zero) out.forced_zero.push_back(edge);
+  }
+
+  // Min-plus closure over the SCC's dependency edges.
+  std::map<PredId, int> index;
+  for (size_t i = 0; i < scc_preds.size(); ++i) {
+    index[scc_preds[i]] = static_cast<int>(i);
+  }
+  MinPlusClosure closure(static_cast<int>(scc_preds.size()));
+  for (const auto& [edge, weight] : out.values) {
+    auto from = index.find(edge.first);
+    auto to = index.find(edge.second);
+    TERMILOG_CHECK(from != index.end() && to != index.end());
+    closure.AddEdge(from->second, to->second, weight);
+  }
+  closure.Run();
+  int witness = closure.NonPositiveCycleNode();
+  if (witness >= 0) {
+    out.non_positive_cycle = true;
+    out.cycle_witness = scc_preds[witness];
+  }
+  return out;
+}
+
+}  // namespace termilog

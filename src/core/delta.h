@@ -1,0 +1,42 @@
+#ifndef TERMILOG_CORE_DELTA_H_
+#define TERMILOG_CORE_DELTA_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dual_builder.h"
+#include "program/ast.h"
+
+namespace termilog {
+
+/// Chosen delta offsets for the SCC's dependency edges (Section 6.1).
+struct DeltaAssignment {
+  /// Final value of delta_ij per (head pred, subgoal pred) edge: 0 or 1.
+  std::map<std::pair<PredId, PredId>, int64_t> values;
+  /// Edges whose delta was forced to zero by the derived constraints.
+  std::vector<std::pair<PredId, PredId>> forced_zero;
+  /// True when some dependency cycle has total weight <= 0 under `values`
+  /// — "strong evidence of nontermination" in the paper's words; the
+  /// analysis halts for the SCC.
+  bool non_positive_cycle = false;
+  /// A predicate lying on such a cycle (for the report).
+  PredId cycle_witness;
+};
+
+/// Implements the three-step procedure of Section 6.1:
+///  1. force delta_ij = 0 where the derived constraints require it — here
+///     generalized soundly: a row `t.THETA - k*delta + const >= 0` with
+///     k > 0, every theta coefficient <= 0 and const <= 0 cannot hold with
+///     delta = 1 for any THETA >= 0 (the paper's "only zeros in c^T and
+///     a^T" check is the special case);
+///  2. set every other delta (including the self-loops delta_ii) to 1;
+///  3. run the min-plus closure (Floyd) and flag any non-positive cycle.
+DeltaAssignment AssignDeltas(
+    const std::vector<DerivedConstraints>& derived,
+    const std::vector<PredId>& scc_preds);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_CORE_DELTA_H_

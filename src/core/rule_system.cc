@@ -1,0 +1,209 @@
+#include "core/rule_system.h"
+
+#include <utility>
+
+#include "term/size.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+
+std::string RuleSubgoalSystem::ToString(const Program& program) const {
+  std::string out = StrCat("rule #", rule_index, ", subgoal #", subgoal_index,
+                           " (", program.PredName(head_pred), " -> ",
+                           program.PredName(subgoal_pred), ")\n");
+  out += StrCat("phi = (");
+  for (size_t i = 0; i < phi.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += phi[i].name;
+  }
+  out += ")\n";
+  auto dump = [&out](const char* label, const std::vector<Rational>& vec,
+                     const Matrix& mat) {
+    out += StrCat(label, ": constant (");
+    for (size_t i = 0; i < vec.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += vec[i].ToString();
+    }
+    out += ")\n";
+    out += mat.ToString();
+  };
+  dump("x = a + A phi", a, A);
+  dump("y = b + B phi", b, B);
+  dump("0 = c + C phi", c, C);
+  return out;
+}
+
+Result<RuleSubgoalSystem> RuleSystemBuilder::BuildOne(int rule_index,
+                                                      int subgoal_index) const {
+  const Rule& rule = program_.rules()[rule_index];
+  TERMILOG_CHECK(subgoal_index >= 0 &&
+                 subgoal_index < static_cast<int>(rule.body.size()));
+  const Atom& subgoal = rule.body[subgoal_index].atom;
+
+  RuleSubgoalSystem sys;
+  sys.rule_index = rule_index;
+  sys.subgoal_index = subgoal_index;
+  sys.head_pred = rule.head.pred_id();
+  sys.subgoal_pred = subgoal.pred_id();
+
+  auto head_modes = modes_.find(sys.head_pred);
+  auto subgoal_modes = modes_.find(sys.subgoal_pred);
+  if (head_modes == modes_.end() || subgoal_modes == modes_.end()) {
+    return Status::Unsupported(
+        StrCat("no adornment for ", program_.PredName(sys.head_pred), " or ",
+               program_.PredName(sys.subgoal_pred)));
+  }
+  for (size_t i = 0; i < head_modes->second.size(); ++i) {
+    if (head_modes->second[i] == Mode::kBound) {
+      sys.head_bound_args.push_back(static_cast<int>(i));
+    }
+  }
+  for (size_t i = 0; i < subgoal_modes->second.size(); ++i) {
+    if (subgoal_modes->second[i] == Mode::kBound) {
+      sys.subgoal_bound_args.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Imported feasibility constraints from positive subgoals preceding the
+  // recursive one (Appendix D discards negative ones). Each row becomes
+  // 0 = c_m + C_m . phi, with a slack column for inequality rows.
+  struct PendingRow {
+    LinearExpr expr;  // over logical-variable columns
+    bool needs_slack = false;
+  };
+  std::vector<PendingRow> pending;
+  bool unreachable = false;
+  for (int k = 0; k < subgoal_index && !unreachable; ++k) {
+    const Literal& lit = rule.body[k];
+    if (!lit.positive) continue;
+    PredId callee = lit.atom.pred_id();
+    if (!db_.Has(callee)) continue;  // nothing beyond nonnegativity known
+    Polyhedron knowledge = db_.Get(callee);
+    if (knowledge.IsEmpty()) {
+      // The preceding subgoal can never succeed; the recursive call is
+      // unreachable through this rule. Encode with the contradictory
+      // imported row 0 = 1 so the primal is infeasible and the pair is
+      // vacuously satisfied.
+      unreachable = true;
+      break;
+    }
+    std::vector<LinearExpr> images;
+    images.reserve(lit.atom.args.size());
+    for (const TermPtr& arg : lit.atom.args) {
+      images.push_back(StructuralSize(arg));
+    }
+    ConstraintSystem instantiated =
+        knowledge.Instantiate(images, rule.num_vars());
+    for (const Constraint& row : instantiated.rows()) {
+      // Skip rows already implied by phi >= 0.
+      if (row.rel == Relation::kGe && row.constant.sign() >= 0) {
+        bool trivial = true;
+        for (const Rational& coeff : row.coeffs) {
+          if (coeff.sign() < 0) {
+            trivial = false;
+            break;
+          }
+        }
+        if (trivial) continue;
+      }
+      PendingRow p;
+      p.expr = LinearExpr(row.constant);
+      for (int v = 0; v < rule.num_vars(); ++v) {
+        if (!row.coeffs[v].is_zero()) p.expr.SetCoeff(v, row.coeffs[v]);
+      }
+      p.needs_slack = (row.rel == Relation::kGe);
+      pending.push_back(std::move(p));
+    }
+  }
+  if (unreachable) {
+    pending.clear();
+    PendingRow contradiction;
+    contradiction.expr = LinearExpr(Rational(1));
+    pending.push_back(std::move(contradiction));
+  }
+
+  // phi layout: logical variables first, then one slack per inequality.
+  for (int v = 0; v < rule.num_vars(); ++v) {
+    PhiVar var;
+    var.kind = PhiVar::Kind::kLogicalVar;
+    var.logical_var = v;
+    var.name = rule.VarName(v);
+    sys.phi.push_back(std::move(var));
+  }
+  int num_slacks = 0;
+  for (const PendingRow& p : pending) {
+    if (p.needs_slack) ++num_slacks;
+  }
+  for (int s = 0; s < num_slacks; ++s) {
+    PhiVar var;
+    var.kind = PhiVar::Kind::kSlack;
+    var.name = StrCat("s", s + 1);
+    sys.phi.push_back(std::move(var));
+  }
+  const int K = sys.num_phi();
+
+  // a / A from the head's bound arguments.
+  const int nx = static_cast<int>(sys.head_bound_args.size());
+  sys.a.resize(nx);
+  sys.A = Matrix(nx, K);
+  for (int i = 0; i < nx; ++i) {
+    LinearExpr size = StructuralSize(rule.head.args[sys.head_bound_args[i]]);
+    sys.a[i] = size.constant();
+    for (const auto& [var, coeff] : size.coeffs()) {
+      sys.A.At(i, var) = coeff;
+    }
+  }
+  // b / B from the recursive subgoal's bound arguments.
+  const int ny = static_cast<int>(sys.subgoal_bound_args.size());
+  sys.b.resize(ny);
+  sys.B = Matrix(ny, K);
+  for (int j = 0; j < ny; ++j) {
+    LinearExpr size = StructuralSize(subgoal.args[sys.subgoal_bound_args[j]]);
+    sys.b[j] = size.constant();
+    for (const auto& [var, coeff] : size.coeffs()) {
+      sys.B.At(j, var) = coeff;
+    }
+  }
+  TERMILOG_CHECK_MSG(sys.A.AllNonNegative() && sys.B.AllNonNegative(),
+                     "structural sizes must have nonnegative coefficients");
+
+  // c / C from the pending imported rows: 0 = c + C phi, where a kGe
+  // source row expr >= 0 becomes expr - s = 0.
+  const int M = static_cast<int>(pending.size());
+  sys.c.resize(M);
+  sys.C = Matrix(M, K);
+  int slack_col = rule.num_vars();
+  for (int m = 0; m < M; ++m) {
+    const PendingRow& p = pending[m];
+    sys.c[m] = p.expr.constant();
+    for (const auto& [var, coeff] : p.expr.coeffs()) {
+      sys.C.At(m, var) = coeff;
+    }
+    if (p.needs_slack) {
+      sys.C.At(m, slack_col++) = Rational(-1);
+    }
+  }
+  return sys;
+}
+
+Result<std::vector<RuleSubgoalSystem>> RuleSystemBuilder::BuildForScc(
+    const std::set<PredId>& scc_preds) const {
+  std::vector<RuleSubgoalSystem> out;
+  for (size_t r = 0; r < program_.rules().size(); ++r) {
+    const Rule& rule = program_.rules()[r];
+    if (scc_preds.count(rule.head.pred_id()) == 0) continue;
+    for (size_t k = 0; k < rule.body.size(); ++k) {
+      // A recursive subgoal is one whose predicate is in the SCC; a
+      // negative recursive subgoal is treated as if positive (Appendix D).
+      if (scc_preds.count(rule.body[k].atom.pred_id()) == 0) continue;
+      Result<RuleSubgoalSystem> sys =
+          BuildOne(static_cast<int>(r), static_cast<int>(k));
+      if (!sys.ok()) return sys.status();
+      out.push_back(std::move(sys).value());
+    }
+  }
+  return out;
+}
+
+}  // namespace termilog

@@ -1,0 +1,93 @@
+#ifndef TERMILOG_CORE_RULE_SYSTEM_H_
+#define TERMILOG_CORE_RULE_SYSTEM_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "constraints/arg_size_db.h"
+#include "linalg/matrix.h"
+#include "program/ast.h"
+#include "program/modes.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// One column of the paper's phi vector (Eq. 1): the size of a logical
+/// variable of the rule, or a slack variable introduced when an imported
+/// inequality constraint is converted to an equality.
+struct PhiVar {
+  enum class Kind { kLogicalVar, kSlack };
+  Kind kind = Kind::kLogicalVar;
+  int logical_var = -1;  // rule-local variable index for kLogicalVar
+  std::string name;      // display name
+};
+
+/// The linear system of Eq. 1 for one (rule, recursive subgoal) pair:
+///   x = a + A phi     (bound-argument sizes of the head, pred_i)
+///   y = b + B phi     (bound-argument sizes of the recursive subgoal,
+///                      pred_j)
+///   0 = c + C phi     (imported inter-argument feasibility constraints of
+///                      the subgoals preceding the recursive one)
+///   x, y, phi >= 0
+/// a, A, b, B are nonnegative by construction (structural term size).
+struct RuleSubgoalSystem {
+  int rule_index = -1;
+  int subgoal_index = -1;  // position of the recursive subgoal in the body
+  PredId head_pred;
+  PredId subgoal_pred;
+  std::vector<int> head_bound_args;     // bound positions of the head
+  std::vector<int> subgoal_bound_args;  // bound positions of the subgoal
+
+  std::vector<Rational> a;  // nx
+  Matrix A;                 // nx x K
+  std::vector<Rational> b;  // ny
+  Matrix B;                 // ny x K
+  std::vector<Rational> c;  // M
+  Matrix C;                 // M x K
+  std::vector<PhiVar> phi;  // K columns
+
+  int nx() const { return static_cast<int>(a.size()); }
+  int ny() const { return static_cast<int>(b.size()); }
+  int num_imported() const { return static_cast<int>(c.size()); }
+  int num_phi() const { return static_cast<int>(phi.size()); }
+
+  /// Debug rendering of all four blocks.
+  std::string ToString(const Program& program) const;
+};
+
+/// Builds Eq. 1 systems for every (rule, recursive subgoal) combination of
+/// an SCC, per Section 3:
+///  - the recursive subgoals of a rule are the body literals whose
+///    predicate lies in the same SCC as the head (negative ones are treated
+///    as positive, Appendix D);
+///  - imported constraints come from the *positive* subgoals preceding the
+///    recursive one (negative preceding subgoals are discarded, Appendix D),
+///    instantiated from the ArgSizeDb — which, per Section 6.2, already
+///    holds whole-SCC constraints so nonlinear/mutual recursion works.
+class RuleSystemBuilder {
+ public:
+  RuleSystemBuilder(const Program& program,
+                    const std::map<PredId, Adornment>& modes,
+                    const ArgSizeDb& db)
+      : program_(program), modes_(modes), db_(db) {}
+
+  /// All systems for the SCC formed by `scc_preds`. Fails with
+  /// kUnsupported if a needed adornment is missing.
+  Result<std::vector<RuleSubgoalSystem>> BuildForScc(
+      const std::set<PredId>& scc_preds) const;
+
+  /// Builds the system for one rule and one body position (exposed for
+  /// tests mirroring the paper's worked examples).
+  Result<RuleSubgoalSystem> BuildOne(int rule_index, int subgoal_index) const;
+
+ private:
+  const Program& program_;
+  const std::map<PredId, Adornment>& modes_;
+  const ArgSizeDb& db_;
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_CORE_RULE_SYSTEM_H_

@@ -1,0 +1,751 @@
+#include "corpus/corpus.h"
+
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+
+namespace termilog {
+namespace {
+
+std::vector<CorpusEntry> BuildCorpus() {
+  std::vector<CorpusEntry> corpus;
+
+  corpus.push_back({
+      .name = "append",
+      .description = "list concatenation, first argument bound",
+      .source = R"(
+        append([], Ys, Ys).
+        append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+      )",
+      .query = "append(b,f,f)",
+      .validation_queries = {"append([a,b,c,d],[e,f],R)",
+                             "append([],[x],R)", "append([a],[],R)"},
+      .paper_ref = "Section 3 (imported constraint source)",
+  });
+
+  corpus.push_back({
+      .name = "perm",
+      .description = "permutation via double append (paper Example 3.1); "
+                     "needs the 3-variable constraint "
+                     "append1+append2=append3",
+      .source = R"(
+        perm([], []).
+        perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).
+        append([], Ys, Ys).
+        append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+      )",
+      .query = "perm(b,f)",
+      .validation_queries = {"perm([a,b,c],P)", "perm([],P)",
+                             "perm([a,b,c,d],P)"},
+      .paper_ref = "Example 3.1 / 4.1",
+  });
+
+  corpus.push_back({
+      .name = "merge",
+      .description = "order-preserving merge with argument swap (paper "
+                     "Example 5.1); the sum of both bound arguments "
+                     "decreases, no single argument does",
+      .source = R"(
+        merge([], Ys, Ys).
+        merge(Xs, [], Xs).
+        merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).
+        merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).
+      )",
+      .query = "merge(b,b,f)",
+      .validation_queries = {"merge([1,3,5],[2,4],R)", "merge([],[1],R)",
+                             "merge([1,2],[1,2],R)"},
+      .paper_ref = "Example 5.1",
+  });
+
+  corpus.push_back({
+      .name = "expr_parser",
+      .description = "arithmetic expression grammar e/t/n (paper Example "
+                     "6.1): mutual AND nonlinear recursion; needs the "
+                     "same-SCC imported constraint t1 >= 2 + t2",
+      .source = R"(
+        e(L, T) :- t(L, ['+'|C]), e(C, T).
+        e(L, T) :- t(L, T).
+        t(L, T) :- n(L, ['*'|C]), t(C, T).
+        t(L, T) :- n(L, T).
+        n(['('|A], T) :- e(A, [')'|T]).
+        n([L|T], T) :- z(L).
+      )",
+      .query = "e(b,f)",
+      .validation_queries = {"e([x,'+',y],T)", "e([x],T)",
+                             "e(['(',x,'*',y,')','+',z],T)"},
+      .paper_ref = "Example 6.1",
+  });
+
+  corpus.push_back({
+      .name = "example_a1",
+      .description = "apparent mutual recursion with unchanged argument "
+                     "size (paper Example A.1); provable only after safe "
+                     "unfolding + predicate splitting",
+      .source = R"(
+        p(g(X)) :- e(X).
+        p(g(X)) :- q(f(X)).
+        q(Y) :- p(Y).
+        q(f(Z)) :- p(Z), q(Z).
+      )",
+      .query = "p(b)",
+      .needs_transformations = true,
+      .validation_queries = {"p(g(a))", "p(g(f(g(a))))"},
+      .paper_ref = "Example A.1",
+  });
+
+  corpus.push_back({
+      .name = "example_a1_raw",
+      .description = "Example A.1 without the Appendix A transformations: "
+                     "the paper notes the method fails on the raw form",
+      .source = R"(
+        p(g(X)) :- e(X).
+        p(g(X)) :- q(f(X)).
+        q(Y) :- p(Y).
+        q(f(Z)) :- p(Z), q(Z).
+      )",
+      .query = "p(b)",
+      .expect_proved = false,
+      .validation_queries = {"p(g(a))"},
+      .paper_ref = "Example A.1 (raw)",
+  });
+
+  corpus.push_back({
+      .name = "naive_reverse",
+      .description = "reverse via append; the append subgoal follows the "
+                     "recursive call and contributes nothing",
+      .source = R"(
+        rev([], []).
+        rev([X|Xs], R) :- rev(Xs, T), append(T, [X], R).
+        append([], Ys, Ys).
+        append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+      )",
+      .query = "rev(b,f)",
+      .validation_queries = {"rev([a,b,c,d],R)", "rev([],R)"},
+  });
+
+  corpus.push_back({
+      .name = "reverse_accumulator",
+      .description = "accumulator reverse; classic single-argument descent",
+      .source = R"(
+        rev(Xs, R) :- ra(Xs, [], R).
+        ra([], A, A).
+        ra([X|Xs], A, R) :- ra(Xs, [X|A], R).
+      )",
+      .query = "rev(b,f)",
+      .validation_queries = {"rev([a,b,c],R)", "rev([],R)"},
+  });
+
+  corpus.push_back({
+      .name = "list_length",
+      .description = "length with successor naturals",
+      .source = R"(
+        len([], z).
+        len([X|Xs], s(N)) :- len(Xs, N).
+      )",
+      .query = "len(b,f)",
+      .validation_queries = {"len([a,b,c],N)", "len([],N)"},
+  });
+
+  corpus.push_back({
+      .name = "quicksort",
+      .description = "quicksort: nonlinear recursion needing the partition "
+                     "constraint part2 = part3 + part4",
+      .source = R"(
+        qs([], []).
+        qs([X|Xs], S) :-
+            part(X, Xs, L, G), qs(L, SL), qs(G, SG),
+            append(SL, [X|SG], S).
+        part(P, [], [], []).
+        part(P, [X|Xs], [X|L], G) :- X =< P, part(P, Xs, L, G).
+        part(P, [X|Xs], L, [X|G]) :- P < X, part(P, Xs, L, G).
+        append([], Ys, Ys).
+        append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+      )",
+      .query = "qs(b,f)",
+      .validation_queries = {"qs([3,1,2],S)", "qs([],S)",
+                             "qs([5,4,3,2,1],S)", "qs([2,2,1],S)"},
+  });
+
+  corpus.push_back({
+      .name = "mergesort",
+      .description = "mergesort with an eager head split; both recursive "
+                     "calls are on strictly smaller cons cells",
+      .source = R"(
+        ms([], []).
+        ms([X], [X]).
+        ms([X,Y|Zs], S) :-
+            split(Zs, Xs, Ys), ms([X|Xs], S1), ms([Y|Ys], S2),
+            merge(S1, S2, S).
+        split([], [], []).
+        split([X|Xs], [X|Ys], Zs) :- split(Xs, Zs, Ys).
+        merge([], Ys, Ys).
+        merge(Xs, [], Xs).
+        merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).
+        merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).
+      )",
+      .query = "ms(b,f)",
+      .validation_queries = {"ms([3,1,2],S)", "ms([],S)", "ms([2,1],S)",
+                             "ms([4,3,2,1],S)"},
+  });
+
+  corpus.push_back({
+      .name = "mergesort_opaque",
+      .description = "mergesort with an opaque split(L,A,B): termination "
+                     "needs the DISJUNCTIVE fact |A| < |L| when |L| >= 2, "
+                     "which no conjunction of linear constraints captures "
+                     "-- a Section 7 limitation",
+      .source = R"(
+        ms([], []).
+        ms([X], [X]).
+        ms([X,Y|Zs], S) :-
+            split([X,Y|Zs], A, B), ms(A, S1), ms(B, S2),
+            merge(S1, S2, S).
+        split([], [], []).
+        split([X|Xs], [X|Ys], Zs) :- split(Xs, Zs, Ys).
+        merge([], Ys, Ys).
+        merge(Xs, [], Xs).
+        merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).
+        merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).
+      )",
+      .query = "ms(b,f)",
+      .terminating = true,
+      .expect_proved = false,
+      .validation_queries = {"ms([3,1,2],S)", "ms([2,1],S)"},
+      .paper_ref = "Section 7 (limitations)",
+  });
+
+  corpus.push_back({
+      .name = "hanoi",
+      .description = "towers of hanoi on successor naturals; nonlinear "
+                     "recursion, single decreasing argument",
+      .source = R"(
+        hanoi(z, A, B, C).
+        hanoi(s(N), A, B, C) :- hanoi(N, A, C, B), hanoi(N, C, B, A).
+      )",
+      .query = "hanoi(b,b,b,b)",
+      .validation_queries = {"hanoi(s(s(s(z))), a, b, c)",
+                             "hanoi(z, a, b, c)"},
+  });
+
+  corpus.push_back({
+      .name = "tree_flatten",
+      .description = "flatten a binary tree into a list",
+      .source = R"(
+        flat(leaf(X), [X]).
+        flat(node(L, R), F) :- flat(L, FL), flat(R, FR), append(FL, FR, F).
+        append([], Ys, Ys).
+        append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+      )",
+      .query = "flat(b,f)",
+      .validation_queries = {"flat(node(leaf(a),node(leaf(b),leaf(c))),F)",
+                             "flat(leaf(x),F)"},
+  });
+
+  corpus.push_back({
+      .name = "tree_member",
+      .description = "membership in a binary tree, tree bound",
+      .source = R"(
+        tmem(X, node(X, L, R)).
+        tmem(X, node(Y, L, R)) :- tmem(X, L).
+        tmem(X, node(Y, L, R)) :- tmem(X, R).
+      )",
+      .query = "tmem(f,b)",
+      .validation_queries =
+          {"tmem(M, node(a, node(b, node(d, leaf, leaf), leaf), "
+           "node(c, leaf, leaf)))"},
+  });
+
+  corpus.push_back({
+      .name = "subsequence",
+      .description = "subsequence with the SECOND argument bound; the "
+                     "first is free",
+      .source = R"(
+        subseq([], []).
+        subseq([X|T], [X|S]) :- subseq(T, S).
+        subseq(T, [X|S]) :- subseq(T, S).
+      )",
+      .query = "subseq(f,b)",
+      .validation_queries = {"subseq(T, [a,b,c])", "subseq(T, [])"},
+  });
+
+  corpus.push_back({
+      .name = "even_odd",
+      .description = "mutual recursion on successor naturals",
+      .source = R"(
+        even(z).
+        even(s(N)) :- odd(N).
+        odd(s(N)) :- even(N).
+      )",
+      .query = "even(b)",
+      .validation_queries = {"even(s(s(s(s(z)))))", "even(s(z))",
+                             "even(z)"},
+  });
+
+  corpus.push_back({
+      .name = "gcd_subtract",
+      .description = "subtraction-based gcd; the bound-argument SUM "
+                     "decreases via the 3-variable constraint "
+                     "minus1 = minus2 + minus3",
+      .source = R"(
+        minus(X, z, X).
+        minus(s(X), s(Y), Z) :- minus(X, Y, Z).
+        leq(z, Y).
+        leq(s(X), s(Y)) :- leq(X, Y).
+        gcd(X, z, X).
+        gcd(z, Y, Y).
+        gcd(s(X), s(Y), G) :- leq(X, Y), minus(Y, X, D), gcd(s(X), D, G).
+        gcd(s(X), s(Y), G) :- leq(s(Y), X), minus(X, Y, D), gcd(D, s(Y), G).
+      )",
+      .query = "gcd(b,b,f)",
+      .validation_queries = {"gcd(s(s(s(s(z)))), s(s(z)), G)",
+                             "gcd(s(s(z)), s(s(s(z))), G)",
+                             "gcd(s(z), s(z), G)"},
+  });
+
+  corpus.push_back({
+      .name = "ackermann",
+      .description = "Ackermann's function: terminating (lexicographic), "
+                     "but NO linear combination of bound argument sizes "
+                     "decreases -- a documented limit of the method",
+      .source = R"(
+        ack(z, N, s(N)).
+        ack(s(M), z, R) :- ack(M, s(z), R).
+        ack(s(M), s(N), R) :- ack(s(M), N, R1), ack(M, R1, R).
+      )",
+      .query = "ack(b,b,f)",
+      .terminating = true,
+      .expect_proved = false,
+      .validation_queries = {"ack(s(s(z)), s(z), R)", "ack(z, s(z), R)"},
+      .paper_ref = "Section 7 (limitations)",
+  });
+
+  corpus.push_back({
+      .name = "tc_unknown_edb",
+      .description = "transitive closure over an UNKNOWN edge relation: "
+                     "correctly not proved (a cyclic EDB loops forever)",
+      .source = R"(
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Y) :- edge(X, Z), tc(Z, Y).
+      )",
+      .query = "tc(b,f)",
+      .terminating = false,
+      .expect_proved = false,
+      .validation_queries = {},
+  });
+
+  corpus.push_back({
+      .name = "tc_wellfounded_edb",
+      .description = "transitive closure with a SUPPLIED well-founded edge "
+                     "constraint edge1 >= 1 + edge2 (the paper's external "
+                     "EDB constraint mode, Section 8)",
+      .source = R"(
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Y) :- edge(X, Z), tc(Z, Y).
+      )",
+      .query = "tc(b,f)",
+      .supplied_constraints = {{"edge/2", "a1 >= 1 + a2"}},
+      .validation_queries = {},
+  });
+
+  corpus.push_back({
+      .name = "filter_negation",
+      .description = "negative subgoal preceding the recursive call is "
+                     "discarded (Appendix D)",
+      .source = R"(
+        filter([], []).
+        filter([X|Xs], [X|Ys]) :- \+ bad(X), filter(Xs, Ys).
+        filter([X|Xs], Ys) :- bad(X), filter(Xs, Ys).
+        bad(0).
+      )",
+      .query = "filter(b,f)",
+      .validation_queries = {"filter([1,0,2],R)", "filter([],R)"},
+      .paper_ref = "Appendix D",
+  });
+
+  corpus.push_back({
+      .name = "win_negation",
+      .description = "negative RECURSIVE subgoal treated as positive "
+                     "(Appendix D), with a supplied well-founded move "
+                     "relation",
+      .source = R"(
+        win(X) :- move(X, Y), \+ win(Y).
+      )",
+      .query = "win(b)",
+      .supplied_constraints = {{"move/2", "a1 >= 1 + a2"}},
+      .validation_queries = {},
+      .paper_ref = "Appendix D",
+  });
+
+  corpus.push_back({
+      .name = "updown",
+      .description = "bound argument grows by one, then shrinks by two "
+                     "around the cycle: provable only with negative deltas "
+                     "(Appendix C)",
+      .source = R"(
+        a(X) :- b(g(X)).
+        b(g(g(X))) :- a(X).
+      )",
+      .query = "a(b)",
+      .needs_negative_deltas = true,
+      .validation_queries = {"a(g(g(a_const)))", "a(a_const)"},
+      .paper_ref = "Appendix C",
+  });
+
+  corpus.push_back({
+      .name = "updown_integral_only",
+      .description = "the updown program under the default integral deltas "
+                     "of Section 6.1: expected NOT proved",
+      .source = R"(
+        a(X) :- b(g(X)).
+        b(g(g(X))) :- a(X).
+      )",
+      .query = "a(b)",
+      .expect_proved = false,
+      .validation_queries = {"a(a_const)"},
+      .paper_ref = "Appendix C (motivation)",
+  });
+
+  corpus.push_back({
+      .name = "loop_constant",
+      .description = "p :- p: the classic infinite loop; delta is forced "
+                     "to zero on the self-cycle (strong evidence of "
+                     "nontermination)",
+      .source = R"(
+        p :- p.
+      )",
+      .query = "p()",
+      .terminating = false,
+      .expect_proved = false,
+      .validation_queries = {},
+  });
+
+  corpus.push_back({
+      .name = "grow",
+      .description = "q(X) :- q(f(X)): the bound argument grows forever",
+      .source = R"(
+        q(X) :- q(f(X)).
+      )",
+      .query = "q(b)",
+      .terminating = false,
+      .expect_proved = false,
+      .validation_queries = {},
+  });
+
+  corpus.push_back({
+      .name = "swap_forever",
+      .description = "recursive call swaps two bound arguments without "
+                     "consuming anything: nonterminating, delta forced to "
+                     "zero",
+      .source = R"(
+        m([X|Xs], Ys, Zs) :- m(Ys, [X|Xs], Zs).
+        m([], [], done).
+      )",
+      .query = "m(b,b,f)",
+      .terminating = false,
+      .expect_proved = false,
+      .validation_queries = {},
+  });
+
+  corpus.push_back({
+      .name = "select",
+      .description = "nondeterministic selection; second argument bound",
+      .source = R"(
+        select(X, [X|Xs], Xs).
+        select(X, [Y|Ys], [Y|Zs]) :- select(X, Ys, Zs).
+      )",
+      .query = "select(f,b,f)",
+      .validation_queries = {"select(M, [a,b,c], R)", "select(M, [], R)"},
+  });
+
+  corpus.push_back({
+      .name = "insertion_sort",
+      .description = "insertion sort; two nested SCCs, ordered insertion",
+      .source = R"(
+        isort([], []).
+        isort([X|Xs], S) :- isort(Xs, T), insert(X, T, S).
+        insert(X, [], [X]).
+        insert(X, [Y|Ys], [X,Y|Ys]) :- X =< Y.
+        insert(X, [Y|Ys], [Y|Zs]) :- Y < X, insert(X, Ys, Zs).
+      )",
+      .query = "isort(b,f)",
+      .validation_queries = {"isort([3,1,2],S)", "isort([],S)",
+                             "isort([2,1,3,1],S)"},
+  });
+
+  corpus.push_back({
+      .name = "tree_insert",
+      .description = "binary search tree insertion; tree argument descends",
+      .source = R"(
+        tins(X, leaf, node(X, leaf, leaf)).
+        tins(X, node(Y, L, R), node(Y, L1, R)) :- X < Y, tins(X, L, L1).
+        tins(X, node(Y, L, R), node(Y, L, R1)) :- Y =< X, tins(X, R, R1).
+      )",
+      .query = "tins(b,b,f)",
+      .validation_queries =
+          {"tins(2, node(3, node(1, leaf, leaf), leaf), T)",
+           "tins(5, leaf, T)"},
+  });
+
+  corpus.push_back({
+      .name = "deriv",
+      .description = "symbolic differentiation; nonlinear structural "
+                     "descent on the expression tree",
+      .source = R"(
+        deriv(x, n1).
+        deriv(num(N), n0).
+        deriv(plus(U, V), plus(DU, DV)) :- deriv(U, DU), deriv(V, DV).
+        deriv(times(U, V), plus(times(DU, V), times(U, DV))) :-
+            deriv(U, DU), deriv(V, DV).
+      )",
+      .query = "deriv(b,f)",
+      .validation_queries = {"deriv(times(plus(x, num(2)), x), D)",
+                             "deriv(x, D)"},
+  });
+
+  corpus.push_back({
+      .name = "nnf",
+      .description = "negation normal form: the recursive argument is NOT "
+                     "a subterm (not(A) vs not(and(A,B))) but its size "
+                     "decreases",
+      .source = R"(
+        nnf(lit(X), lit(X)).
+        nnf(and(A, B), and(NA, NB)) :- nnf(A, NA), nnf(B, NB).
+        nnf(or(A, B), or(NA, NB)) :- nnf(A, NA), nnf(B, NB).
+        nnf(not(and(A, B)), or(NA, NB)) :- nnf(not(A), NA), nnf(not(B), NB).
+        nnf(not(or(A, B)), and(NA, NB)) :- nnf(not(A), NA), nnf(not(B), NB).
+        nnf(not(not(A)), N) :- nnf(A, N).
+        nnf(not(lit(X)), nlit(X)).
+      )",
+      .query = "nnf(b,f)",
+      .validation_queries =
+          {"nnf(not(and(lit(p), not(or(lit(q), lit(r))))), N)",
+           "nnf(not(not(lit(p))), N)"},
+  });
+
+  corpus.push_back({
+      .name = "add_mul",
+      .description = "successor addition and multiplication; the add after "
+                     "the recursive mul call contributes nothing",
+      .source = R"(
+        add(z, Y, Y).
+        add(s(X), Y, s(Z)) :- add(X, Y, Z).
+        mul(z, Y, z).
+        mul(s(X), Y, Z) :- mul(X, Y, W), add(W, Y, Z).
+      )",
+      .query = "mul(b,b,f)",
+      .validation_queries = {"mul(s(s(z)), s(s(s(z))), P)",
+                             "mul(z, s(z), P)"},
+  });
+
+  corpus.push_back({
+      .name = "fibonacci",
+      .description = "naive Fibonacci on successor naturals; nonlinear "
+                     "recursion with two different descents",
+      .source = R"(
+        add(z, Y, Y).
+        add(s(X), Y, s(Z)) :- add(X, Y, Z).
+        fib(z, s(z)).
+        fib(s(z), s(z)).
+        fib(s(s(N)), F) :- fib(s(N), F1), fib(N, F2), add(F1, F2, F).
+      )",
+      .query = "fib(b,f)",
+      .validation_queries = {"fib(s(s(s(s(s(z))))), F)", "fib(z, F)"},
+  });
+
+  corpus.push_back({
+      .name = "log2_halving",
+      .description = "logarithmic recursion through halving: termination "
+                     "needs the RATIONAL-coefficient imported constraint "
+                     "2*half2 <= half1 <= 2*half2 + 1",
+      .source = R"(
+        half(z, z).
+        half(s(z), z).
+        half(s(s(X)), s(Y)) :- half(X, Y).
+        log2(s(z), z).
+        log2(s(s(X)), s(L)) :- half(s(s(X)), H), log2(H, L).
+      )",
+      .query = "log2(b,f)",
+      .validation_queries = {"log2(s(s(s(s(s(s(s(s(z)))))))), L)",
+                             "log2(s(z), L)"},
+  });
+
+  corpus.push_back({
+      .name = "zip",
+      .description = "pairwise zip of two bound lists",
+      .source = R"(
+        zip([], [], []).
+        zip([X|Xs], [Y|Ys], [X,Y|Zs]) :- zip(Xs, Ys, Zs).
+      )",
+      .query = "zip(b,b,f)",
+      .validation_queries = {"zip([a,b],[1,2],Z)", "zip([],[],Z)"},
+  });
+
+  corpus.push_back({
+      .name = "flatten_accumulator",
+      .description = "tree flattening with an accumulator (difference-list "
+                     "style); only the first argument is consumed",
+      .source = R"(
+        flat(leaf(X), A, [X|A]).
+        flat(node(L, R), A, F) :- flat(R, A, F1), flat(L, F1, F).
+      )",
+      .query = "flat(b,f,f)",
+      .validation_queries =
+          {"flat(node(node(leaf(a),leaf(b)),leaf(c)), [], F)",
+           "flat(leaf(x), [], F)"},
+  });
+
+  corpus.push_back({
+      .name = "dutch_flag",
+      .description = "three-way partition plus two appends; the partition "
+                     "invariant a1 = a2 + a3 + a4 is inferred",
+      .source = R"(
+        dutch(Xs, S) :- part3(Xs, Rs, Ws, Bs), append(Rs, Ws, RW),
+                        append(RW, Bs, S).
+        part3([], [], [], []).
+        part3([r|Xs], [r|Rs], Ws, Bs) :- part3(Xs, Rs, Ws, Bs).
+        part3([w|Xs], Rs, [w|Ws], Bs) :- part3(Xs, Rs, Ws, Bs).
+        part3([b|Xs], Rs, Ws, [b|Bs]) :- part3(Xs, Rs, Ws, Bs).
+        append([], Ys, Ys).
+        append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+      )",
+      .query = "dutch(b,f)",
+      .validation_queries = {"dutch([w,r,b,r,w], S)", "dutch([], S)"},
+  });
+
+  corpus.push_back({
+      .name = "boolean_eval",
+      .description = "boolean formula evaluator; nonlinear structural "
+                     "descent with lookup predicates",
+      .source = R"(
+        beval(t, t).
+        beval(f, f).
+        beval(and(X, Y), V) :- beval(X, VX), beval(Y, VY), andv(VX, VY, V).
+        beval(or(X, Y), V) :- beval(X, VX), beval(Y, VY), orv(VX, VY, V).
+        beval(neg(X), V) :- beval(X, VX), negv(VX, V).
+        andv(t, t, t). andv(t, f, f). andv(f, t, f). andv(f, f, f).
+        orv(f, f, f). orv(t, f, t). orv(f, t, t). orv(t, t, t).
+        negv(t, f). negv(f, t).
+      )",
+      .query = "beval(b,f)",
+      .validation_queries = {"beval(and(t, neg(f)), V)",
+                             "beval(or(neg(t), f), V)"},
+  });
+
+  corpus.push_back({
+      .name = "sum_list",
+      .description = "fold a list of successor naturals with addition "
+                     "after the recursive call",
+      .source = R"(
+        add(z, Y, Y).
+        add(s(X), Y, s(Z)) :- add(X, Y, Z).
+        suml([], z).
+        suml([X|Xs], S) :- suml(Xs, T), add(X, T, S).
+      )",
+      .query = "suml(b,f)",
+      .validation_queries = {"suml([s(z), s(s(z)), z], S)", "suml([], S)"},
+  });
+
+  corpus.push_back({
+      .name = "max_list",
+      .description = "maximum of a list via pairwise comparison",
+      .source = R"(
+        leq(z, Y).
+        leq(s(X), s(Y)) :- leq(X, Y).
+        max2(X, Y, Y) :- leq(X, Y).
+        max2(X, Y, X) :- leq(Y, X).
+        maxl([X], X).
+        maxl([X|Xs], M) :- maxl(Xs, N), max2(X, N, M).
+      )",
+      .query = "maxl(b,f)",
+      .validation_queries = {"maxl([s(z), s(s(s(z))), s(s(z))], M)",
+                             "maxl([z], M)"},
+  });
+
+  corpus.push_back({
+      .name = "power",
+      .description = "exponentiation by repeated multiplication; the "
+                     "exponent descends",
+      .source = R"(
+        add(z, Y, Y).
+        add(s(X), Y, s(Z)) :- add(X, Y, Z).
+        mul(z, Y, z).
+        mul(s(X), Y, Z) :- mul(X, Y, W), add(W, Y, Z).
+        pow(X, z, s(z)).
+        pow(X, s(N), P) :- pow(X, N, Q), mul(Q, X, P).
+      )",
+      .query = "pow(b,b,f)",
+      .validation_queries = {"pow(s(s(z)), s(s(s(z))), P)",
+                             "pow(s(z), z, P)"},
+  });
+
+  corpus.push_back({
+      .name = "weave",
+      .description = "interleave two lists by swapping them on every call: "
+                     "only the bound-argument SUM decreases (Example 5.1's "
+                     "pattern without comparisons)",
+      .source = R"(
+        weave([], Ys, Ys).
+        weave([X|Xs], Ys, [X|Zs]) :- weave(Ys, Xs, Zs).
+      )",
+      .query = "weave(b,b,f)",
+      .validation_queries = {"weave([a,c,e], [b,d], W)", "weave([], [], W)"},
+  });
+
+  corpus.push_back({
+      .name = "flip_forever",
+      .description = "f(X,Y) :- f(Y,X): pure argument swap, diverges",
+      .source = R"(
+        f(X, Y) :- f(Y, X).
+      )",
+      .query = "f(b,b)",
+      .terminating = false,
+      .expect_proved = false,
+      .validation_queries = {},
+  });
+
+  corpus.push_back({
+      .name = "perm_unbound",
+      .description = "perm with the recursive list built from an UNBOUND "
+                     "source: the head argument is unrelated to the "
+                     "recursive one -- diverges",
+      .source = R"(
+        perm2([], []).
+        perm2(P, [X|L]) :- append(E, [X|F], P1), append(E, F, P2),
+                           perm2(P2, L).
+        append([], Ys, Ys).
+        append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+      )",
+      .query = "perm2(b,f)",
+      .terminating = false,
+      .expect_proved = false,
+      .validation_queries = {},
+  });
+
+  corpus.push_back({
+      .name = "double",
+      .description = "structurally doubling output, single descent input",
+      .source = R"(
+        double(z, z).
+        double(s(X), s(s(Y))) :- double(X, Y).
+      )",
+      .query = "double(b,f)",
+      .validation_queries = {"double(s(s(s(z))), D)", "double(z, D)"},
+  });
+
+  return corpus;
+}
+
+}  // namespace
+
+const std::vector<CorpusEntry>& Corpus() {
+  static const std::vector<CorpusEntry>& corpus =
+      *new std::vector<CorpusEntry>(BuildCorpus());
+  return corpus;
+}
+
+const CorpusEntry* FindCorpusEntry(const std::string& name) {
+  for (const CorpusEntry& entry : Corpus()) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace termilog

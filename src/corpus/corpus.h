@@ -1,0 +1,50 @@
+#ifndef TERMILOG_CORPUS_CORPUS_H_
+#define TERMILOG_CORPUS_CORPUS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace termilog {
+
+/// One benchmark program with ground truth and expected analyzer outcomes.
+/// The corpus contains the paper's four worked examples (3.1, 5.1, 6.1,
+/// A.1) plus classical logic programs from the termination-analysis
+/// literature, including programs the method provably cannot handle
+/// (Section 7 limitations) and nonterminating programs.
+struct CorpusEntry {
+  std::string name;
+  std::string description;
+  /// Program text in the library's Prolog subset.
+  std::string source;
+  /// Entry query spec, e.g. "perm(b,f)".
+  std::string query;
+  /// Ground truth: does top-down execution of well-moded instances of the
+  /// query terminate?
+  bool terminating = true;
+  /// Expected analyzer verdict with the entry's options (the method is a
+  /// sufficient condition: terminating && !expect_proved is a documented
+  /// limitation, not a bug).
+  bool expect_proved = true;
+  /// Run the Appendix A transformation pipeline first.
+  bool needs_transformations = false;
+  /// Enable the Appendix C negative-delta mode.
+  bool needs_negative_deltas = false;
+  /// User-supplied inter-argument constraints ("pred/arity", spec).
+  std::vector<std::pair<std::string, std::string>> supplied_constraints;
+  /// Concrete ground(ish) queries for SLD validation (experiment E8); all
+  /// must exhaust their search tree when `terminating`.
+  std::vector<std::string> validation_queries;
+  /// Which paper artifact this reproduces, if any ("Example 3.1").
+  std::string paper_ref;
+};
+
+/// The built-in corpus (stable order).
+const std::vector<CorpusEntry>& Corpus();
+
+/// Lookup by name; nullptr if absent.
+const CorpusEntry* FindCorpusEntry(const std::string& name);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_CORPUS_CORPUS_H_

@@ -1,0 +1,206 @@
+#include "fm/fourier_motzkin.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "lp/simplex.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// Combines a positive-coefficient and a negative-coefficient kGe row so the
+// eliminated variable cancels. Both multipliers are positive, preserving
+// the inequality direction.
+Constraint CombineGe(const Constraint& pos, const Constraint& neg, int var) {
+  const Rational& p = pos.coeffs[var];
+  const Rational& q = neg.coeffs[var];
+  TERMILOG_CHECK(p.sign() > 0 && q.sign() < 0);
+  Constraint out;
+  out.rel = Relation::kGe;
+  out.coeffs.resize(pos.coeffs.size());
+  Rational mp = -q;  // > 0, multiplier for pos
+  const Rational& mq = p;  // > 0, multiplier for neg
+  for (size_t i = 0; i < out.coeffs.size(); ++i) {
+    out.coeffs[i] = pos.coeffs[i] * mp + neg.coeffs[i] * mq;
+  }
+  out.constant = pos.constant * mp + neg.constant * mq;
+  TERMILOG_CHECK(out.coeffs[var].is_zero());
+  return out;
+}
+
+// Substitutes an equality row (pivot) into `row` so that `row` no longer
+// mentions x_var. The pivot is scaled by a signed factor, which is legal
+// because it is an equality.
+Constraint SubstituteEq(const Constraint& row, const Constraint& pivot,
+                        int var) {
+  const Rational& c = row.coeffs[var];
+  if (c.is_zero()) return row;
+  Rational factor = -(c / pivot.coeffs[var]);
+  Constraint out = row;
+  for (size_t i = 0; i < out.coeffs.size(); ++i) {
+    out.coeffs[i] = out.coeffs[i] + pivot.coeffs[i] * factor;
+  }
+  out.constant = out.constant + pivot.constant * factor;
+  TERMILOG_CHECK(out.coeffs[var].is_zero());
+  return out;
+}
+
+}  // namespace
+
+Status FourierMotzkin::EliminateVariable(ConstraintSystem* system, int var,
+                                         const FmOptions& options) {
+  TERMILOG_CHECK(var >= 0 && var < system->num_vars());
+
+  // Prefer a Gaussian step on an equality row mentioning the variable.
+  int pivot_index = -1;
+  for (size_t i = 0; i < system->rows().size(); ++i) {
+    const Constraint& row = system->rows()[i];
+    if (row.rel == Relation::kEq && !row.coeffs[var].is_zero()) {
+      pivot_index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (pivot_index >= 0) {
+    Constraint pivot = system->rows()[pivot_index];
+    std::vector<Constraint> next;
+    next.reserve(system->rows().size() - 1);
+    for (size_t i = 0; i < system->rows().size(); ++i) {
+      if (static_cast<int>(i) == pivot_index) continue;
+      next.push_back(SubstituteEq(system->rows()[i], pivot, var));
+    }
+    system->mutable_rows() = std::move(next);
+    system->Simplify();
+    return Status::Ok();
+  }
+
+  // Plain FM on the inequality rows.
+  std::vector<Constraint> zero, pos, neg;
+  for (const Constraint& row : system->rows()) {
+    int sign = row.coeffs[var].sign();
+    if (sign == 0) {
+      zero.push_back(row);
+    } else if (sign > 0) {
+      pos.push_back(row);
+    } else {
+      neg.push_back(row);
+    }
+  }
+  size_t projected = zero.size() + pos.size() * neg.size();
+  if (projected > options.row_limit) {
+    return Status::ResourceExhausted(
+        StrCat("FM blowup eliminating x", var, ": ", projected, " rows"));
+  }
+  std::vector<Constraint> next = std::move(zero);
+  for (const Constraint& p : pos) {
+    for (const Constraint& n : neg) {
+      next.push_back(CombineGe(p, n, var));
+    }
+  }
+  system->mutable_rows() = std::move(next);
+  system->Simplify();
+  if (options.lp_prune && system->size() > options.lp_prune_threshold) {
+    LpPruneRedundant(system);
+  }
+  return Status::Ok();
+}
+
+Result<ConstraintSystem> FourierMotzkin::Project(
+    const ConstraintSystem& system, const std::vector<int>& keep,
+    const FmOptions& options) {
+  std::vector<bool> keep_mask(system.num_vars(), false);
+  for (int var : keep) {
+    TERMILOG_CHECK(var >= 0 && var < system.num_vars());
+    keep_mask[var] = true;
+  }
+  ConstraintSystem work = system;
+  work.Simplify();
+
+  // Repeatedly eliminate the cheapest remaining variable: equality pivots
+  // are free, otherwise minimize the pos*neg pairing growth.
+  while (true) {
+    int best_var = -1;
+    long best_cost = -1;
+    bool best_is_eq = false;
+    std::vector<int> pos_count(work.num_vars(), 0);
+    std::vector<int> neg_count(work.num_vars(), 0);
+    std::vector<bool> in_eq(work.num_vars(), false);
+    std::vector<bool> used(work.num_vars(), false);
+    for (const Constraint& row : work.rows()) {
+      for (int v = 0; v < work.num_vars(); ++v) {
+        int sign = row.coeffs[v].sign();
+        if (sign == 0) continue;
+        used[v] = true;
+        if (row.rel == Relation::kEq) {
+          in_eq[v] = true;
+        } else if (sign > 0) {
+          ++pos_count[v];
+        } else {
+          ++neg_count[v];
+        }
+      }
+    }
+    for (int v = 0; v < work.num_vars(); ++v) {
+      if (keep_mask[v] || !used[v]) continue;
+      long cost;
+      bool is_eq = in_eq[v];
+      if (is_eq) {
+        cost = 0;
+      } else {
+        cost = static_cast<long>(pos_count[v]) * neg_count[v] -
+               pos_count[v] - neg_count[v];
+      }
+      if (best_var < 0 || (is_eq && !best_is_eq) ||
+          (is_eq == best_is_eq && cost < best_cost)) {
+        best_var = v;
+        best_cost = cost;
+        best_is_eq = is_eq;
+      }
+    }
+    if (best_var < 0) break;
+    Status status = EliminateVariable(&work, best_var, options);
+    if (!status.ok()) return status;
+  }
+
+  // Compact columns to the keep order.
+  ConstraintSystem out(static_cast<int>(keep.size()));
+  for (const Constraint& row : work.rows()) {
+    Constraint compact;
+    compact.rel = row.rel;
+    compact.constant = row.constant;
+    compact.coeffs.resize(keep.size());
+    for (size_t i = 0; i < keep.size(); ++i) {
+      compact.coeffs[i] = row.coeffs[keep[i]];
+    }
+    out.Add(std::move(compact));
+  }
+  out.Simplify();
+  return out;
+}
+
+void FourierMotzkin::LpPruneRedundant(ConstraintSystem* system) {
+  std::vector<bool> all_free(system->num_vars(), true);
+  // Iterate from the end so erase indices stay valid.
+  for (size_t i = system->rows().size(); i-- > 0;) {
+    const Constraint row = system->rows()[i];
+    if (row.rel == Relation::kEq) continue;
+    ConstraintSystem rest(system->num_vars());
+    for (size_t j = 0; j < system->rows().size(); ++j) {
+      if (j != i) rest.Add(system->rows()[j]);
+    }
+    // Redundant iff min(coeffs.x) over `rest` satisfies min + constant >= 0.
+    LpResult lp = SimplexSolver::Minimize(rest, row.coeffs, all_free);
+    bool redundant = false;
+    if (lp.status == LpStatus::kInfeasible) {
+      redundant = true;  // empty system entails anything
+    } else if (lp.status == LpStatus::kOptimal) {
+      redundant = (lp.objective + row.constant).sign() >= 0;
+    }
+    if (redundant) {
+      system->mutable_rows().erase(system->mutable_rows().begin() + i);
+    }
+  }
+}
+
+}  // namespace termilog

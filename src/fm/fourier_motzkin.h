@@ -1,0 +1,55 @@
+#ifndef TERMILOG_FM_FOURIER_MOTZKIN_H_
+#define TERMILOG_FM_FOURIER_MOTZKIN_H_
+
+#include <vector>
+
+#include "linalg/constraint.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Tuning knobs for Fourier-Motzkin elimination. The paper (Section 4)
+/// notes FM is "simple and adequate in practice"; the row limit is a safety
+/// valve against its worst-case doubling, and LP-based pruning keeps
+/// intermediate systems minimal on the larger corpus programs.
+struct FmOptions {
+  /// Abort with kResourceExhausted if an elimination step would exceed this
+  /// many rows.
+  size_t row_limit = 50000;
+  /// Run LP-based redundancy pruning when the row count after an
+  /// elimination step exceeds lp_prune_threshold.
+  bool lp_prune = true;
+  size_t lp_prune_threshold = 48;
+};
+
+/// Fourier-Motzkin variable elimination over ConstraintSystem rows.
+/// Variables carry no implicit sign restriction here: nonnegativity, where
+/// wanted, must be present as explicit rows. This matches the dual systems
+/// of Eq. 8/9 where the `w` variables are free.
+class FourierMotzkin {
+ public:
+  /// Eliminates x_var from the system: afterwards no row mentions it (the
+  /// column remains, zeroed). Equality rows are used as substitutions when
+  /// available (Gaussian step); otherwise positive/negative row pairs are
+  /// combined. Returns kResourceExhausted on blowup. The system may become
+  /// trivially infeasible; detect that with Simplify()/LP afterwards.
+  static Status EliminateVariable(ConstraintSystem* system, int var,
+                                  const FmOptions& options = FmOptions());
+
+  /// Projects the system onto the variables in `keep` (in the given order):
+  /// eliminates all others, then rewrites columns so the result has exactly
+  /// keep.size() variables. Elimination order is chosen greedily to
+  /// minimize the pairing product at each step.
+  static Result<ConstraintSystem> Project(const ConstraintSystem& system,
+                                          const std::vector<int>& keep,
+                                          const FmOptions& options =
+                                              FmOptions());
+
+  /// Removes rows entailed by the remaining rows (exact LP check, all
+  /// variables treated as free). Keeps equality rows intact.
+  static void LpPruneRedundant(ConstraintSystem* system);
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_FM_FOURIER_MOTZKIN_H_

@@ -1,0 +1,29 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace termilog {
+
+void Digraph::AddEdge(int from, int to) {
+  TERMILOG_CHECK(from >= 0 && from < num_nodes());
+  TERMILOG_CHECK(to >= 0 && to < num_nodes());
+  std::vector<int>& out = adjacency_[from];
+  if (std::find(out.begin(), out.end(), to) == out.end()) {
+    out.push_back(to);
+  }
+}
+
+bool Digraph::HasEdge(int from, int to) const {
+  TERMILOG_CHECK(from >= 0 && from < num_nodes());
+  const std::vector<int>& out = adjacency_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+const std::vector<int>& Digraph::Successors(int node) const {
+  TERMILOG_CHECK(node >= 0 && node < num_nodes());
+  return adjacency_[node];
+}
+
+}  // namespace termilog

@@ -1,0 +1,30 @@
+#ifndef TERMILOG_GRAPH_DIGRAPH_H_
+#define TERMILOG_GRAPH_DIGRAPH_H_
+
+#include <vector>
+
+namespace termilog {
+
+/// Minimal directed graph over nodes 0..n-1 (adjacency lists, parallel
+/// edges collapse). Used for the predicate dependency graph of Section 2.3:
+/// an arc p -> q for every rule of p with subgoal q.
+class Digraph {
+ public:
+  explicit Digraph(int num_nodes) : adjacency_(num_nodes) {}
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Adds the arc from -> to (idempotent).
+  void AddEdge(int from, int to);
+
+  bool HasEdge(int from, int to) const;
+
+  const std::vector<int>& Successors(int node) const;
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_GRAPH_DIGRAPH_H_

@@ -1,0 +1,51 @@
+#include "graph/minplus.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace termilog {
+
+MinPlusClosure::MinPlusClosure(int num_nodes)
+    : n_(num_nodes),
+      dist_(static_cast<size_t>(num_nodes) * num_nodes, kInfinity) {}
+
+void MinPlusClosure::AddEdge(int from, int to, int64_t weight) {
+  TERMILOG_CHECK(from >= 0 && from < n_ && to >= 0 && to < n_);
+  int64_t& slot = dist_[static_cast<size_t>(from) * n_ + to];
+  slot = std::min(slot, weight);
+}
+
+void MinPlusClosure::Run() {
+  for (int k = 0; k < n_; ++k) {
+    for (int i = 0; i < n_; ++i) {
+      int64_t dik = dist_[static_cast<size_t>(i) * n_ + k];
+      if (dik >= kInfinity) continue;
+      for (int j = 0; j < n_; ++j) {
+        int64_t dkj = dist_[static_cast<size_t>(k) * n_ + j];
+        if (dkj >= kInfinity) continue;
+        int64_t& dij = dist_[static_cast<size_t>(i) * n_ + j];
+        dij = std::min(dij, dik + dkj);
+      }
+    }
+  }
+}
+
+int64_t MinPlusClosure::Distance(int from, int to) const {
+  TERMILOG_CHECK(from >= 0 && from < n_ && to >= 0 && to < n_);
+  return dist_[static_cast<size_t>(from) * n_ + to];
+}
+
+bool MinPlusClosure::HasNonPositiveCycle() const {
+  return NonPositiveCycleNode() >= 0;
+}
+
+int MinPlusClosure::NonPositiveCycleNode() const {
+  for (int i = 0; i < n_; ++i) {
+    int64_t dii = dist_[static_cast<size_t>(i) * n_ + i];
+    if (dii < kInfinity && dii <= 0) return i;
+  }
+  return -1;
+}
+
+}  // namespace termilog

@@ -1,0 +1,43 @@
+#ifndef TERMILOG_GRAPH_MINPLUS_H_
+#define TERMILOG_GRAPH_MINPLUS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace termilog {
+
+/// Min-plus (tropical) closure by Floyd's algorithm, used for the mutual
+/// recursion offsets of Section 6.1: with delta_ij as edge weights, the
+/// termination argument is valid only if every dependency cycle has
+/// positive total weight.
+class MinPlusClosure {
+ public:
+  static constexpr int64_t kInfinity = INT64_MAX / 4;
+
+  /// Initializes an n-node graph with no edges (all distances infinite).
+  explicit MinPlusClosure(int num_nodes);
+
+  /// Sets the weight of edge from -> to to min(current, weight).
+  void AddEdge(int from, int to, int64_t weight);
+
+  /// Runs Floyd's algorithm; call once after all edges are added.
+  void Run();
+
+  /// Shortest-path weight (kInfinity when unreachable). Valid after Run().
+  int64_t Distance(int from, int to) const;
+
+  /// True if some cycle has total weight <= 0, i.e. the delta assignment
+  /// fails to prove progress around that cycle. Valid after Run().
+  bool HasNonPositiveCycle() const;
+
+  /// A witness node lying on a non-positive cycle, or -1.
+  int NonPositiveCycleNode() const;
+
+ private:
+  int n_;
+  std::vector<int64_t> dist_;
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_GRAPH_MINPLUS_H_

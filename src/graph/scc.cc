@@ -1,0 +1,89 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace termilog {
+namespace {
+
+// Iterative Tarjan (explicit stack) so deep recursion in generated
+// programs cannot overflow the C++ stack.
+struct TarjanState {
+  const Digraph& graph;
+  std::vector<int> index;
+  std::vector<int> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<int> stack;
+  std::vector<std::vector<int>> components;
+  int next_index = 0;
+
+  explicit TarjanState(const Digraph& g)
+      : graph(g),
+        index(g.num_nodes(), -1),
+        lowlink(g.num_nodes(), 0),
+        on_stack(g.num_nodes(), false) {}
+
+  void Visit(int root) {
+    // Frames: (node, next successor position).
+    std::vector<std::pair<int, size_t>> frames;
+    frames.emplace_back(root, 0);
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      auto& [node, pos] = frames.back();
+      if (pos < graph.Successors(node).size()) {
+        int succ = graph.Successors(node)[pos++];
+        if (index[succ] < 0) {
+          index[succ] = lowlink[succ] = next_index++;
+          stack.push_back(succ);
+          on_stack[succ] = true;
+          frames.emplace_back(succ, 0);
+        } else if (on_stack[succ]) {
+          lowlink[node] = std::min(lowlink[node], index[succ]);
+        }
+        continue;
+      }
+      if (lowlink[node] == index[node]) {
+        std::vector<int> component;
+        while (true) {
+          int top = stack.back();
+          stack.pop_back();
+          on_stack[top] = false;
+          component.push_back(top);
+          if (top == node) break;
+        }
+        std::sort(component.begin(), component.end());
+        components.push_back(std::move(component));
+      }
+      int finished = node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().first] =
+            std::min(lowlink[frames.back().first], lowlink[finished]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> StronglyConnectedComponents(
+    const Digraph& graph) {
+  TarjanState state(graph);
+  for (int node = 0; node < graph.num_nodes(); ++node) {
+    if (state.index[node] < 0) state.Visit(node);
+  }
+  // Tarjan emits components in reverse topological order already.
+  return std::move(state.components);
+}
+
+bool IsRecursiveComponent(const Digraph& graph,
+                          const std::vector<int>& component) {
+  TERMILOG_CHECK(!component.empty());
+  if (component.size() > 1) return true;
+  return graph.HasEdge(component[0], component[0]);
+}
+
+}  // namespace termilog

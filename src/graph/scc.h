@@ -1,0 +1,26 @@
+#ifndef TERMILOG_GRAPH_SCC_H_
+#define TERMILOG_GRAPH_SCC_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace termilog {
+
+/// Strongly connected components (Tarjan). Components are returned in
+/// reverse topological order of the condensation: a component's successors
+/// (callees, for the dependency graph) appear before it. That is exactly
+/// the order in which the paper analyzes SCCs — lower SCCs first, so their
+/// inter-argument constraints are available (Section 2.3).
+std::vector<std::vector<int>> StronglyConnectedComponents(
+    const Digraph& graph);
+
+/// True when the node set forms a recursive SCC: more than one node, or a
+/// single node with a self-loop. Non-recursive singleton SCCs need no
+/// termination argument.
+bool IsRecursiveComponent(const Digraph& graph,
+                          const std::vector<int>& component);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_GRAPH_SCC_H_

@@ -1,0 +1,159 @@
+#include "interp/bottom_up.h"
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "term/size.h"
+#include "term/unify.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// Canonical structural key for ground-term tuples (fast dedup).
+void AppendKey(const TermPtr& term, std::string* out) {
+  if (term->IsVariable()) {
+    out->append(StrCat("v", term->var_id(), ";"));
+    return;
+  }
+  out->append(StrCat("f", term->functor(), "(", term->arity(), ";"));
+  for (const TermPtr& arg : term->args()) AppendKey(arg, out);
+}
+
+std::string TupleKey(const std::vector<TermPtr>& args) {
+  std::string key;
+  for (const TermPtr& arg : args) AppendKey(arg, &key);
+  return key;
+}
+
+struct FactStore {
+  std::map<PredId, std::vector<std::vector<TermPtr>>> facts;
+  // Facts derived in the previous round (semi-naive deltas); indices into
+  // `facts` so tuples are stored once.
+  std::map<PredId, std::pair<size_t, size_t>> delta_range;
+  std::map<PredId, std::set<std::string>> keys;
+  size_t total = 0;
+
+  bool Insert(const PredId& pred, std::vector<TermPtr> args) {
+    std::string key = TupleKey(args);
+    if (!keys[pred].insert(std::move(key)).second) return false;
+    facts[pred].push_back(std::move(args));
+    ++total;
+    return true;
+  }
+};
+
+// Recursively joins body literals against the store, calling `emit` for
+// every complete substitution. Semi-naive restriction: the literal at
+// `pivot` only matches facts derived in the previous round (its delta),
+// guaranteeing every derivation uses at least one new fact; the first
+// round runs with pivot == npos (full naive pass to seed the store).
+void Join(const Program& program, const FactStore& store, const Rule& rule,
+          size_t position, size_t pivot, const Substitution& subst,
+          const std::function<void(const Substitution&)>& emit) {
+  if (position == rule.body.size()) {
+    emit(subst);
+    return;
+  }
+  const Literal& lit = rule.body[position];
+  // Positive only; negative rules were filtered by the caller.
+  auto it = store.facts.find(lit.atom.pred_id());
+  if (it == store.facts.end()) return;
+  size_t begin = 0, end = it->second.size();
+  if (position == pivot) {
+    auto range = store.delta_range.find(lit.atom.pred_id());
+    if (range == store.delta_range.end()) return;  // empty delta
+    begin = range->second.first;
+    end = range->second.second;
+  }
+  for (size_t f = begin; f < end; ++f) {
+    // Copy (cheap shared_ptr handles): emits may append to this very list
+    // and reallocate it mid-iteration.
+    std::vector<TermPtr> fact = it->second[f];
+    Substitution extended = subst;
+    bool ok = true;
+    for (size_t i = 0; i < fact.size(); ++i) {
+      if (!extended.Unify(lit.atom.args[i], fact[i],
+                          /*occurs_check=*/false)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) Join(program, store, rule, position + 1, pivot, extended, emit);
+  }
+}
+
+}  // namespace
+
+Result<std::map<PredId, std::vector<std::vector<TermPtr>>>>
+BottomUpEvaluator::Evaluate() const {
+  FactStore store;
+  bool truncated = false;
+  // Semi-naive evaluation: round 0 is a full naive pass; subsequent rounds
+  // require one body literal to match a fact from the previous round.
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    size_t before = store.total;
+    // Sizes of fact lists before this round (the end of each delta).
+    std::map<PredId, size_t> list_sizes;
+    for (const auto& [pred, tuples] : store.facts) {
+      list_sizes[pred] = tuples.size();
+    }
+    auto emit = [this, &store, &truncated](const Rule& rule,
+                                           const Substitution& subst) {
+      if (truncated) return;
+      std::vector<TermPtr> head;
+      int64_t total_size = 0;
+      for (const TermPtr& arg : rule.head.args) {
+        TermPtr ground = subst.Apply(arg);
+        if (!ground->IsGround()) return;  // not range-restricted here
+        total_size += GroundSize(ground);
+        head.push_back(std::move(ground));
+      }
+      if (total_size > options_.max_term_size) return;
+      if (store.total >= options_.max_facts) {
+        truncated = true;
+        return;
+      }
+      store.Insert(rule.head.pred_id(), std::move(head));
+    };
+    for (const Rule& rule : program_.rules()) {
+      bool pure = true;
+      for (const Literal& lit : rule.body) {
+        if (!lit.positive) {
+          pure = false;
+          break;
+        }
+      }
+      if (!pure) continue;
+      Substitution empty;
+      if (round == 0 || rule.body.empty()) {
+        if (round > 0) continue;  // facts contribute once
+        Join(program_, store, rule, 0, static_cast<size_t>(-1), empty,
+             [&rule, &emit](const Substitution& s) { emit(rule, s); });
+      } else {
+        for (size_t pivot = 0; pivot < rule.body.size(); ++pivot) {
+          Join(program_, store, rule, 0, pivot, empty,
+               [&rule, &emit](const Substitution& s) { emit(rule, s); });
+        }
+      }
+    }
+    if (truncated) {
+      return Status::ResourceExhausted("bottom-up fact budget exceeded");
+    }
+    if (store.total == before) break;  // fixpoint
+    // The facts appended this round become the next round's deltas.
+    store.delta_range.clear();
+    for (const auto& [pred, tuples] : store.facts) {
+      size_t start = list_sizes.count(pred) ? list_sizes[pred] : 0;
+      if (start < tuples.size()) {
+        store.delta_range[pred] = {start, tuples.size()};
+      }
+    }
+  }
+  return std::move(store.facts);
+}
+
+}  // namespace termilog

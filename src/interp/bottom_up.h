@@ -1,0 +1,53 @@
+#ifndef TERMILOG_INTERP_BOTTOM_UP_H_
+#define TERMILOG_INTERP_BOTTOM_UP_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "program/ast.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Budgets for bounded bottom-up evaluation.
+struct BottomUpOptions {
+  /// Only facts whose total structural size is <= this bound are kept
+  /// (function symbols make the Herbrand base infinite; the bound makes
+  /// the fixpoint finite).
+  int64_t max_term_size = 24;
+  /// Global cap on derived facts.
+  size_t max_facts = 200'000;
+  /// Cap on naive-evaluation rounds.
+  int max_rounds = 64;
+};
+
+/// A derived ground fact.
+struct GroundFact {
+  PredId pred;
+  std::vector<TermPtr> args;
+};
+
+/// Bounded naive bottom-up evaluation of the positive rules of a program
+/// (rules containing negative literals are skipped). Used by experiment E7
+/// to empirically cross-check the [VG90] inference: every derived fact's
+/// argument-size vector must lie inside the predicate's inferred
+/// polyhedron.
+class BottomUpEvaluator {
+ public:
+  explicit BottomUpEvaluator(const Program& program,
+                             BottomUpOptions options = BottomUpOptions())
+      : program_(program), options_(options) {}
+
+  /// Runs to the bounded fixpoint; returns all derived facts grouped by
+  /// predicate. kResourceExhausted if max_facts was hit (results partial).
+  Result<std::map<PredId, std::vector<std::vector<TermPtr>>>> Evaluate() const;
+
+ private:
+  const Program& program_;
+  BottomUpOptions options_;
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_INTERP_BOTTOM_UP_H_

@@ -1,0 +1,217 @@
+#include "interp/sld.h"
+
+#include <optional>
+#include <utility>
+
+#include "program/parser.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+struct SearchState {
+  const SldOptions* options;
+  const Program* program;
+  Atom query;          // original goal; solutions are its instances
+  int64_t steps = 0;
+  int deepest = 0;
+  size_t solutions = 0;
+  std::vector<TermPtr> kept;
+  bool aborted = false;
+  SldOutcome outcome = SldOutcome::kExhausted;
+
+  // Built-in predicate symbols (-1 when not interned by the program).
+  int eq, lt, gt, le, ge, ideq, idneq;
+};
+
+std::optional<int64_t> AsInteger(const Program& program, const TermPtr& term) {
+  if (!term->IsConstant()) return std::nullopt;
+  const std::string& name = program.symbols().Name(term->functor());
+  if (name.empty()) return std::nullopt;
+  size_t start = name[0] == '-' ? 1 : 0;
+  if (start == name.size()) return std::nullopt;
+  int64_t value = 0;
+  for (size_t i = start; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    value = value * 10 + (name[i] - '0');
+  }
+  return start == 1 ? -value : value;
+}
+
+// Depth-first exploration. Returns normally when the subtree was fully
+// explored; sets state->aborted (with an outcome) when a budget tripped.
+void Explore(const std::vector<Literal>& goals, const Substitution& subst,
+             int depth, int* next_var, SearchState* state) {
+  if (state->aborted) return;
+  if (depth > state->deepest) state->deepest = depth;
+  if (depth > state->options->max_depth) {
+    state->aborted = true;
+    state->outcome = SldOutcome::kDepthExceeded;
+    return;
+  }
+  if (goals.empty()) {
+    ++state->solutions;
+    if (state->kept.size() < 64) {
+      TermPtr instance = subst.Apply(
+          Term::MakeCompound(state->query.predicate, state->query.args));
+      state->kept.push_back(std::move(instance));
+    }
+    if (state->options->max_solutions != 0 &&
+        state->solutions >= state->options->max_solutions) {
+      state->aborted = true;
+      state->outcome = SldOutcome::kSolutionLimit;
+    }
+    return;
+  }
+
+  Literal goal = goals.front();
+  std::vector<Literal> rest(goals.begin() + 1, goals.end());
+  const Program& program = *state->program;
+  int pred = goal.atom.predicate;
+
+  // Negation as failure.
+  if (!goal.positive) {
+    SearchState probe = *state;
+    probe.solutions = 0;
+    probe.kept.clear();
+    SldOptions probe_options = *state->options;
+    probe_options.max_solutions = 1;
+    probe.options = &probe_options;
+    Literal positive = goal;
+    positive.positive = true;
+    Explore({positive}, subst, depth + 1, next_var, &probe);
+    state->steps = probe.steps;
+    if (probe.aborted && probe.outcome != SldOutcome::kSolutionLimit) {
+      state->aborted = true;
+      state->outcome = probe.outcome;
+      return;
+    }
+    if (probe.solutions > 0) return;  // \+ fails: branch dies
+    Explore(rest, subst, depth, next_var, state);
+    return;
+  }
+
+  // Built-ins.
+  if (pred == state->eq && goal.atom.args.size() == 2) {
+    Substitution extended = subst;
+    if (extended.Unify(goal.atom.args[0], goal.atom.args[1],
+                       state->options->occurs_check)) {
+      Explore(rest, extended, depth, next_var, state);
+    }
+    return;
+  }
+  if ((pred == state->ideq || pred == state->idneq) &&
+      goal.atom.args.size() == 2) {
+    bool equal = Term::Equal(subst.Apply(goal.atom.args[0]),
+                             subst.Apply(goal.atom.args[1]));
+    if (equal == (pred == state->ideq)) {
+      Explore(rest, subst, depth, next_var, state);
+    }
+    return;
+  }
+  if ((pred == state->lt || pred == state->gt || pred == state->le ||
+       pred == state->ge) &&
+      goal.atom.args.size() == 2) {
+    std::optional<int64_t> lhs =
+        AsInteger(program, subst.Apply(goal.atom.args[0]));
+    std::optional<int64_t> rhs =
+        AsInteger(program, subst.Apply(goal.atom.args[1]));
+    if (!lhs.has_value() || !rhs.has_value()) return;  // not comparable
+    bool holds = pred == state->lt   ? *lhs < *rhs
+                 : pred == state->gt ? *lhs > *rhs
+                 : pred == state->le ? *lhs <= *rhs
+                                     : *lhs >= *rhs;
+    if (holds) Explore(rest, subst, depth, next_var, state);
+    return;
+  }
+
+  // User-defined predicate: try every rule.
+  for (int rule_index : program.RuleIndicesFor(goal.atom.pred_id())) {
+    if (state->aborted) return;
+    if (++state->steps > state->options->max_steps) {
+      state->aborted = true;
+      state->outcome = SldOutcome::kBudgetExhausted;
+      return;
+    }
+    const Rule& rule = program.rules()[rule_index];
+    int offset = *next_var;
+    *next_var += rule.num_vars();
+    Substitution extended = subst;
+    bool unified = true;
+    for (size_t i = 0; i < goal.atom.args.size(); ++i) {
+      TermPtr head_arg = OffsetVariables(rule.head.args[i], offset);
+      if (!extended.Unify(goal.atom.args[i], head_arg,
+                          state->options->occurs_check)) {
+        unified = false;
+        break;
+      }
+    }
+    if (!unified) {
+      *next_var = offset;  // reclaim the renamed variable block
+      continue;
+    }
+    std::vector<Literal> next_goals;
+    next_goals.reserve(rule.body.size() + rest.size());
+    for (const Literal& lit : rule.body) {
+      Literal shifted;
+      shifted.positive = lit.positive;
+      shifted.atom.predicate = lit.atom.predicate;
+      for (const TermPtr& arg : lit.atom.args) {
+        shifted.atom.args.push_back(OffsetVariables(arg, offset));
+      }
+      next_goals.push_back(std::move(shifted));
+    }
+    next_goals.insert(next_goals.end(), rest.begin(), rest.end());
+    Explore(next_goals, extended, depth + 1, next_var, state);
+  }
+}
+
+}  // namespace
+
+SldResult SldInterpreter::Solve(const Atom& goal, int num_vars) const {
+  SearchState state;
+  state.options = &options_;
+  state.program = &program_;
+  state.query = goal;
+  state.eq = program_.symbols().Lookup("=");
+  state.lt = program_.symbols().Lookup("<");
+  state.gt = program_.symbols().Lookup(">");
+  state.le = program_.symbols().Lookup("=<");
+  state.ge = program_.symbols().Lookup(">=");
+  state.ideq = program_.symbols().Lookup("==");
+  state.idneq = program_.symbols().Lookup("\\==");
+
+  int next_var = num_vars;
+  Substitution subst;
+  Literal lit;
+  lit.atom = goal;
+  Explore({lit}, subst, 0, &next_var, &state);
+
+  SldResult result;
+  result.outcome = state.aborted ? state.outcome : SldOutcome::kExhausted;
+  result.num_solutions = state.solutions;
+  result.steps = state.steps;
+  result.deepest = state.deepest;
+  result.solutions = std::move(state.kept);
+  return result;
+}
+
+Result<SldResult> RunQuery(Program& program, std::string_view goal_text,
+                           const SldOptions& options) {
+  std::vector<std::string> var_names;
+  Result<TermPtr> parsed =
+      ParseTerm(goal_text, &program.symbols(), &var_names);
+  if (!parsed.ok()) return parsed.status();
+  const TermPtr& term = *parsed;
+  if (!term->IsCompound()) {
+    return Status::InvalidArgument("query must be a compound goal");
+  }
+  Atom goal;
+  goal.predicate = term->functor();
+  goal.args = term->args();
+  SldInterpreter interp(program, options);
+  return interp.Solve(goal, static_cast<int>(var_names.size()));
+}
+
+}  // namespace termilog

@@ -1,0 +1,74 @@
+#ifndef TERMILOG_INTERP_SLD_H_
+#define TERMILOG_INTERP_SLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "program/ast.h"
+#include "term/unify.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Budgets for the top-down interpreter.
+struct SldOptions {
+  /// Total resolution steps (rule-try attempts) across the whole search.
+  int64_t max_steps = 2'000'000;
+  /// Maximum resolution depth (also bounds the C++ recursion depth of the
+  /// interpreter, so keep it modest).
+  int max_depth = 5'000;
+  /// Stop after this many solutions (0 = exhaust the whole search tree,
+  /// which is what termination validation wants).
+  size_t max_solutions = 0;
+  bool occurs_check = false;
+};
+
+/// How the search ended.
+enum class SldOutcome {
+  kExhausted,       // the whole SLD tree was explored: the query TERMINATED
+  kSolutionLimit,   // stopped early at max_solutions (no termination claim)
+  kBudgetExhausted, // step budget hit: evidence of very deep/infinite search
+  kDepthExceeded,   // depth bound hit: evidence of runaway recursion
+};
+
+struct SldResult {
+  SldOutcome outcome = SldOutcome::kExhausted;
+  size_t num_solutions = 0;
+  int64_t steps = 0;
+  int deepest = 0;
+  /// Ground instances of the query for each solution (capped at 64 kept).
+  std::vector<TermPtr> solutions;
+};
+
+/// A straightforward SLD-resolution (Prolog-strategy: top-down, depth-
+/// first, left-to-right) interpreter. It exists to empirically validate
+/// analyzer verdicts (experiment E8): a PROVED program must exhaust its
+/// search tree on every well-moded query within budget.
+///
+/// Built-ins: `=` (unification), `<`, `>`, `=<`, `>=`, `==`, `\==` over
+/// integer constants, and negation as failure for negative literals.
+/// Unknown predicates simply fail (empty EDB).
+class SldInterpreter {
+ public:
+  explicit SldInterpreter(const Program& program,
+                          SldOptions options = SldOptions())
+      : program_(program), options_(options) {}
+
+  /// Runs the goal (an atom over variables numbered from 0; `num_vars` is
+  /// the number of distinct variables in it).
+  SldResult Solve(const Atom& goal, int num_vars) const;
+
+ private:
+  const Program& program_;
+  SldOptions options_;
+};
+
+/// Convenience: parses a goal like "append([a,b],[c],X)" against the
+/// program's symbol table (non-const: new constants may be interned) and
+/// runs it.
+Result<SldResult> RunQuery(Program& program, std::string_view goal_text,
+                           const SldOptions& options = SldOptions());
+
+}  // namespace termilog
+
+#endif  // TERMILOG_INTERP_SLD_H_

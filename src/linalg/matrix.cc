@@ -1,0 +1,56 @@
+#include "linalg/matrix.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+
+size_t Matrix::Index(int r, int c) const {
+  TERMILOG_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return static_cast<size_t>(r) * cols_ + c;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      out.At(c, r) = At(r, c);
+    }
+  }
+  return out;
+}
+
+std::vector<Rational> Matrix::Apply(const std::vector<Rational>& x) const {
+  TERMILOG_CHECK(static_cast<int>(x.size()) == cols_);
+  std::vector<Rational> out(rows_);
+  for (int r = 0; r < rows_; ++r) {
+    Rational sum;
+    for (int c = 0; c < cols_; ++c) {
+      if (!At(r, c).is_zero()) sum += At(r, c) * x[c];
+    }
+    out[r] = sum;
+  }
+  return out;
+}
+
+bool Matrix::AllNonNegative() const {
+  for (const Rational& v : data_) {
+    if (v.sign() < 0) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::string out;
+  for (int r = 0; r < rows_; ++r) {
+    out += "[ ";
+    for (int c = 0; c < cols_; ++c) {
+      out += At(r, c).ToString();
+      out += " ";
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace termilog

@@ -1,0 +1,47 @@
+#ifndef TERMILOG_LINALG_MATRIX_H_
+#define TERMILOG_LINALG_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "rational/rational.h"
+
+namespace termilog {
+
+/// Dense rational matrix used for the paper's a/A, b/B, c/C blocks (Eq. 1)
+/// and their transposes in the dual system (Eqs. 8-9). Row-major storage.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  const Rational& At(int r, int c) const { return data_[Index(r, c)]; }
+  Rational& At(int r, int c) { return data_[Index(r, c)]; }
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Matrix-vector product; checked width match.
+  std::vector<Rational> Apply(const std::vector<Rational>& x) const;
+
+  /// True when every entry is >= 0 (the paper relies on a, A, b, B >= 0 to
+  /// justify the direct Eq. 9 construction).
+  bool AllNonNegative() const;
+
+  std::string ToString() const;
+
+ private:
+  size_t Index(int r, int c) const;
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<Rational> data_;
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_LINALG_MATRIX_H_

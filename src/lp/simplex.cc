@@ -1,0 +1,284 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace termilog {
+namespace {
+
+// Internal standard-form tableau:
+//   minimize c . z   subject to  T z = rhs,  z >= 0,  rhs >= 0.
+// Columns: [0, n_pos) original-or-split variables, then surplus, then
+// artificial. We run phase 1 (min sum of artificials), drive artificials
+// out, then phase 2 on the real objective. Bland's rule everywhere.
+class Tableau {
+ public:
+  Tableau(int num_cols) : num_cols_(num_cols) {}
+
+  void AddRow(std::vector<Rational> coeffs, Rational rhs) {
+    TERMILOG_CHECK(static_cast<int>(coeffs.size()) == num_cols_);
+    if (rhs.sign() < 0) {
+      for (Rational& c : coeffs) c = -c;
+      rhs = -rhs;
+    }
+    rows_.push_back(std::move(coeffs));
+    rhs_.push_back(std::move(rhs));
+  }
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_cols() const { return num_cols_; }
+
+  // Appends one column per row (identity block) and sets the basis to it.
+  // Returns the index of the first appended column.
+  int AppendIdentityBasis() {
+    int first = num_cols_;
+    num_cols_ += num_rows();
+    for (int r = 0; r < num_rows(); ++r) {
+      rows_[r].resize(num_cols_, Rational());
+      rows_[r][first + r] = Rational(1);
+    }
+    basis_.resize(num_rows());
+    for (int r = 0; r < num_rows(); ++r) basis_[r] = first + r;
+    return first;
+  }
+
+  // Minimizes `objective` (dense over current columns) starting from the
+  // current basis. Returns kOptimal or kUnbounded (or kPivotLimit).
+  // `forbidden` columns may never enter the basis (used to lock artificials
+  // out during phase 2).
+  LpStatus Optimize(const std::vector<Rational>& objective,
+                    const std::vector<bool>& forbidden, int* pivots) {
+    // Maintain the reduced-cost row incrementally: start from the plain
+    // objective and eliminate basic columns.
+    std::vector<Rational> cost = objective;
+    cost.resize(num_cols_, Rational());
+    Rational cost_rhs;  // negative of current objective value offset
+    for (int r = 0; r < num_rows(); ++r) EliminateBasic(r, &cost, &cost_rhs);
+
+    while (true) {
+      if (++*pivots > SimplexSolver::kMaxPivots) return LpStatus::kPivotLimit;
+      // Bland: entering column = smallest index with negative reduced cost.
+      int entering = -1;
+      for (int c = 0; c < num_cols_; ++c) {
+        if (!forbidden.empty() && forbidden[c]) continue;
+        if (cost[c].sign() < 0) {
+          entering = c;
+          break;
+        }
+      }
+      if (entering < 0) {
+        objective_value_ = -cost_rhs;
+        return LpStatus::kOptimal;
+      }
+      // Ratio test; Bland tie-break on basis variable index.
+      int leaving = -1;
+      Rational best_ratio;
+      for (int r = 0; r < num_rows(); ++r) {
+        if (rows_[r][entering].sign() <= 0) continue;
+        Rational ratio = rhs_[r] / rows_[r][entering];
+        if (leaving < 0 || ratio < best_ratio ||
+            (ratio == best_ratio && basis_[r] < basis_[leaving])) {
+          leaving = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leaving < 0) return LpStatus::kUnbounded;
+      Pivot(leaving, entering);
+      EliminateBasic(leaving, &cost, &cost_rhs);
+    }
+  }
+
+  // Gauss-Jordan pivot making column `col` basic in row `row`.
+  void Pivot(int row, int col) {
+    Rational inv = rows_[row][col].Inverse();
+    for (Rational& v : rows_[row]) {
+      if (!v.is_zero()) v *= inv;
+    }
+    rhs_[row] *= inv;
+    for (int r = 0; r < num_rows(); ++r) {
+      if (r == row) continue;
+      Rational factor = rows_[r][col];
+      if (factor.is_zero()) continue;
+      for (int c = 0; c < num_cols_; ++c) {
+        if (!rows_[row][c].is_zero()) {
+          rows_[r][c] -= factor * rows_[row][c];
+        }
+      }
+      rhs_[r] -= factor * rhs_[row];
+    }
+    basis_[row] = col;
+  }
+
+  // After phase 1 at optimum zero: pivot artificial variables out of the
+  // basis, deleting redundant rows that contain no real column.
+  void RemoveArtificials(int first_artificial) {
+    for (int r = 0; r < num_rows();) {
+      if (basis_[r] < first_artificial) {
+        ++r;
+        continue;
+      }
+      int col = -1;
+      for (int c = 0; c < first_artificial; ++c) {
+        if (!rows_[r][c].is_zero()) {
+          col = c;
+          break;
+        }
+      }
+      if (col >= 0) {
+        Pivot(r, col);
+        ++r;
+      } else {
+        // Redundant row (all real coefficients zero; rhs must be zero at
+        // phase-1 optimum). Drop it.
+        TERMILOG_CHECK(rhs_[r].is_zero());
+        rows_.erase(rows_.begin() + r);
+        rhs_.erase(rhs_.begin() + r);
+        basis_.erase(basis_.begin() + r);
+      }
+    }
+    // Physically truncate the artificial columns.
+    for (auto& row : rows_) row.resize(first_artificial);
+    num_cols_ = first_artificial;
+  }
+
+  // Reads the current basic solution into a dense column-space vector.
+  std::vector<Rational> Solution() const {
+    std::vector<Rational> out(num_cols_);
+    for (int r = 0; r < num_rows(); ++r) {
+      if (basis_[r] < num_cols_) out[basis_[r]] = rhs_[r];
+    }
+    return out;
+  }
+
+  const Rational& objective_value() const { return objective_value_; }
+
+ private:
+  // Subtracts multiples of basic row `r` from the cost row so the basic
+  // column's reduced cost becomes zero.
+  void EliminateBasic(int r, std::vector<Rational>* cost,
+                      Rational* cost_rhs) const {
+    int col = basis_[r];
+    Rational factor = (*cost)[col];
+    if (factor.is_zero()) return;
+    for (int c = 0; c < num_cols_; ++c) {
+      if (!rows_[r][c].is_zero()) (*cost)[c] -= factor * rows_[r][c];
+    }
+    *cost_rhs -= factor * rhs_[r];
+  }
+
+  int num_cols_;
+  std::vector<std::vector<Rational>> rows_;
+  std::vector<Rational> rhs_;
+  std::vector<int> basis_;
+  Rational objective_value_;
+};
+
+LpResult SolveMin(const ConstraintSystem& system,
+                  const std::vector<Rational>& objective,
+                  const std::vector<bool>& is_free) {
+  const int n = system.num_vars();
+  TERMILOG_CHECK(objective.empty() ||
+                 static_cast<int>(objective.size()) == n);
+  TERMILOG_CHECK(is_free.empty() || static_cast<int>(is_free.size()) == n);
+
+  // Column layout: for each original variable one column, plus an extra
+  // negative-part column for free variables; then one surplus column per
+  // kGe row.
+  std::vector<int> neg_col(n, -1);
+  int next_col = n;
+  for (int i = 0; i < n; ++i) {
+    if (!is_free.empty() && is_free[i]) neg_col[i] = next_col++;
+  }
+  int first_surplus = next_col;
+  int num_ge = 0;
+  for (const Constraint& row : system.rows()) {
+    if (row.rel == Relation::kGe) ++num_ge;
+  }
+  int total_cols = first_surplus + num_ge;
+
+  Tableau tableau(total_cols);
+  int surplus_index = first_surplus;
+  for (const Constraint& row : system.rows()) {
+    std::vector<Rational> coeffs(total_cols);
+    for (int i = 0; i < n; ++i) {
+      coeffs[i] = row.coeffs[i];
+      if (neg_col[i] >= 0) coeffs[neg_col[i]] = -row.coeffs[i];
+    }
+    if (row.rel == Relation::kGe) {
+      // coeffs.x + constant - s = 0  =>  coeffs.x - s = -constant
+      coeffs[surplus_index++] = Rational(-1);
+    }
+    tableau.AddRow(std::move(coeffs), -row.constant);
+  }
+
+  int first_artificial = tableau.AppendIdentityBasis();
+  int pivots = 0;
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<Rational> phase1_obj(tableau.num_cols());
+  for (int c = first_artificial; c < tableau.num_cols(); ++c) {
+    phase1_obj[c] = Rational(1);
+  }
+  LpStatus status = tableau.Optimize(phase1_obj, {}, &pivots);
+  LpResult result;
+  if (status != LpStatus::kOptimal) {
+    // Phase 1 is bounded below by zero, so kUnbounded cannot happen.
+    result.status = status;
+    return result;
+  }
+  if (tableau.objective_value().sign() > 0) {
+    result.status = LpStatus::kInfeasible;
+    return result;
+  }
+  tableau.RemoveArtificials(first_artificial);
+
+  // Phase 2.
+  std::vector<Rational> phase2_obj(tableau.num_cols());
+  if (!objective.empty()) {
+    for (int i = 0; i < n; ++i) {
+      phase2_obj[i] = objective[i];
+      if (neg_col[i] >= 0) phase2_obj[neg_col[i]] = -objective[i];
+    }
+  }
+  status = tableau.Optimize(phase2_obj, {}, &pivots);
+  result.status = status;
+  if (status != LpStatus::kOptimal) return result;
+
+  std::vector<Rational> cols = tableau.Solution();
+  result.point.resize(n);
+  for (int i = 0; i < n; ++i) {
+    result.point[i] = cols[i];
+    if (neg_col[i] >= 0) result.point[i] -= cols[neg_col[i]];
+  }
+  result.objective = tableau.objective_value();
+  TERMILOG_CHECK_MSG(system.SatisfiedBy(result.point),
+                     "simplex returned an infeasible point");
+  return result;
+}
+
+}  // namespace
+
+LpResult SimplexSolver::Minimize(const ConstraintSystem& system,
+                                 const std::vector<Rational>& objective,
+                                 const std::vector<bool>& is_free) {
+  return SolveMin(system, objective, is_free);
+}
+
+LpResult SimplexSolver::Maximize(const ConstraintSystem& system,
+                                 const std::vector<Rational>& objective,
+                                 const std::vector<bool>& is_free) {
+  std::vector<Rational> negated = objective;
+  for (Rational& c : negated) c = -c;
+  LpResult result = SolveMin(system, negated, is_free);
+  result.objective = -result.objective;
+  return result;
+}
+
+LpResult SimplexSolver::FindFeasible(const ConstraintSystem& system,
+                                     const std::vector<bool>& is_free) {
+  return SolveMin(system, {}, is_free);
+}
+
+}  // namespace termilog

@@ -1,0 +1,58 @@
+#ifndef TERMILOG_LP_SIMPLEX_H_
+#define TERMILOG_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "linalg/constraint.h"
+#include "rational/rational.h"
+
+namespace termilog {
+
+/// Outcome of an LP solve.
+enum class LpStatus {
+  kOptimal,     // finite optimum found; point and objective valid
+  kInfeasible,  // constraint set empty
+  kUnbounded,   // feasible but objective unbounded in the requested direction
+  kPivotLimit,  // safety valve tripped (should not happen with Bland's rule)
+};
+
+/// Result of an LP solve. `point` is in the caller's variable space.
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  Rational objective;
+  std::vector<Rational> point;
+};
+
+/// Exact two-phase primal simplex over rationals with Bland's anti-cycling
+/// rule. This is the workhorse behind Section 4 of the paper: the final
+/// termination condition is a pure feasibility problem, and the polyhedral
+/// operations (entailment, redundancy pruning) are optimization calls.
+///
+/// Variables are nonnegative by default; `is_free` marks variables with
+/// unrestricted sign (they are internally split into differences of
+/// nonnegative variables). Constraint rows follow the library convention
+/// `coeffs . x + constant REL 0`.
+class SimplexSolver {
+ public:
+  /// Hard cap on pivots; exceeded => kPivotLimit (diagnostic only).
+  static constexpr int kMaxPivots = 200000;
+
+  /// Minimizes objective . x subject to `system`.
+  static LpResult Minimize(const ConstraintSystem& system,
+                           const std::vector<Rational>& objective,
+                           const std::vector<bool>& is_free = {});
+
+  /// Maximizes objective . x subject to `system`.
+  static LpResult Maximize(const ConstraintSystem& system,
+                           const std::vector<Rational>& objective,
+                           const std::vector<bool>& is_free = {});
+
+  /// Pure feasibility: returns kOptimal with a witness point, or
+  /// kInfeasible.
+  static LpResult FindFeasible(const ConstraintSystem& system,
+                               const std::vector<bool>& is_free = {});
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_LP_SIMPLEX_H_

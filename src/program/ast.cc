@@ -1,0 +1,135 @@
+#include "program/ast.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+
+void Atom::CollectVariables(std::set<int>* out) const {
+  for (const TermPtr& arg : args) arg->CollectVariables(out);
+}
+
+namespace {
+
+std::function<std::string(int)> MakeNamer(
+    const std::vector<std::string>& var_names) {
+  return [&var_names](int v) {
+    if (v >= 0 && v < static_cast<int>(var_names.size())) return var_names[v];
+    return StrCat("_G", v);
+  };
+}
+
+}  // namespace
+
+std::string Atom::ToString(const SymbolTable& symbols,
+                           const std::vector<std::string>& var_names) const {
+  auto namer = MakeNamer(var_names);
+  const std::string& name = symbols.Name(predicate);
+  if (args.empty()) return name;
+  std::string out = name;
+  out += "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i]->ToString(symbols, namer);
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+// Binary comparison/equality predicates print infix ("X =< Y"); the parser
+// accepts both forms, so round-tripping is preserved.
+bool IsInfixOperator(const std::string& name) {
+  return name == "=" || name == "\\=" || name == "<" || name == ">" ||
+         name == "=<" || name == ">=" || name == "==" || name == "\\==" ||
+         name == "is";
+}
+
+}  // namespace
+
+std::string Literal::ToString(const SymbolTable& symbols,
+                              const std::vector<std::string>& var_names) const {
+  std::string rendered;
+  const std::string& name = symbols.Name(atom.predicate);
+  if (atom.args.size() == 2 && IsInfixOperator(name)) {
+    auto namer = MakeNamer(var_names);
+    rendered = StrCat(atom.args[0]->ToString(symbols, namer), " ", name, " ",
+                      atom.args[1]->ToString(symbols, namer));
+  } else {
+    rendered = atom.ToString(symbols, var_names);
+  }
+  return positive ? rendered : StrCat("\\+ ", rendered);
+}
+
+std::string Rule::VarName(int v) const {
+  if (v >= 0 && v < static_cast<int>(var_names.size())) return var_names[v];
+  return StrCat("_G", v);
+}
+
+std::string Rule::ToString(const SymbolTable& symbols) const {
+  std::string out = head.ToString(symbols, var_names);
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body[i].ToString(symbols, var_names);
+    }
+  }
+  out += ".";
+  return out;
+}
+
+std::string AdornmentToString(const Adornment& adornment) {
+  std::string out;
+  for (Mode m : adornment) out += (m == Mode::kBound ? 'b' : 'f');
+  return out;
+}
+
+std::vector<int> Program::RuleIndicesFor(const PredId& pred) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].head.pred_id() == pred) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::set<PredId> Program::DefinedPredicates() const {
+  std::set<PredId> out;
+  for (const Rule& rule : rules_) out.insert(rule.head.pred_id());
+  return out;
+}
+
+std::set<PredId> Program::AllPredicates() const {
+  std::set<PredId> out = DefinedPredicates();
+  for (const Rule& rule : rules_) {
+    for (const Literal& lit : rule.body) out.insert(lit.atom.pred_id());
+  }
+  return out;
+}
+
+bool Program::IsDefined(const PredId& pred) const {
+  for (const Rule& rule : rules_) {
+    if (rule.head.pred_id() == pred) return true;
+  }
+  return false;
+}
+
+std::string Program::PredName(const PredId& pred) const {
+  return StrCat(symbols_->Name(pred.symbol), "/", pred.arity);
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += rule.ToString(*symbols_);
+    out += "\n";
+  }
+  for (const ModeDecl& decl : mode_decls_) {
+    out += StrCat(":- mode(", PredName(decl.pred), ", ",
+                  AdornmentToString(decl.adornment), ").\n");
+  }
+  return out;
+}
+
+}  // namespace termilog

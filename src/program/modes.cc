@@ -1,0 +1,93 @@
+#include "program/modes.h"
+
+#include <deque>
+#include <utility>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+
+std::set<int> BoundVarsAt(const Rule& rule, const Adornment& head_adornment,
+                          size_t position) {
+  TERMILOG_CHECK(head_adornment.size() == rule.head.args.size());
+  TERMILOG_CHECK(position <= rule.body.size());
+  std::set<int> bound;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    if (head_adornment[i] == Mode::kBound) {
+      rule.head.args[i]->CollectVariables(&bound);
+    }
+  }
+  for (size_t i = 0; i < position; ++i) {
+    const Literal& lit = rule.body[i];
+    if (lit.positive) {
+      lit.atom.CollectVariables(&bound);
+    }
+  }
+  return bound;
+}
+
+Adornment AtomAdornment(const Atom& atom, const std::set<int>& bound_vars) {
+  Adornment out;
+  out.reserve(atom.args.size());
+  for (const TermPtr& arg : atom.args) {
+    std::set<int> vars;
+    arg->CollectVariables(&vars);
+    bool all_bound = true;
+    for (int v : vars) {
+      if (bound_vars.count(v) == 0) {
+        all_bound = false;
+        break;
+      }
+    }
+    out.push_back(all_bound ? Mode::kBound : Mode::kFree);
+  }
+  return out;
+}
+
+ModeAnalysisResult InferModes(const Program& program, const PredId& entry,
+                              const Adornment& entry_adornment) {
+  ModeAnalysisResult result;
+  TERMILOG_CHECK(static_cast<int>(entry_adornment.size()) == entry.arity);
+  std::deque<PredId> worklist;
+  result.adornments[entry] = entry_adornment;
+  worklist.push_back(entry);
+  while (!worklist.empty()) {
+    PredId pred = worklist.front();
+    worklist.pop_front();
+    const Adornment adornment = result.adornments.at(pred);
+    for (int rule_index : program.RuleIndicesFor(pred)) {
+      const Rule& rule = program.rules()[rule_index];
+      std::set<int> bound;
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        if (adornment[i] == Mode::kBound) {
+          rule.head.args[i]->CollectVariables(&bound);
+        }
+      }
+      for (const Literal& lit : rule.body) {
+        PredId callee = lit.atom.pred_id();
+        if (program.IsDefined(callee)) {
+          Adornment callee_adornment = AtomAdornment(lit.atom, bound);
+          auto it = result.adornments.find(callee);
+          if (it == result.adornments.end()) {
+            result.adornments.emplace(callee, std::move(callee_adornment));
+            worklist.push_back(callee);
+          } else if (it->second != callee_adornment) {
+            result.conflicted.insert(callee);
+            result.conflicts.push_back(StrCat(
+                program.PredName(callee), " used with adornments ",
+                AdornmentToString(it->second), " and ",
+                AdornmentToString(callee_adornment),
+                " (the method requires one adornment per predicate)"));
+          }
+        }
+        if (lit.positive) {
+          lit.atom.CollectVariables(&bound);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace termilog

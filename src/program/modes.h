@@ -1,0 +1,51 @@
+#ifndef TERMILOG_PROGRAM_MODES_H_
+#define TERMILOG_PROGRAM_MODES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "program/ast.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Result of the left-to-right mode (adornment) dataflow. The paper's
+/// preprocessing (Section 3, Appendix A) assumes every predicate is used
+/// with a single bound-free adornment; `conflicts` lists predicates for
+/// which the program violates that assumption (analysis of their SCCs is
+/// then reported as unsupported).
+struct ModeAnalysisResult {
+  /// Adornment of each reached defined (IDB) predicate.
+  std::map<PredId, Adornment> adornments;
+  /// Human-readable conflict descriptions (predicate reached with two
+  /// different adornments).
+  std::vector<std::string> conflicts;
+  /// The predicates involved in those conflicts.
+  std::set<PredId> conflicted;
+
+  bool HasConflicts() const { return !conflicts.empty(); }
+};
+
+/// Infers one adornment per defined predicate, starting from the entry
+/// query pattern and propagating left to right through rule bodies:
+/// head-bound variables are bound; a subgoal argument is bound iff all of
+/// its variables are; a positive subgoal binds all of its variables upon
+/// success; a negative subgoal binds nothing (Appendix D).
+ModeAnalysisResult InferModes(const Program& program, const PredId& entry,
+                              const Adornment& entry_adornment);
+
+/// Variables of `rule` bound just before body literal `position` (0 =
+/// before the first literal; body.size() = after the whole body), given the
+/// head adornment.
+std::set<int> BoundVarsAt(const Rule& rule, const Adornment& head_adornment,
+                          size_t position);
+
+/// Adornment of a body atom given the currently bound variables: an
+/// argument is bound iff all of its variables are bound.
+Adornment AtomAdornment(const Atom& atom, const std::set<int>& bound_vars);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_PROGRAM_MODES_H_

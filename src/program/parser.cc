@@ -1,0 +1,469 @@
+#include "program/parser.h"
+
+#include <cctype>
+#include <map>
+#include <utility>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+enum class TokKind {
+  kAtom,     // lowercase identifier, quoted atom, or symbolic operator
+  kVar,      // capitalized / underscore identifier
+  kInt,      // decimal integer (interned as a constant)
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kBar,
+  kDot,      // clause terminator
+  kImplies,  // :-
+  kNegate,   // \+
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      if (!SkipWhitespaceAndComments()) {
+        return Error("unterminated block comment");
+      }
+      if (pos_ >= src_.size()) {
+        out.push_back(Make(TokKind::kEnd, ""));
+        return out;
+      }
+      char c = src_[pos_];
+      int line = line_, column = column_;
+      if (c == '(') {
+        out.push_back(Make(TokKind::kLParen, "("));
+        Advance();
+      } else if (c == ')') {
+        out.push_back(Make(TokKind::kRParen, ")"));
+        Advance();
+      } else if (c == '[') {
+        out.push_back(Make(TokKind::kLBracket, "["));
+        Advance();
+      } else if (c == ']') {
+        out.push_back(Make(TokKind::kRBracket, "]"));
+        Advance();
+      } else if (c == ',') {
+        out.push_back(Make(TokKind::kComma, ","));
+        Advance();
+      } else if (c == '|') {
+        out.push_back(Make(TokKind::kBar, "|"));
+        Advance();
+      } else if (c == '.') {
+        // '.' directly followed by '(' is the cons functor in prefix form.
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '(') {
+          out.push_back(Make(TokKind::kAtom, "."));
+        } else {
+          out.push_back(Make(TokKind::kDot, "."));
+        }
+        Advance();
+      } else if (c == ':' && Peek(1) == '-') {
+        out.push_back(Make(TokKind::kImplies, ":-"));
+        Advance();
+        Advance();
+      } else if (c == '\\' && Peek(1) == '+') {
+        out.push_back(Make(TokKind::kNegate, "\\+"));
+        Advance();
+        Advance();
+      } else if (c == '\'') {
+        Advance();
+        std::string text;
+        while (pos_ < src_.size() && src_[pos_] != '\'') {
+          text.push_back(src_[pos_]);
+          Advance();
+        }
+        if (pos_ >= src_.size()) return Error("unterminated quoted atom");
+        Advance();  // closing quote
+        Token tok = Make(TokKind::kAtom, text);
+        tok.line = line;
+        tok.column = column;
+        out.push_back(std::move(tok));
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string text;
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          text.push_back(src_[pos_]);
+          Advance();
+        }
+        out.push_back(Make(TokKind::kInt, text));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string text;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+          text.push_back(src_[pos_]);
+          Advance();
+        }
+        bool is_var = std::isupper(static_cast<unsigned char>(text[0])) ||
+                      text[0] == '_';
+        out.push_back(Make(is_var ? TokKind::kVar : TokKind::kAtom, text));
+      } else {
+        // Symbolic operator atoms, longest match first.
+        static constexpr std::string_view kOps[] = {
+            "\\==", "=<", ">=", "==", "\\=", "=", "<", ">", "+", "-", "*",
+            "/"};
+        bool matched = false;
+        for (std::string_view op : kOps) {
+          if (src_.substr(pos_, op.size()) == op) {
+            out.push_back(Make(TokKind::kAtom, std::string(op)));
+            for (size_t i = 0; i < op.size(); ++i) Advance();
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          return Error(StrCat("unexpected character '", c, "'"));
+        }
+      }
+    }
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  // Returns false on unterminated block comment.
+  bool SkipWhitespaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (pos_ < src_.size() &&
+               !(src_[pos_] == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (pos_ >= src_.size()) return false;
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return true;
+  }
+
+  Token Make(TokKind kind, std::string text) const {
+    return Token{kind, std::move(text), line_, column_};
+  }
+
+  Status Error(std::string message) const {
+    return Status::InvalidArgument(
+        StrCat("line ", line_, ":", column_, ": ", message));
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+// Binary operators allowed in goal position (parsed as ordinary atoms with
+// the operator as the predicate symbol).
+bool IsGoalOperator(const std::string& text) {
+  return text == "=" || text == "\\=" || text == "<" || text == ">" ||
+         text == "=<" || text == ">=" || text == "==" || text == "\\==" ||
+         text == "is";
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Program* program,
+         std::vector<std::string>* warnings)
+      : tokens_(std::move(tokens)), program_(program), warnings_(warnings) {}
+
+  Status Run() {
+    while (Current().kind != TokKind::kEnd) {
+      Status status = ParseClause();
+      if (!status.ok()) return status;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  const Token& Next() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
+  }
+  void Consume() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Error(std::string message) const {
+    const Token& tok = Current();
+    return Status::InvalidArgument(StrCat("line ", tok.line, ":", tok.column,
+                                          ": ", message, " (at '", tok.text,
+                                          "')"));
+  }
+
+  Status Expect(TokKind kind, const char* what) {
+    if (Current().kind != kind) {
+      return Error(StrCat("expected ", what));
+    }
+    Consume();
+    return Status::Ok();
+  }
+
+  int VarIndex(const std::string& name) {
+    if (name == "_") {
+      int index = static_cast<int>(var_names_.size());
+      var_names_.push_back(StrCat("_A", index));
+      return index;
+    }
+    auto it = var_index_.find(name);
+    if (it != var_index_.end()) return it->second;
+    int index = static_cast<int>(var_names_.size());
+    var_names_.push_back(name);
+    var_index_.emplace(name, index);
+    return index;
+  }
+
+  Status ParseClause() {
+    var_names_.clear();
+    var_index_.clear();
+    if (Current().kind == TokKind::kImplies) {
+      Consume();
+      return ParseDirective();
+    }
+    Rule rule;
+    Result<Atom> head = ParseAtom();
+    if (!head.ok()) return head.status();
+    rule.head = std::move(head).value();
+    if (Current().kind == TokKind::kImplies) {
+      Consume();
+      while (true) {
+        Result<Literal> lit = ParseLiteral();
+        if (!lit.ok()) return lit.status();
+        rule.body.push_back(std::move(lit).value());
+        if (Current().kind == TokKind::kComma) {
+          Consume();
+          continue;
+        }
+        break;
+      }
+    }
+    Status end = Expect(TokKind::kDot, "'.' at end of clause");
+    if (!end.ok()) return end;
+    rule.var_names = var_names_;
+    program_->AddRule(std::move(rule));
+    return Status::Ok();
+  }
+
+  Status ParseDirective() {
+    Result<Atom> atom = ParseAtom();
+    if (!atom.ok()) return atom.status();
+    Status end = Expect(TokKind::kDot, "'.' at end of directive");
+    if (!end.ok()) return end;
+    const Atom& a = *atom;
+    const std::string& name = program_->symbols().Name(a.predicate);
+    if (name == "mode" && a.args.size() == 1 && a.args[0]->IsCompound() &&
+        !a.args[0]->args().empty()) {
+      ModeDecl decl;
+      decl.pred.symbol = a.args[0]->functor();
+      decl.pred.arity = a.args[0]->arity();
+      for (const TermPtr& arg : a.args[0]->args()) {
+        if (!arg->IsConstant()) {
+          return Error("mode arguments must be the constants b or f");
+        }
+        const std::string& mode = program_->symbols().Name(arg->functor());
+        if (mode == "b" || mode == "bound") {
+          decl.adornment.push_back(Mode::kBound);
+        } else if (mode == "f" || mode == "free") {
+          decl.adornment.push_back(Mode::kFree);
+        } else {
+          return Error(StrCat("unknown mode '", mode, "'"));
+        }
+      }
+      program_->AddModeDecl(std::move(decl));
+      return Status::Ok();
+    }
+    if (warnings_ != nullptr) {
+      warnings_->push_back(StrCat("skipped directive :- ",
+                                  a.ToString(program_->symbols(), var_names_),
+                                  "."));
+    }
+    return Status::Ok();
+  }
+
+  Result<Literal> ParseLiteral() {
+    Literal lit;
+    if (Current().kind == TokKind::kNegate) {
+      Consume();
+      lit.positive = false;
+    }
+    Result<Atom> atom = ParseAtom();
+    if (!atom.ok()) return atom.status();
+    lit.atom = std::move(atom).value();
+    return lit;
+  }
+
+  // An atom is either `p`, `p(...)`, or `t1 OP t2` for a goal operator.
+  Result<Atom> ParseAtom() {
+    Result<TermPtr> lhs = ParseTermInternal();
+    if (!lhs.ok()) return lhs.status();
+    if (Current().kind == TokKind::kAtom && IsGoalOperator(Current().text)) {
+      std::string op = Current().text;
+      Consume();
+      Result<TermPtr> rhs = ParseTermInternal();
+      if (!rhs.ok()) return rhs.status();
+      Atom atom;
+      atom.predicate = program_->symbols().Intern(op);
+      atom.args = {*lhs, *rhs};
+      return atom;
+    }
+    const TermPtr& term = *lhs;
+    if (term->IsVariable()) {
+      return Error("a goal cannot be a bare variable");
+    }
+    Atom atom;
+    atom.predicate = term->functor();
+    atom.args = term->args();
+    return atom;
+  }
+
+  Result<TermPtr> ParseTermInternal() {
+    const Token& tok = Current();
+    switch (tok.kind) {
+      case TokKind::kVar: {
+        int index = VarIndex(tok.text);
+        Consume();
+        return Term::MakeVariable(index);
+      }
+      case TokKind::kInt: {
+        int symbol = program_->symbols().Intern(tok.text);
+        Consume();
+        return Term::MakeConstant(symbol);
+      }
+      case TokKind::kAtom: {
+        std::string name = tok.text;
+        Consume();
+        int symbol = program_->symbols().Intern(name);
+        if (Current().kind != TokKind::kLParen) {
+          return Term::MakeConstant(symbol);
+        }
+        Consume();
+        std::vector<TermPtr> args;
+        while (true) {
+          Result<TermPtr> arg = ParseTermInternal();
+          if (!arg.ok()) return arg.status();
+          args.push_back(std::move(arg).value());
+          if (Current().kind == TokKind::kComma) {
+            Consume();
+            continue;
+          }
+          break;
+        }
+        Status close = Expect(TokKind::kRParen, "')'");
+        if (!close.ok()) return close;
+        return Term::MakeCompound(symbol, std::move(args));
+      }
+      case TokKind::kLBracket: {
+        Consume();
+        if (Current().kind == TokKind::kRBracket) {
+          Consume();
+          return Term::MakeConstant(program_->symbols().Intern(kNilName));
+        }
+        std::vector<TermPtr> items;
+        TermPtr tail;
+        while (true) {
+          Result<TermPtr> item = ParseTermInternal();
+          if (!item.ok()) return item.status();
+          items.push_back(std::move(item).value());
+          if (Current().kind == TokKind::kComma) {
+            Consume();
+            continue;
+          }
+          if (Current().kind == TokKind::kBar) {
+            Consume();
+            Result<TermPtr> t = ParseTermInternal();
+            if (!t.ok()) return t.status();
+            tail = std::move(t).value();
+          }
+          break;
+        }
+        Status close = Expect(TokKind::kRBracket, "']'");
+        if (!close.ok()) return close;
+        return MakeList(&program_->symbols(), items, std::move(tail));
+      }
+      default:
+        return Error("expected a term");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Program* program_;
+  std::vector<std::string>* warnings_;
+  std::vector<std::string> var_names_;
+  std::map<std::string, int> var_index_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source,
+                             std::vector<std::string>* warnings) {
+  Lexer lexer(source);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Program program;
+  Parser parser(std::move(tokens).value(), &program, warnings);
+  Status status = parser.Run();
+  if (!status.ok()) return status;
+  return program;
+}
+
+Result<TermPtr> ParseTerm(std::string_view source, SymbolTable* symbols,
+                          std::vector<std::string>* var_names) {
+  TERMILOG_CHECK(symbols != nullptr);
+  // Reuse the program machinery: parse "dummy(<term>)." in a scratch
+  // program sharing the caller's symbol table.
+  Program scratch(
+      std::shared_ptr<SymbolTable>(symbols, [](SymbolTable*) {}));
+  std::string wrapped = StrCat("'$parse_term'(", source, ").");
+  Lexer lexer(wrapped);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), &scratch, nullptr);
+  Status status = parser.Run();
+  if (!status.ok()) return status;
+  if (scratch.rules().size() != 1 || scratch.rules()[0].head.args.size() != 1) {
+    return Status::InvalidArgument("not a single term");
+  }
+  if (var_names != nullptr) *var_names = scratch.rules()[0].var_names;
+  return scratch.rules()[0].head.args[0];
+}
+
+}  // namespace termilog

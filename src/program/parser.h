@@ -1,0 +1,42 @@
+#ifndef TERMILOG_PROGRAM_PARSER_H_
+#define TERMILOG_PROGRAM_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "program/ast.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Parses a Prolog-subset program text into a Program.
+///
+/// Supported syntax:
+///   - rules `h.` and `h :- b1, ..., bn.`
+///   - compound terms `f(t1, ..., tn)`, constants, integers (treated as
+///     atomic constants), variables (capitalized or `_`-prefixed; a lone
+///     `_` is anonymous and fresh at each occurrence)
+///   - lists `[]`, `[a, b]`, `[H | T]` (desugared to `.`/2 and `[]`)
+///   - quoted atoms `'+'`, `'('`
+///   - binary comparison/equality subgoals in goal position:
+///     `=`, `\=`, `<`, `>`, `=<`, `>=`, `==`, `\==`, `is`
+///   - negated subgoals `\+ g` (Appendix D)
+///   - directives `:- mode(p(b, f)).` recording the query adornment;
+///     unrecognized directives are skipped with a warning
+///   - `%` line comments and `/* */` block comments
+///
+/// Errors carry line/column positions. If `warnings` is non-null it
+/// receives one message per skipped directive or suspicious construct.
+Result<Program> ParseProgram(std::string_view source,
+                             std::vector<std::string>* warnings = nullptr);
+
+/// Parses a single ground or non-ground term (for tests and the
+/// interpreter's query construction). Variables are allocated in order of
+/// first occurrence; names are returned through `var_names` when non-null.
+Result<TermPtr> ParseTerm(std::string_view source, SymbolTable* symbols,
+                          std::vector<std::string>* var_names = nullptr);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_PROGRAM_PARSER_H_

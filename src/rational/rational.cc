@@ -1,0 +1,169 @@
+#include "rational/rational.h"
+
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  TERMILOG_CHECK_MSG(!den_.is_zero(), "rational with zero denominator");
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+Result<Rational> Rational::FromString(std::string_view text) {
+  text = StripWhitespace(text);
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    Result<BigInt> n = BigInt::FromString(text);
+    if (!n.ok()) return n.status();
+    return Rational(std::move(n).value());
+  }
+  Result<BigInt> n = BigInt::FromString(text.substr(0, slash));
+  if (!n.ok()) return n.status();
+  Result<BigInt> d = BigInt::FromString(text.substr(slash + 1));
+  if (!d.ok()) return d.status();
+  if (d->is_zero()) return Status::InvalidArgument("zero denominator");
+  return Rational(std::move(n).value(), std::move(d).value());
+}
+
+namespace {
+
+// True when every component of both operands fits a machine word, making
+// the __int128 fast path exact (|a|,|b| < 2^63 so all cross products and
+// their sums fit comfortably in 128 bits).
+inline bool BothSmall(const Rational& a, const Rational& b) {
+  return a.num().FitsInt64() && a.den().FitsInt64() &&
+         b.num().FitsInt64() && b.den().FitsInt64();
+}
+
+inline unsigned __int128 UAbs128(__int128 v) {
+  return v < 0 ? -static_cast<unsigned __int128>(v)
+               : static_cast<unsigned __int128>(v);
+}
+
+inline unsigned __int128 Gcd128(unsigned __int128 a, unsigned __int128 b) {
+  while (b != 0) {
+    unsigned __int128 r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational Rational::FromInt128(__int128 num, __int128 den) {
+  // Callers guarantee den > 0 (it is a product of positive denominators).
+  if (num == 0) return Rational();
+  unsigned __int128 g = Gcd128(UAbs128(num), static_cast<unsigned __int128>(den));
+  num /= static_cast<__int128>(g);
+  den /= static_cast<__int128>(g);
+  return Rational(BigInt::FromInt128(num), BigInt::FromInt128(den),
+                  AlreadyNormalizedTag{});
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  if (BothSmall(*this, other)) {
+    __int128 an = num_.ToInt64(), ad = den_.ToInt64();
+    __int128 bn = other.num_.ToInt64(), bd = other.den_.ToInt64();
+    return FromInt128(an * bd + bn * ad, ad * bd);
+  }
+  return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  if (BothSmall(*this, other)) {
+    __int128 an = num_.ToInt64(), ad = den_.ToInt64();
+    __int128 bn = other.num_.ToInt64(), bd = other.den_.ToInt64();
+    return FromInt128(an * bd - bn * ad, ad * bd);
+  }
+  return Rational(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  if (BothSmall(*this, other)) {
+    __int128 an = num_.ToInt64(), ad = den_.ToInt64();
+    __int128 bn = other.num_.ToInt64(), bd = other.den_.ToInt64();
+    return FromInt128(an * bn, ad * bd);
+  }
+  return Rational(num_ * other.num_, den_ * other.den_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  TERMILOG_CHECK_MSG(!other.is_zero(), "rational division by zero");
+  if (BothSmall(*this, other)) {
+    __int128 an = num_.ToInt64(), ad = den_.ToInt64();
+    __int128 bn = other.num_.ToInt64(), bd = other.den_.ToInt64();
+    __int128 num = an * bd, den = ad * bn;
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    return FromInt128(num, den);
+  }
+  return Rational(num_ * other.den_, den_ * other.num_);
+}
+
+int Rational::Compare(const Rational& other) const {
+  if (BothSmall(*this, other)) {
+    __int128 lhs = static_cast<__int128>(num_.ToInt64()) * other.den_.ToInt64();
+    __int128 rhs = static_cast<__int128>(other.num_.ToInt64()) * den_.ToInt64();
+    return lhs < rhs ? -1 : (lhs > rhs ? 1 : 0);
+  }
+  // Cross-multiply; denominators are positive so ordering is preserved.
+  return (num_ * other.den_).Compare(other.num_ * den_);
+}
+
+Rational Rational::Abs() const {
+  Rational out = *this;
+  out.num_ = out.num_.Abs();
+  return out;
+}
+
+Rational Rational::Inverse() const {
+  TERMILOG_CHECK_MSG(!is_zero(), "inverse of zero");
+  return Rational(den_, num_);
+}
+
+std::string Rational::ToString() const {
+  if (is_integer()) return num_.ToString();
+  return StrCat(num_.ToString(), "/", den_.ToString());
+}
+
+size_t Rational::Hash() const {
+  size_t h = num_.Hash();
+  h ^= den_.Hash() + 0x9e3779b97f4a7c15u + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace termilog

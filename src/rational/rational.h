@@ -1,0 +1,87 @@
+#ifndef TERMILOG_RATIONAL_RATIONAL_H_
+#define TERMILOG_RATIONAL_RATIONAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "rational/bigint.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Exact rational number: normalized numerator/denominator pair of BigInts
+/// with denominator > 0 and gcd(|num|, den) == 1. All polyhedral and LP
+/// arithmetic in the library is done in this type, so every verdict the
+/// analyzer emits is exact.
+class Rational {
+ public:
+  /// Constructs zero.
+  Rational() : num_(0), den_(1) {}
+  /// Converts from an integer.
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT(runtime/explicit)
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+  /// Constructs num/den; checked failure on zero denominator.
+  Rational(BigInt num, BigInt den);
+  Rational(int64_t num, int64_t den) : Rational(BigInt(num), BigInt(den)) {}
+
+  /// Parses "a", "-a", or "a/b" decimal forms.
+  static Result<Rational> FromString(std::string_view text);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_integer() const { return den_ == BigInt(1); }
+  int sign() const { return num_.sign(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Checked failure on division by zero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  int Compare(const Rational& other) const;
+  bool operator==(const Rational& o) const { return Compare(o) == 0; }
+  bool operator!=(const Rational& o) const { return Compare(o) != 0; }
+  bool operator<(const Rational& o) const { return Compare(o) < 0; }
+  bool operator<=(const Rational& o) const { return Compare(o) <= 0; }
+  bool operator>(const Rational& o) const { return Compare(o) > 0; }
+  bool operator>=(const Rational& o) const { return Compare(o) >= 0; }
+
+  Rational Abs() const;
+  /// Multiplicative inverse; checked failure on zero.
+  Rational Inverse() const;
+
+  /// Renders "a" for integers, "a/b" otherwise.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  struct AlreadyNormalizedTag {};
+  Rational(BigInt num, BigInt den, AlreadyNormalizedTag)
+      : num_(std::move(num)), den_(std::move(den)) {}
+
+  void Normalize();
+  /// Builds a Rational from an exact 128-bit fraction, reducing with a
+  /// native gcd (the fast path for the small values that dominate
+  /// polyhedral computations).
+  static Rational FromInt128(__int128 num, __int128 den);
+
+  BigInt num_;
+  BigInt den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_RATIONAL_RATIONAL_H_

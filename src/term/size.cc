@@ -1,0 +1,32 @@
+#include "term/size.h"
+
+#include "util/check.h"
+
+namespace termilog {
+namespace {
+
+void Accumulate(const TermPtr& term, LinearExpr* out) {
+  if (term->IsVariable()) {
+    out->AddToCoeff(term->var_id(), Rational(1));
+    return;
+  }
+  out->set_constant(out->constant() + Rational(term->arity()));
+  for (const TermPtr& arg : term->args()) Accumulate(arg, out);
+}
+
+}  // namespace
+
+LinearExpr StructuralSize(const TermPtr& term) {
+  LinearExpr out;
+  Accumulate(term, &out);
+  return out;
+}
+
+int64_t GroundSize(const TermPtr& term) {
+  TERMILOG_CHECK_MSG(term->IsGround(), "GroundSize on non-ground term");
+  int64_t size = term->arity();
+  for (const TermPtr& arg : term->args()) size += GroundSize(arg);
+  return size;
+}
+
+}  // namespace termilog

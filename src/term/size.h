@@ -1,0 +1,24 @@
+#ifndef TERMILOG_TERM_SIZE_H_
+#define TERMILOG_TERM_SIZE_H_
+
+#include "linalg/linear_expr.h"
+#include "term/term.h"
+
+namespace termilog {
+
+/// Structural term size (Section 2.2 of the paper): the sum of the arities
+/// of all function symbols in the term. For non-ground terms the size is a
+/// linear polynomial over the sizes of the term's variables, with a
+/// nonnegative constant and nonnegative integer coefficients — the property
+/// Eq. 9's direct construction relies on (a, A, b, B >= 0).
+///
+/// The returned expression uses the term's own variable indices as
+/// LinearExpr variable indices; callers remap as needed.
+LinearExpr StructuralSize(const TermPtr& term);
+
+/// Structural size of a ground term; checked failure on non-ground input.
+int64_t GroundSize(const TermPtr& term);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_TERM_SIZE_H_

@@ -1,0 +1,36 @@
+#include "term/symbol_table.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+
+int SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+int SymbolTable::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& SymbolTable::Name(int id) const {
+  TERMILOG_CHECK(id >= 0 && id < size());
+  return names_[id];
+}
+
+int SymbolTable::FreshName(std::string_view base) {
+  for (int i = 1;; ++i) {
+    std::string candidate = StrCat(base, "_", i);
+    if (index_.find(candidate) == index_.end()) {
+      return Intern(candidate);
+    }
+  }
+}
+
+}  // namespace termilog

@@ -1,0 +1,40 @@
+#ifndef TERMILOG_TERM_SYMBOL_TABLE_H_
+#define TERMILOG_TERM_SYMBOL_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace termilog {
+
+/// Interns functor / predicate names to dense integer ids. One table is
+/// shared by all terms of a Program (and by programs derived from it via
+/// the Appendix A transformations, which invent new predicate names).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Returns the id for `name`, interning it on first use.
+  int Intern(std::string_view name);
+
+  /// Returns the id for `name` or -1 if it was never interned.
+  int Lookup(std::string_view name) const;
+
+  /// Name of an interned id; checked failure on range error.
+  const std::string& Name(int id) const;
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+  /// Invents a fresh name based on `base` ("base_1", "base_2", ...) that
+  /// does not collide with any interned name, interns and returns its id.
+  int FreshName(std::string_view base);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_TERM_SYMBOL_TABLE_H_

@@ -1,0 +1,89 @@
+#include "term/unify.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace termilog {
+
+TermPtr Substitution::Resolve(TermPtr term) const {
+  while (term->IsVariable()) {
+    auto it = bindings_.find(term->var_id());
+    if (it == bindings_.end()) return term;
+    term = it->second;
+  }
+  return term;
+}
+
+TermPtr Substitution::Apply(const TermPtr& term) const {
+  TermPtr resolved = Resolve(term);
+  if (resolved->IsVariable()) return resolved;
+  if (resolved->args().empty()) return resolved;
+  std::vector<TermPtr> args;
+  args.reserve(resolved->args().size());
+  bool changed = false;
+  for (const TermPtr& arg : resolved->args()) {
+    TermPtr mapped = Apply(arg);
+    changed = changed || mapped.get() != arg.get();
+    args.push_back(std::move(mapped));
+  }
+  if (!changed && resolved.get() == term.get()) return term;
+  return Term::MakeCompound(resolved->functor(), std::move(args));
+}
+
+bool Substitution::OccursIn(int var_id, const TermPtr& term) const {
+  TermPtr resolved = Resolve(term);
+  if (resolved->IsVariable()) return resolved->var_id() == var_id;
+  for (const TermPtr& arg : resolved->args()) {
+    if (OccursIn(var_id, arg)) return true;
+  }
+  return false;
+}
+
+void Substitution::Bind(int var_id, TermPtr term) {
+  TERMILOG_CHECK_MSG(!IsBound(var_id), "double binding");
+  bindings_.emplace(var_id, std::move(term));
+}
+
+bool Substitution::Unify(const TermPtr& a, const TermPtr& b,
+                         bool occurs_check) {
+  TermPtr x = Resolve(a);
+  TermPtr y = Resolve(b);
+  if (x->IsVariable() && y->IsVariable() && x->var_id() == y->var_id()) {
+    return true;
+  }
+  if (x->IsVariable()) {
+    if (occurs_check && OccursIn(x->var_id(), y)) return false;
+    Bind(x->var_id(), std::move(y));
+    return true;
+  }
+  if (y->IsVariable()) {
+    if (occurs_check && OccursIn(y->var_id(), x)) return false;
+    Bind(y->var_id(), std::move(x));
+    return true;
+  }
+  if (x->functor() != y->functor() || x->arity() != y->arity()) return false;
+  for (int i = 0; i < x->arity(); ++i) {
+    if (!Unify(x->args()[i], y->args()[i], occurs_check)) return false;
+  }
+  return true;
+}
+
+bool Unifiable(const TermPtr& a, const TermPtr& b, bool occurs_check) {
+  Substitution subst;
+  return subst.Unify(a, b, occurs_check);
+}
+
+TermPtr OffsetVariables(const TermPtr& term, int offset) {
+  if (term->IsVariable()) return Term::MakeVariable(term->var_id() + offset);
+  if (term->args().empty()) return term;
+  std::vector<TermPtr> args;
+  args.reserve(term->args().size());
+  for (const TermPtr& arg : term->args()) {
+    args.push_back(OffsetVariables(arg, offset));
+  }
+  return Term::MakeCompound(term->functor(), std::move(args));
+}
+
+}  // namespace termilog

@@ -1,0 +1,53 @@
+#ifndef TERMILOG_TERM_UNIFY_H_
+#define TERMILOG_TERM_UNIFY_H_
+
+#include <unordered_map>
+
+#include "term/term.h"
+
+namespace termilog {
+
+/// Binding store for unification: variable index -> term. Bindings form a
+/// triangular substitution (bound terms may mention other bound variables);
+/// Resolve() chases chains, Apply() builds fully substituted terms.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  bool IsBound(int var_id) const { return bindings_.count(var_id) != 0; }
+  size_t size() const { return bindings_.size(); }
+
+  /// Dereferences the top constructor: follows variable bindings until the
+  /// term is a compound or an unbound variable. Does not descend into
+  /// arguments.
+  TermPtr Resolve(TermPtr term) const;
+
+  /// Applies the substitution everywhere, producing a term whose variables
+  /// are all unbound.
+  TermPtr Apply(const TermPtr& term) const;
+
+  /// Unifies a and b, extending the bindings on success; on failure the
+  /// substitution is left unspecified (callers discard it). When
+  /// `occurs_check` is set, binding a variable to a term containing it
+  /// fails (the paper's Section 7 / Appendix B discussion).
+  bool Unify(const TermPtr& a, const TermPtr& b, bool occurs_check = true);
+
+  /// Direct binding; checked failure on double-binding.
+  void Bind(int var_id, TermPtr term);
+
+ private:
+  bool OccursIn(int var_id, const TermPtr& term) const;
+
+  std::unordered_map<int, TermPtr> bindings_;
+};
+
+/// One-shot check: do the terms unify (without keeping the unifier)?
+bool Unifiable(const TermPtr& a, const TermPtr& b, bool occurs_check = true);
+
+/// Renames every variable in `term` by adding `offset` to its index
+/// (standardizing apart for resolution).
+TermPtr OffsetVariables(const TermPtr& term, int offset);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_TERM_UNIFY_H_

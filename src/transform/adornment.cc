@@ -1,0 +1,107 @@
+#include "transform/adornment.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "program/modes.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+
+AdornmentCloneResult CloneConflictingAdornments(const Program& program,
+                                                const PredId& query,
+                                                const Adornment& adornment) {
+  AdornmentCloneResult result;
+  result.query = query;
+  ModeAnalysisResult probe = InferModes(program, query, adornment);
+  if (!probe.HasConflicts()) {
+    result.program = program;
+    return result;
+  }
+  const std::set<PredId>& conflicted = probe.conflicted;
+
+  Program out(program.symbols_ptr());
+  for (const ModeDecl& decl : program.mode_decls()) out.AddModeDecl(decl);
+
+  // Clone name per (conflicted pred, adornment).
+  std::map<std::pair<PredId, Adornment>, int> clone_symbol;
+  auto clone_name = [&](const PredId& pred,
+                        const Adornment& pred_adornment) -> int {
+    auto key = std::make_pair(pred, pred_adornment);
+    auto it = clone_symbol.find(key);
+    if (it != clone_symbol.end()) return it->second;
+    std::string name = StrCat(out.symbols().Name(pred.symbol), "__",
+                              AdornmentToString(pred_adornment));
+    int symbol = out.symbols().Intern(name);
+    clone_symbol.emplace(key, symbol);
+    result.log.push_back(StrCat("adornment clone ", program.PredName(pred),
+                                " -> ", name));
+    return symbol;
+  };
+
+  // Worklist over (pred, adornment) pairs reachable from the query.
+  std::set<std::pair<PredId, Adornment>> visited;
+  std::deque<std::pair<PredId, Adornment>> worklist;
+  worklist.emplace_back(query, adornment);
+  visited.insert({query, adornment});
+
+  while (!worklist.empty()) {
+    auto [pred, pred_adornment] = worklist.front();
+    worklist.pop_front();
+    bool head_cloned = conflicted.count(pred) != 0;
+    int head_symbol =
+        head_cloned ? clone_name(pred, pred_adornment) : pred.symbol;
+    for (int rule_index : program.RuleIndicesFor(pred)) {
+      Rule rule = program.rules()[rule_index];
+      rule.head.predicate = head_symbol;
+      std::set<int> bound;
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        if (pred_adornment[i] == Mode::kBound) {
+          rule.head.args[i]->CollectVariables(&bound);
+        }
+      }
+      for (Literal& lit : rule.body) {
+        PredId callee = lit.atom.pred_id();
+        if (program.IsDefined(callee)) {
+          Adornment callee_adornment = AtomAdornment(lit.atom, bound);
+          if (conflicted.count(callee) != 0) {
+            lit.atom.predicate = clone_name(callee, callee_adornment);
+          }
+          if (visited.insert({callee, callee_adornment}).second) {
+            worklist.emplace_back(callee, callee_adornment);
+          }
+        }
+        if (lit.positive) lit.atom.CollectVariables(&bound);
+      }
+      out.AddRule(std::move(rule));
+    }
+  }
+
+  // Keep rules of predicates the query never reaches (harmless, preserves
+  // the program for other queries). Rules of conflicted predicates were
+  // replaced by their clones above; unreached unconflicted rules are
+  // copied verbatim.
+  std::set<PredId> emitted;
+  for (const auto& [pred, pred_adornment] : visited) {
+    (void)pred_adornment;
+    emitted.insert(pred);
+  }
+  for (const Rule& rule : program.rules()) {
+    if (emitted.count(rule.head.pred_id()) == 0) {
+      out.AddRule(rule);
+    }
+  }
+
+  if (conflicted.count(query) != 0) {
+    result.query.symbol = clone_name(query, adornment);
+    result.query.arity = query.arity;
+  }
+  result.program = std::move(out);
+  result.changed = true;
+  return result;
+}
+
+}  // namespace termilog

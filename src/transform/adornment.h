@@ -1,0 +1,38 @@
+#ifndef TERMILOG_TRANSFORM_ADORNMENT_H_
+#define TERMILOG_TRANSFORM_ADORNMENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "program/ast.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Adornment cloning: the paper assumes "every predicate has the same
+/// bound-free adornment" (Section 3), attainable "by known syntactic
+/// transformations". This is that transformation: when the mode dataflow
+/// reaches a predicate with two or more adornments (e.g. append is called
+/// as append(f,f,b) and append(b,b,f) in Example 3.1's perm), each
+/// conflicted predicate is cloned once per adornment (append__ffb,
+/// append__bbf), rule bodies are rewritten to call the clone matching the
+/// call site's adornment, and the (possibly renamed) query is returned.
+///
+/// Cloning is applied only to conflicted predicates; everything else keeps
+/// its name. Inter-argument size constraints are adornment-independent, so
+/// the [VG90] inference simply runs on the cloned program.
+struct AdornmentCloneResult {
+  Program program;
+  PredId query;
+  std::vector<std::string> log;
+  bool changed = false;
+};
+
+AdornmentCloneResult CloneConflictingAdornments(const Program& program,
+                                                const PredId& query,
+                                                const Adornment& adornment);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_TRANSFORM_ADORNMENT_H_

@@ -1,0 +1,44 @@
+#include "transform/equality.h"
+
+#include <utility>
+
+#include "term/unify.h"
+#include "transform/term_rewrite.h"
+
+namespace termilog {
+
+Program EliminatePositiveEquality(const Program& program) {
+  Program out(program.symbols_ptr());
+  for (const ModeDecl& decl : program.mode_decls()) out.AddModeDecl(decl);
+  int eq_symbol = program.symbols().Lookup("=");
+
+  for (const Rule& original : program.rules()) {
+    Rule rule = original;
+    bool dead = false;
+    while (true) {
+      int eq_index = -1;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        const Literal& lit = rule.body[i];
+        if (lit.positive && lit.atom.predicate == eq_symbol &&
+            lit.atom.args.size() == 2) {
+          eq_index = static_cast<int>(i);
+          break;
+        }
+      }
+      if (eq_index < 0) break;
+      Substitution subst;
+      if (!subst.Unify(rule.body[eq_index].atom.args[0],
+                       rule.body[eq_index].atom.args[1],
+                       /*occurs_check=*/true)) {
+        dead = true;  // the equality can never hold
+        break;
+      }
+      rule.body.erase(rule.body.begin() + eq_index);
+      rule = ApplySubstitutionToRule(rule, subst);
+    }
+    if (!dead) out.AddRule(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace termilog

@@ -1,0 +1,18 @@
+#ifndef TERMILOG_TRANSFORM_EQUALITY_H_
+#define TERMILOG_TRANSFORM_EQUALITY_H_
+
+#include "program/ast.h"
+
+namespace termilog {
+
+/// Eliminates positive equality subgoals (Appendix A): a positive literal
+/// `T1 = T2` is removed by unifying T1 and T2 and applying the unifier to
+/// the rest of the rule (e.g. `r(Z) :- U = f(Z), p(U)` becomes
+/// `r(Z) :- p(f(Z))`). A rule whose equality subgoal cannot unify is
+/// dropped (its body can never succeed). Negative equality subgoals are
+/// left alone — they bind nothing.
+Program EliminatePositiveEquality(const Program& program);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_TRANSFORM_EQUALITY_H_

@@ -1,0 +1,41 @@
+#include "transform/pipeline.h"
+
+#include <set>
+#include <utility>
+
+#include "transform/equality.h"
+#include "transform/splitting.h"
+#include "transform/unfolding.h"
+
+namespace termilog {
+
+Result<Program> RunTransformPipeline(
+    const Program& program, const std::vector<PredId>& protected_preds,
+    const TransformOptions& options, std::vector<std::string>* log) {
+  std::set<PredId> protect(protected_preds.begin(), protected_preds.end());
+  Program current = EliminatePositiveEquality(program);
+  auto append_log = [log](const std::vector<std::string>& lines) {
+    if (log == nullptr) return;
+    for (const std::string& line : lines) log->push_back(line);
+  };
+  for (int phase = 0; phase < options.phases; ++phase) {
+    UnfoldResult unfolded =
+        SafeUnfolding(current, protect, options.max_rules);
+    append_log(unfolded.log);
+    current = std::move(unfolded.program);
+
+    SplitResult split =
+        PredicateSplitting(current, options.max_splits_per_phase);
+    append_log(split.log);
+    current = std::move(split.program);
+
+    if (!unfolded.changed && !split.changed) break;
+    if (static_cast<int>(current.rules().size()) > options.max_rules) {
+      return Status::ResourceExhausted(
+          "transformation pipeline exceeded the rule budget");
+    }
+  }
+  return current;
+}
+
+}  // namespace termilog

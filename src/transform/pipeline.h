@@ -1,0 +1,35 @@
+#ifndef TERMILOG_TRANSFORM_PIPELINE_H_
+#define TERMILOG_TRANSFORM_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "program/ast.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Knobs for the Appendix A preprocessing pipeline.
+struct TransformOptions {
+  /// Number of alternating safe-unfolding / predicate-splitting phase
+  /// pairs. The paper: "run alternate phases of safe unfolding and
+  /// predicate splitting, and halt after a fixed number of phases, say 3
+  /// of each."
+  int phases = 3;
+  int max_splits_per_phase = 8;
+  int max_rules = 2000;
+};
+
+/// Runs positive-equality elimination once, then alternates safe unfolding
+/// and predicate splitting for `options.phases` rounds (stopping early when
+/// a round changes nothing). `protected_preds` (the query predicates) are
+/// never unfolded away. Appends a human-readable action log to `log` when
+/// non-null.
+Result<Program> RunTransformPipeline(const Program& program,
+                                     const std::vector<PredId>& protected_preds,
+                                     const TransformOptions& options,
+                                     std::vector<std::string>* log = nullptr);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_TRANSFORM_PIPELINE_H_

@@ -1,0 +1,53 @@
+#ifndef TERMILOG_TRANSFORM_REORDER_H_
+#define TERMILOG_TRANSFORM_REORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "program/ast.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// Options for the subgoal-reordering search.
+struct ReorderOptions {
+  /// Give up after this many full analyzer invocations.
+  int max_attempts = 64;
+  /// Bodies longer than this are left alone (factorial growth).
+  int max_body_length = 5;
+  AnalysisOptions analysis;
+};
+
+/// Result of the search: the (possibly reordered) program, the final
+/// report, and a log of accepted moves.
+struct ReorderResult {
+  Program program;
+  TerminationReport report;
+  bool proved = false;
+  std::vector<std::string> log;
+  int attempts = 0;
+};
+
+/// Implements the capture-rule idea from the paper's introduction
+/// ([Ull85]; "the system can attempt to choose an order for subgoals and
+/// rules that assures termination; not only does this remove the burden
+/// from the user, but different orders can be chosen for different
+/// bound-free query patterns"): when the analysis of `query` fails,
+/// permute the bodies of the rules involved in failing SCCs — one rule at
+/// a time, first-improvement hill climbing — until the program is proved
+/// or the attempt budget runs out. Subgoal order never changes a rule's
+/// declarative meaning, only its top-down behaviour, so accepted moves
+/// are always sound.
+Result<ReorderResult> FindTerminatingOrder(
+    const Program& program, const PredId& query, const Adornment& adornment,
+    const ReorderOptions& options = ReorderOptions());
+
+/// Convenience overload taking "pred(b,f)" syntax.
+Result<ReorderResult> FindTerminatingOrder(
+    const Program& program, std::string_view query_spec,
+    const ReorderOptions& options = ReorderOptions());
+
+}  // namespace termilog
+
+#endif  // TERMILOG_TRANSFORM_REORDER_H_

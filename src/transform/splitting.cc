@@ -1,0 +1,144 @@
+#include "transform/splitting.h"
+
+#include <set>
+#include <utility>
+
+#include "term/unify.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+
+bool AtomUnifiesWithHead(const Atom& call, const Rule& target) {
+  if (call.predicate != target.head.predicate ||
+      call.args.size() != target.head.args.size()) {
+    return false;
+  }
+  // Standardize apart: shift the target's variables above the call's.
+  std::set<int> call_vars;
+  call.CollectVariables(&call_vars);
+  int offset = call_vars.empty() ? 0 : *call_vars.rbegin() + 1;
+  Substitution subst;
+  for (size_t i = 0; i < call.args.size(); ++i) {
+    TermPtr head_arg = OffsetVariables(target.head.args[i], offset);
+    if (!subst.Unify(call.args[i], head_arg, /*occurs_check=*/true)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Finds a (rule, literal) whose subgoal induces a nontrivial partition of
+// the callee's rules; returns the callee and the unify mask, or false.
+struct SplitCandidate {
+  PredId pred;
+  std::vector<int> rule_indices;   // rules of pred
+  std::vector<bool> unifies;       // parallel to rule_indices
+};
+
+bool FindCandidate(const Program& program, SplitCandidate* out) {
+  for (const Rule& rule : program.rules()) {
+    for (const Literal& lit : rule.body) {
+      PredId callee = lit.atom.pred_id();
+      std::vector<int> indices = program.RuleIndicesFor(callee);
+      if (indices.empty()) continue;
+      std::vector<bool> mask;
+      bool any_true = false, any_false = false;
+      for (int index : indices) {
+        bool unifies = AtomUnifiesWithHead(lit.atom, program.rules()[index]);
+        mask.push_back(unifies);
+        (unifies ? any_true : any_false) = true;
+      }
+      if (any_true && any_false) {
+        out->pred = callee;
+        out->rule_indices = std::move(indices);
+        out->unifies = std::move(mask);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SplitResult PredicateSplitting(const Program& program, int max_splits) {
+  SplitResult result;
+  result.program = program;
+  for (int round = 0; round < max_splits; ++round) {
+    SplitCandidate candidate;
+    if (!FindCandidate(result.program, &candidate)) break;
+    Program& current = result.program;
+    SymbolTable& symbols = current.symbols();
+    const std::string base = symbols.Name(candidate.pred.symbol);
+    int p1 = symbols.FreshName(base);  // non-unifying rules
+    int p2 = symbols.FreshName(base);  // unifying rules
+    result.log.push_back(StrCat("split ", current.PredName(candidate.pred),
+                                " into ", symbols.Name(p1), " / ",
+                                symbols.Name(p2)));
+
+    // Rename the partitioned rule heads.
+    for (size_t k = 0; k < candidate.rule_indices.size(); ++k) {
+      Rule& rule = current.mutable_rules()[candidate.rule_indices[k]];
+      rule.head.predicate = candidate.unifies[k] ? p2 : p1;
+    }
+    // Bridge rules p(~X) :- p_i(~X).
+    for (int target : {p1, p2}) {
+      Rule bridge;
+      bridge.head.predicate = candidate.pred.symbol;
+      for (int i = 0; i < candidate.pred.arity; ++i) {
+        bridge.head.args.push_back(Term::MakeVariable(i));
+        bridge.var_names.push_back(StrCat("X", i + 1));
+      }
+      Literal lit;
+      lit.atom.predicate = target;
+      lit.atom.args = bridge.head.args;
+      bridge.body.push_back(std::move(lit));
+      current.AddRule(std::move(bridge));
+    }
+    // Specialize p subgoals wherever unification permits.
+    std::vector<int> p1_rules = current.RuleIndicesFor(
+        PredId{p1, candidate.pred.arity});
+    std::vector<int> p2_rules = current.RuleIndicesFor(
+        PredId{p2, candidate.pred.arity});
+    for (Rule& rule : current.mutable_rules()) {
+      for (Literal& lit : rule.body) {
+        if (lit.atom.pred_id() != candidate.pred) continue;
+        // The heads were renamed to p_1/p_2, so compare argument vectors
+        // directly (the predicate symbols intentionally differ).
+        auto args_unify = [&](const Rule& target) {
+          if (lit.atom.args.size() != target.head.args.size()) return false;
+          std::set<int> call_vars;
+          lit.atom.CollectVariables(&call_vars);
+          int offset = call_vars.empty() ? 0 : *call_vars.rbegin() + 1;
+          Substitution subst;
+          for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+            TermPtr head_arg = OffsetVariables(target.head.args[i], offset);
+            if (!subst.Unify(lit.atom.args[i], head_arg)) return false;
+          }
+          return true;
+        };
+        auto unifies_with_group = [&](const std::vector<int>& group) {
+          for (int index : group) {
+            if (args_unify(current.rules()[index])) return true;
+          }
+          return false;
+        };
+        bool u1 = unifies_with_group(p1_rules);
+        bool u2 = unifies_with_group(p2_rules);
+        if (u1 && !u2) {
+          lit.atom.predicate = p1;
+        } else if (u2 && !u1) {
+          lit.atom.predicate = p2;
+        }
+        // Both (bridge-reachable) or neither (dead call): leave as p.
+      }
+    }
+    result.changed = true;
+  }
+  return result;
+}
+
+}  // namespace termilog

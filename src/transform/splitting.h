@@ -1,0 +1,33 @@
+#ifndef TERMILOG_TRANSFORM_SPLITTING_H_
+#define TERMILOG_TRANSFORM_SPLITTING_H_
+
+#include <string>
+#include <vector>
+
+#include "program/ast.h"
+
+namespace termilog {
+
+/// Result of a predicate-splitting pass.
+struct SplitResult {
+  Program program;
+  bool changed = false;
+  std::vector<std::string> log;
+};
+
+/// Predicate splitting (Appendix A, after [UVG88]): when a subgoal p(~t)
+/// fails to unify with the heads of some rules for p, split p into p_1
+/// (the non-unifying rules) and p_2 (the unifying ones), add the bridge
+/// rules `p(~X) :- p_1(~X).` and `p(~X) :- p_2(~X).`, and specialize every
+/// p subgoal in the program to p_1 or p_2 where unification permits.
+/// Repeats until no subgoal induces a nontrivial partition or `max_splits`
+/// splits have been performed.
+SplitResult PredicateSplitting(const Program& program, int max_splits = 8);
+
+/// True iff the call atom unifies with the (standardized-apart) head of
+/// `target`. Exposed for the unfolding pass and tests.
+bool AtomUnifiesWithHead(const Atom& call, const Rule& target);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_TRANSFORM_SPLITTING_H_

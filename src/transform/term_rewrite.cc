@@ -1,0 +1,94 @@
+#include "transform/term_rewrite.h"
+
+#include <utility>
+
+namespace termilog {
+namespace {
+
+TermPtr RenameVars(const TermPtr& term, const std::map<int, int>& mapping) {
+  if (term->IsVariable()) {
+    return Term::MakeVariable(mapping.at(term->var_id()));
+  }
+  if (term->args().empty()) return term;
+  std::vector<TermPtr> args;
+  args.reserve(term->args().size());
+  for (const TermPtr& arg : term->args()) {
+    args.push_back(RenameVars(arg, mapping));
+  }
+  return Term::MakeCompound(term->functor(), std::move(args));
+}
+
+void CollectAtomVarsInOrder(const Atom& atom, std::vector<int>* order,
+                            std::set<int>* seen) {
+  // Depth-first left-to-right for stable, readable numbering.
+  std::vector<const Term*> stack;
+  for (size_t i = atom.args.size(); i-- > 0;) {
+    stack.push_back(atom.args[i].get());
+  }
+  while (!stack.empty()) {
+    const Term* term = stack.back();
+    stack.pop_back();
+    if (term->IsVariable()) {
+      if (seen->insert(term->var_id()).second) {
+        order->push_back(term->var_id());
+      }
+      continue;
+    }
+    for (size_t i = term->args().size(); i-- > 0;) {
+      stack.push_back(term->args()[i].get());
+    }
+  }
+}
+
+}  // namespace
+
+Rule CompactRuleVariables(const Rule& rule) {
+  std::vector<int> order;
+  std::set<int> seen;
+  CollectAtomVarsInOrder(rule.head, &order, &seen);
+  for (const Literal& lit : rule.body) {
+    CollectAtomVarsInOrder(lit.atom, &order, &seen);
+  }
+  std::map<int, int> mapping;
+  Rule out;
+  out.var_names.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    mapping[order[i]] = static_cast<int>(i);
+    out.var_names.push_back(rule.VarName(order[i]));
+  }
+  out.head.predicate = rule.head.predicate;
+  for (const TermPtr& arg : rule.head.args) {
+    out.head.args.push_back(RenameVars(arg, mapping));
+  }
+  for (const Literal& lit : rule.body) {
+    Literal mapped;
+    mapped.positive = lit.positive;
+    mapped.atom.predicate = lit.atom.predicate;
+    for (const TermPtr& arg : lit.atom.args) {
+      mapped.atom.args.push_back(RenameVars(arg, mapping));
+    }
+    out.body.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+Rule ApplySubstitutionToRule(const Rule& rule, const Substitution& subst) {
+  Rule substituted;
+  substituted.var_names = rule.var_names;
+  substituted.head.predicate = rule.head.predicate;
+  for (const TermPtr& arg : rule.head.args) {
+    substituted.head.args.push_back(subst.Apply(arg));
+  }
+  for (const Literal& lit : rule.body) {
+    Literal mapped;
+    mapped.positive = lit.positive;
+    mapped.atom.predicate = lit.atom.predicate;
+    for (const TermPtr& arg : lit.atom.args) {
+      mapped.atom.args.push_back(subst.Apply(arg));
+    }
+    substituted.body.push_back(std::move(mapped));
+  }
+  return CompactRuleVariables(substituted);
+}
+
+}  // namespace termilog

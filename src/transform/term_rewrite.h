@@ -1,0 +1,27 @@
+#ifndef TERMILOG_TRANSFORM_TERM_REWRITE_H_
+#define TERMILOG_TRANSFORM_TERM_REWRITE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "program/ast.h"
+#include "term/unify.h"
+
+namespace termilog {
+
+/// Applies a substitution to every argument of every atom of the rule and
+/// renumbers the surviving variables densely from 0, regenerating
+/// var_names. Transformations (Appendix A) use this after each resolution
+/// or equality-elimination step so rules stay in the canonical
+/// dense-variable form the rest of the library expects.
+Rule ApplySubstitutionToRule(const Rule& rule, const Substitution& subst);
+
+/// Renumbers the rule's variables densely (no substitution). Also useful
+/// after body splicing.
+Rule CompactRuleVariables(const Rule& rule);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_TRANSFORM_TERM_REWRITE_H_

@@ -1,0 +1,183 @@
+#include "transform/unfolding.h"
+
+#include <utility>
+
+#include "term/unify.h"
+#include "transform/term_rewrite.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// True when some rule of `pred` has a `pred` subgoal (direct recursion);
+// such predicates cannot be safely unfolded.
+bool DirectlyRecursive(const Program& program, const PredId& pred) {
+  for (int index : program.RuleIndicesFor(pred)) {
+    for (const Literal& lit : program.rules()[index].body) {
+      if (lit.atom.pred_id() == pred) return true;
+    }
+  }
+  return false;
+}
+
+// True when `pred` occurs as a negative subgoal anywhere.
+bool OccursNegatively(const Program& program, const PredId& pred) {
+  for (const Rule& rule : program.rules()) {
+    for (const Literal& lit : rule.body) {
+      if (!lit.positive && lit.atom.pred_id() == pred) return true;
+    }
+  }
+  return false;
+}
+
+// True when `pred` occurs positively in the body of a rule whose head is a
+// different predicate.
+bool HasOutsideCallers(const Program& program, const PredId& pred) {
+  for (const Rule& rule : program.rules()) {
+    if (rule.head.pred_id() == pred) continue;
+    for (const Literal& lit : rule.body) {
+      if (lit.positive && lit.atom.pred_id() == pred) return true;
+    }
+  }
+  return false;
+}
+
+// Resolves body literal `position` of `caller` against `callee` (a rule
+// for the subgoal's predicate). Returns true and the resolvent on success.
+bool Resolve(const Rule& caller, size_t position, const Rule& callee,
+             Rule* out) {
+  const Atom& call = caller.body[position].atom;
+  int offset = caller.num_vars();
+  // Merged variable space: caller's vars then callee's shifted vars.
+  Rule merged;
+  merged.var_names = caller.var_names;
+  for (const std::string& name : callee.var_names) {
+    merged.var_names.push_back(StrCat(name, "'"));
+  }
+  Substitution subst;
+  for (size_t i = 0; i < call.args.size(); ++i) {
+    TermPtr head_arg = OffsetVariables(callee.head.args[i], offset);
+    if (!subst.Unify(call.args[i], head_arg, /*occurs_check=*/true)) {
+      return false;
+    }
+  }
+  merged.head = caller.head;
+  for (size_t i = 0; i < caller.body.size(); ++i) {
+    if (i == position) {
+      for (const Literal& lit : callee.body) {
+        Literal shifted;
+        shifted.positive = lit.positive;
+        shifted.atom.predicate = lit.atom.predicate;
+        for (const TermPtr& arg : lit.atom.args) {
+          shifted.atom.args.push_back(OffsetVariables(arg, offset));
+        }
+        merged.body.push_back(std::move(shifted));
+      }
+    } else {
+      merged.body.push_back(caller.body[i]);
+    }
+  }
+  *out = ApplySubstitutionToRule(merged, subst);
+  return true;
+}
+
+}  // namespace
+
+UnfoldResult SafeUnfolding(const Program& program,
+                           const std::set<PredId>& protected_preds,
+                           int max_rules) {
+  UnfoldResult result;
+  result.program = program;
+
+  // Appendix A argues repeated safe unfolding terminates because SCCs
+  // shrink; the iteration cap is a defensive backstop on top of max_rules.
+  int iteration_budget = 64 + 4 * static_cast<int>(program.rules().size());
+  while (iteration_budget-- > 0) {
+    Program& current = result.program;
+    // Pick an unfoldable predicate.
+    PredId target;
+    bool found = false;
+    for (const PredId& pred : current.DefinedPredicates()) {
+      // Protected (query) predicates may still be unfolded at their call
+      // sites -- Example A.1 unfolds the analyzed predicate p -- they just
+      // keep their own rules (see the discard step below).
+      if (DirectlyRecursive(current, pred)) continue;
+      if (OccursNegatively(current, pred)) continue;
+      if (!HasOutsideCallers(current, pred)) continue;
+      target = pred;
+      found = true;
+      break;
+    }
+    if (!found) break;
+
+    result.log.push_back(
+        StrCat("safe-unfold ", current.PredName(target)));
+    std::vector<int> callee_indices = current.RuleIndicesFor(target);
+    Program next(current.symbols_ptr());
+    for (const ModeDecl& decl : current.mode_decls()) next.AddModeDecl(decl);
+    for (const Rule& rule : current.rules()) {
+      // Rules of the target predicate are carried over for now; dead ones
+      // are swept below.
+      bool has_call = false;
+      size_t position = 0;
+      if (!(rule.head.pred_id() == target)) {
+        for (size_t i = 0; i < rule.body.size(); ++i) {
+          if (rule.body[i].positive &&
+              rule.body[i].atom.pred_id() == target) {
+            has_call = true;
+            position = i;
+            break;
+          }
+        }
+      }
+      if (!has_call) {
+        next.AddRule(rule);
+        continue;
+      }
+      for (int callee_index : callee_indices) {
+        Rule resolvent;
+        if (Resolve(rule, position, current.rules()[callee_index],
+                    &resolvent)) {
+          next.AddRule(std::move(resolvent));
+        }
+      }
+    }
+    // A single pass unfolds one call site per rule; keep going until no
+    // outside caller of `target` remains (new resolvents may still call it
+    // when the callee body mentions other predicates that call target --
+    // but never target itself, since target is not directly recursive, so
+    // this loop strictly reduces the number of target call sites).
+    result.program = std::move(next);
+    result.changed = true;
+    if (static_cast<int>(result.program.rules().size()) > max_rules) {
+      result.log.push_back("rule budget exceeded; unfolding stopped");
+      break;
+    }
+    // Drop the target's own rules once nothing references it.
+    if (protected_preds.count(target) == 0 &&
+        !HasOutsideCallers(result.program, target)) {
+      bool referenced = false;
+      for (const Rule& rule : result.program.rules()) {
+        for (const Literal& lit : rule.body) {
+          if (lit.atom.pred_id() == target) referenced = true;
+        }
+      }
+      if (!referenced) {
+        Program swept(result.program.symbols_ptr());
+        for (const ModeDecl& decl : result.program.mode_decls()) {
+          swept.AddModeDecl(decl);
+        }
+        for (const Rule& rule : result.program.rules()) {
+          if (!(rule.head.pred_id() == target)) swept.AddRule(rule);
+        }
+        result.program = std::move(swept);
+        result.log.push_back(
+            StrCat("discarded unreferenced ", program.PredName(target)));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace termilog

@@ -1,0 +1,34 @@
+#ifndef TERMILOG_TRANSFORM_UNFOLDING_H_
+#define TERMILOG_TRANSFORM_UNFOLDING_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "program/ast.h"
+
+namespace termilog {
+
+/// Result of a safe-unfolding pass.
+struct UnfoldResult {
+  Program program;
+  bool changed = false;
+  std::vector<std::string> log;
+};
+
+/// Safe unfolding (Appendix A): for a predicate p none of whose rules has a
+/// p subgoal (not directly recursive), every positive p subgoal in other
+/// predicates' rules is resolved against all of p's rules; p thereby leaves
+/// its SCC, which is what makes repeated application terminate. Rules for p
+/// itself are kept while p is referenced or protected (query predicates
+/// must never be unfolded away) and discarded otherwise.
+///
+/// Predicates occurring under negation are not unfolded (resolution through
+/// negation is unsound). `max_rules` caps the program growth.
+UnfoldResult SafeUnfolding(const Program& program,
+                           const std::set<PredId>& protected_preds,
+                           int max_rules = 2000);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_TRANSFORM_UNFOLDING_H_

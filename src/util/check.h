@@ -1,0 +1,28 @@
+#ifndef TERMILOG_UTIL_CHECK_H_
+#define TERMILOG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checking. These fire in all build modes: the analyzer is
+// a verifier, so a violated invariant must never be silently ignored.
+
+#define TERMILOG_CHECK(cond)                                                  \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "TERMILOG_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define TERMILOG_CHECK_MSG(cond, msg)                                         \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "TERMILOG_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // TERMILOG_UTIL_CHECK_H_

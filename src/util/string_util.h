@@ -1,0 +1,31 @@
+#ifndef TERMILOG_UTIL_STRING_UTIL_H_
+#define TERMILOG_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace termilog {
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Streams all arguments into one string (replacement for std::format,
+/// which libstdc++ 12 does not ship).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace termilog
+
+#endif  // TERMILOG_UTIL_STRING_UTIL_H_

@@ -1,0 +1,227 @@
+#include "core/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+Program MustParse(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+TerminationReport MustAnalyze(const Program& program, const char* query,
+                              AnalysisOptions options = AnalysisOptions()) {
+  TerminationAnalyzer analyzer(std::move(options));
+  Result<TerminationReport> report = analyzer.Analyze(program, query);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+TEST(AnalyzerTest, AppendProved) {
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  TerminationReport r = MustAnalyze(p, "append(b,f,f)");
+  EXPECT_TRUE(r.proved) << r.ToString();
+  ASSERT_EQ(r.sccs.size(), 1u);
+  EXPECT_EQ(r.sccs[0].status, SccStatus::kProved);
+  // The certificate assigns a positive weight to the single bound arg.
+  const auto& theta = r.sccs[0].certificate.theta.begin()->second;
+  ASSERT_EQ(theta.size(), 1u);
+  EXPECT_GT(theta[0].sign(), 0);
+}
+
+TEST(AnalyzerTest, NonRecursiveProgramTriviallyProved) {
+  Program p = MustParse("f(X) :- g(X). g(X) :- e(X).");
+  TerminationReport r = MustAnalyze(p, "f(b)");
+  EXPECT_TRUE(r.proved);
+  for (const SccReport& scc : r.sccs) {
+    EXPECT_EQ(scc.status, SccStatus::kNonRecursive);
+  }
+}
+
+TEST(AnalyzerTest, GrowRejectedWithNonPositiveCycle) {
+  Program p = MustParse("q(X) :- q(f(X)).");
+  TerminationReport r = MustAnalyze(p, "q(b)");
+  EXPECT_FALSE(r.proved);
+  ASSERT_EQ(r.sccs.size(), 1u);
+  EXPECT_EQ(r.sccs[0].status, SccStatus::kNonPositiveCycle);
+}
+
+TEST(AnalyzerTest, ZeroArityLoopRejected) {
+  Program p = MustParse("p :- p.");
+  TerminationReport r = MustAnalyze(p, "p()");
+  EXPECT_FALSE(r.proved);
+  EXPECT_EQ(r.sccs[0].status, SccStatus::kNonPositiveCycle);
+}
+
+TEST(AnalyzerTest, AdornmentCloningRepairsConflicts) {
+  // perm uses append under two adornments; the analyzer must clone and
+  // still prove termination.
+  Program p = MustParse(R"(
+    perm([], []).
+    perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  TerminationReport r = MustAnalyze(p, "perm(b,f)");
+  EXPECT_TRUE(r.proved) << r.ToString();
+  // Two append clones must exist in the analyzed program.
+  int clones = 0;
+  for (const auto& [pred, adornment] : r.modes) {
+    (void)adornment;
+    std::string name =
+        r.analyzed_program.symbols().Name(pred.symbol);
+    if (name.rfind("append__", 0) == 0) ++clones;
+  }
+  EXPECT_EQ(clones, 2);
+}
+
+TEST(AnalyzerTest, SuppliedConstraintsWithoutInference) {
+  // The paper's manual mode (Section 8): constraints supplied, inference
+  // off.
+  Program p = MustParse(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+  )");
+  AnalysisOptions options;
+  options.run_inference = false;
+  options.supplied_constraints = {{"edge/2", "a1 >= 1 + a2"}};
+  TerminationReport r = MustAnalyze(p, "tc(b,f)", options);
+  EXPECT_TRUE(r.proved) << r.ToString();
+}
+
+TEST(AnalyzerTest, UnknownEdbNotProved) {
+  Program p = MustParse(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+  )");
+  TerminationReport r = MustAnalyze(p, "tc(b,f)");
+  EXPECT_FALSE(r.proved);
+  // With nothing known about edge, a = b = c = 0 for the recursive pair, so
+  // the paper's step-1 rule forces delta_tc,tc = 0: a zero-weight self
+  // cycle ("strong evidence of nontermination" -- indeed tc diverges on
+  // cyclic EDB graphs).
+  EXPECT_EQ(r.sccs.back().status, SccStatus::kNonPositiveCycle);
+}
+
+TEST(AnalyzerTest, CertificateValidationRuns) {
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  AnalysisOptions options;
+  options.validate_certificates = true;
+  TerminationReport r = MustAnalyze(p, "append(b,f,f)", options);
+  ASSERT_TRUE(r.proved);
+  bool noted = false;
+  for (const std::string& note : r.sccs[0].notes) {
+    if (note.find("validated") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(AnalyzerTest, NegativeDeltaModeProvesUpdown) {
+  Program p = MustParse("a(X) :- b(g(X)). b(g(g(X))) :- a(X).");
+  // Integral mode fails...
+  TerminationReport integral = MustAnalyze(p, "a(b)");
+  EXPECT_FALSE(integral.proved);
+  // ...Appendix C mode succeeds.
+  AnalysisOptions options;
+  options.allow_negative_deltas = true;
+  TerminationReport negative = MustAnalyze(p, "a(b)", options);
+  EXPECT_TRUE(negative.proved) << negative.ToString();
+  ASSERT_EQ(negative.sccs.size(), 1u);
+  EXPECT_TRUE(negative.sccs[0].used_negative_deltas);
+  // Some delta must actually be negative.
+  bool has_negative = false;
+  for (const auto& [edge, value] : negative.sccs[0].certificate.delta) {
+    (void)edge;
+    if (value.sign() < 0) has_negative = true;
+  }
+  EXPECT_TRUE(has_negative);
+}
+
+TEST(AnalyzerTest, QuerySpecErrors) {
+  Program p = MustParse("p(a).");
+  TerminationAnalyzer analyzer;
+  EXPECT_FALSE(analyzer.Analyze(p, "nosuch(b)").ok());
+  EXPECT_FALSE(analyzer.Analyze(p, "p(b,b)").ok());  // wrong arity
+  EXPECT_FALSE(analyzer.Analyze(p, "p(x)").ok());    // bad mode letter
+  EXPECT_FALSE(analyzer.Analyze(p, "p").ok());       // missing parens
+}
+
+TEST(AnalyzerTest, ReportToStringMentionsVerdictAndModes) {
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  TerminationReport r = MustAnalyze(p, "append(b,f,f)");
+  std::string text = r.ToString();
+  EXPECT_NE(text.find("TERMINATES"), std::string::npos);
+  EXPECT_NE(text.find("append/3"), std::string::npos);
+  EXPECT_NE(text.find("bff"), std::string::npos);
+  EXPECT_NE(text.find("PROVED"), std::string::npos);
+}
+
+TEST(AnalyzerTest, MultipleSccsAnalyzedCalleesFirst) {
+  Program p = MustParse(R"(
+    outer([X|Xs]) :- inner(X), outer(Xs).
+    inner(f(Y)) :- inner(Y).
+    inner(a).
+  )");
+  TerminationReport r = MustAnalyze(p, "outer(b)");
+  EXPECT_TRUE(r.proved);
+  ASSERT_EQ(r.sccs.size(), 2u);
+  // Callee SCC (inner) first.
+  EXPECT_EQ(r.analyzed_program.symbols().Name(r.sccs[0].preds[0].symbol),
+            "inner");
+}
+
+TEST(AnalyzerTest, BoundArgumentChoiceMatters) {
+  // Terminates with the first argument bound, not provable with only the
+  // second bound.
+  Program p = MustParse("walk([X|Xs], Y) :- walk(Xs, f(Y)).");
+  TerminationReport with_first = MustAnalyze(p, "walk(b,f)");
+  EXPECT_TRUE(with_first.proved);
+  TerminationReport with_second = MustAnalyze(p, "walk(f,b)");
+  EXPECT_FALSE(with_second.proved);
+}
+
+TEST(AnalyzerTest, AnalyzeDeclaredModesRunsEachDirective) {
+  // append terminates with the first argument bound AND with the third
+  // bound (different adornments, different certificates); with all free it
+  // enumerates forever.
+  Program p = MustParse(R"(
+    :- mode(append(b, f, f)).
+    :- mode(append(f, f, b)).
+    :- mode(append(f, f, f)).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  TerminationAnalyzer analyzer;
+  auto reports = analyzer.AnalyzeDeclaredModes(p);
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  ASSERT_EQ(reports->size(), 3u);
+  EXPECT_TRUE((*reports)[0].second.proved);   // bff: first arg descends
+  EXPECT_TRUE((*reports)[1].second.proved);   // ffb: third arg descends
+  EXPECT_FALSE((*reports)[2].second.proved);  // fff: nothing bound
+}
+
+TEST(AnalyzerTest, AnalyzeDeclaredModesNeedsDirectives) {
+  Program p = MustParse("p(a).");
+  TerminationAnalyzer analyzer;
+  EXPECT_FALSE(analyzer.AnalyzeDeclaredModes(p).ok());
+}
+
+TEST(AnalyzerTest, SecondArgumentDescent) {
+  Program p = MustParse(R"(
+    subseq([], []).
+    subseq([X|T], [X|S]) :- subseq(T, S).
+    subseq(T, [X|S]) :- subseq(T, S).
+  )");
+  TerminationReport r = MustAnalyze(p, "subseq(f,b)");
+  EXPECT_TRUE(r.proved) << r.ToString();
+}
+
+}  // namespace
+}  // namespace termilog

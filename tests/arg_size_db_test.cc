@@ -1,0 +1,92 @@
+#include "constraints/arg_size_db.h"
+
+#include <gtest/gtest.h>
+
+namespace termilog {
+namespace {
+
+Constraint Ge(std::vector<int64_t> coeffs, int64_t constant) {
+  Constraint row;
+  for (int64_t c : coeffs) row.coeffs.emplace_back(c);
+  row.constant = Rational(constant);
+  row.rel = Relation::kGe;
+  return row;
+}
+
+Constraint Eq(std::vector<int64_t> coeffs, int64_t constant) {
+  Constraint row = Ge(std::move(coeffs), constant);
+  row.rel = Relation::kEq;
+  return row;
+}
+
+TEST(ArgSizeDbTest, DefaultIsNonNegativeOrthant) {
+  ArgSizeDb db;
+  PredId pred{7, 2};
+  EXPECT_FALSE(db.Has(pred));
+  Polyhedron p = db.Get(pred);
+  EXPECT_EQ(p.num_vars(), 2);
+  EXPECT_TRUE(p.Entails(Ge({1, 0}, 0)));
+  EXPECT_FALSE(p.Entails(Ge({1, -1}, 0)));
+}
+
+TEST(ArgSizeDbTest, SetAndGet) {
+  ArgSizeDb db;
+  PredId pred{3, 1};
+  Polyhedron p = Polyhedron::NonNegativeOrthant(1);
+  p.AddConstraint(Ge({1}, -2));
+  db.Set(pred, p);
+  EXPECT_TRUE(db.Has(pred));
+  EXPECT_TRUE(db.Get(pred).Entails(Ge({1}, -2)));
+}
+
+TEST(ArgSizeDbTest, ParseSpecEquality) {
+  // The paper's append constraint.
+  Result<Polyhedron> p = ArgSizeDb::ParseSpec(3, "a1 + a2 = a3");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->Entails(Eq({1, 1, -1}, 0)));
+  EXPECT_TRUE(p->Entails(Ge({0, 0, 1}, 0)));  // nonneg added automatically
+}
+
+TEST(ArgSizeDbTest, ParseSpecInequalityWithConstant) {
+  // The paper's Example 6.1 imported constraint t1 >= 2 + t2.
+  Result<Polyhedron> p = ArgSizeDb::ParseSpec(2, "a1 >= 2 + a2");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Entails(Ge({1, -1}, -2)));
+  EXPECT_FALSE(p->Entails(Ge({1, -1}, -3)));
+}
+
+TEST(ArgSizeDbTest, ParseSpecStrictAndLeq) {
+  Result<Polyhedron> p = ArgSizeDb::ParseSpec(2, "a1 > a2; a2 <= 5");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Entails(Ge({1, -1}, -1)));  // strict over integers
+  EXPECT_TRUE(p->Entails(Ge({0, -1}, 5)));
+}
+
+TEST(ArgSizeDbTest, ParseSpecCoefficients) {
+  Result<Polyhedron> p = ArgSizeDb::ParseSpec(2, "2*a1 - a2 >= 3");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Entails(Ge({2, -1}, -3)));
+}
+
+TEST(ArgSizeDbTest, ParseSpecMultipleConstraints) {
+  Result<Polyhedron> p = ArgSizeDb::ParseSpec(3, "a1 = a2 + a3; a2 >= 1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Entails(Eq({1, -1, -1}, 0)));
+  EXPECT_TRUE(p->Entails(Ge({1, 0, 0}, -1)));  // implied: a1 >= 1
+}
+
+TEST(ArgSizeDbTest, ParseSpecErrors) {
+  EXPECT_FALSE(ArgSizeDb::ParseSpec(2, "a1 + a9 = a2").ok());  // out of range
+  EXPECT_FALSE(ArgSizeDb::ParseSpec(2, "a1 a2").ok());         // no relation
+  EXPECT_FALSE(ArgSizeDb::ParseSpec(2, "a1 = ").ok());         // empty side
+  EXPECT_FALSE(ArgSizeDb::ParseSpec(2, "a0 = a1").ok());       // 1-based
+}
+
+TEST(ArgSizeDbTest, EmptySpecIsOrthant) {
+  Result<Polyhedron> p = ArgSizeDb::ParseSpec(2, "");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Equals(Polyhedron::NonNegativeOrthant(2)));
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "baselines/argmap.h"
+#include "baselines/naish.h"
+#include "baselines/uvg.h"
+#include "constraints/inference.h"
+#include "corpus/corpus.h"
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+struct Loaded {
+  Program program;
+  PredId query;
+  Adornment adornment;
+  ArgSizeDb db;
+};
+
+Loaded Load(const char* corpus_name) {
+  const CorpusEntry* entry = FindCorpusEntry(corpus_name);
+  EXPECT_NE(entry, nullptr) << corpus_name;
+  Result<Program> program = ParseProgram(entry->source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  Loaded loaded{std::move(program).value(), {}, {}, {}};
+  // Parse the query spec by hand ("name(b,f)").
+  const std::string& q = entry->query;
+  size_t open = q.find('(');
+  std::string name = q.substr(0, open);
+  Adornment adornment;
+  for (char c : q.substr(open)) {
+    if (c == 'b') adornment.push_back(Mode::kBound);
+    if (c == 'f') adornment.push_back(Mode::kFree);
+  }
+  loaded.query =
+      PredId{loaded.program.symbols().Lookup(name),
+             static_cast<int>(adornment.size())};
+  loaded.adornment = std::move(adornment);
+  EXPECT_TRUE(
+      ConstraintInference::Run(loaded.program, &loaded.db).ok());
+  return loaded;
+}
+
+// ---------- Naish ----------
+
+TEST(NaishTest, ProvesAppend) {
+  Loaded l = Load("append");
+  EXPECT_EQ(NaishAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+            BaselineVerdict::kProved);
+}
+
+TEST(NaishTest, FailsOnPermDoubleAppend) {
+  // P1 is not a subterm of P: position-wise subterm descent cannot see it.
+  Loaded l = Load("perm");
+  EXPECT_NE(NaishAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+            BaselineVerdict::kProved);
+}
+
+TEST(NaishTest, FailsOnMergeVariantWithSwap) {
+  // The paper's Example 5.1 swaps arguments across the recursive call.
+  Loaded l = Load("merge");
+  EXPECT_EQ(NaishAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+            BaselineVerdict::kNotProved);
+}
+
+TEST(NaishTest, MutualRecursionUnsupported) {
+  Loaded l = Load("expr_parser");
+  EXPECT_EQ(NaishAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+            BaselineVerdict::kUnsupported);
+}
+
+TEST(NaishTest, ProvesHanoiAndReverse) {
+  for (const char* name : {"hanoi", "reverse_accumulator", "naive_reverse"}) {
+    Loaded l = Load(name);
+    EXPECT_EQ(NaishAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+              BaselineVerdict::kProved)
+        << name;
+  }
+}
+
+TEST(NaishTest, RejectsNonterminating) {
+  for (const char* name : {"grow", "swap_forever"}) {
+    Loaded l = Load(name);
+    EXPECT_NE(NaishAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+              BaselineVerdict::kProved)
+        << name;
+  }
+}
+
+// ---------- UVG (pairwise) ----------
+
+TEST(UvgTest, ProvesAppendAndReverse) {
+  for (const char* name : {"append", "reverse_accumulator", "list_length"}) {
+    Loaded l = Load(name);
+    EXPECT_EQ(UvgAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+              BaselineVerdict::kProved)
+        << name;
+  }
+}
+
+TEST(UvgTest, ProvesEvenOddMutualRecursion) {
+  Loaded l = Load("even_odd");
+  EXPECT_EQ(UvgAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+            BaselineVerdict::kProved);
+}
+
+TEST(UvgTest, FailsOnPerm) {
+  // The paper (Example 3.1): no pairwise order relationship shows P1 < P.
+  Loaded l = Load("perm");
+  EXPECT_EQ(UvgAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+            BaselineVerdict::kNotProved);
+}
+
+TEST(UvgTest, FailsOnMerge) {
+  // Needs the SUM of two arguments; a single designated argument with
+  // pairwise dominance cannot express it.
+  Loaded l = Load("merge");
+  EXPECT_EQ(UvgAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+            BaselineVerdict::kNotProved);
+}
+
+TEST(UvgTest, FailsOnExprParser) {
+  // e's recursive argument C is unrelated to L without the imported
+  // three-variable constraint.
+  Loaded l = Load("expr_parser");
+  EXPECT_EQ(UvgAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+            BaselineVerdict::kNotProved);
+}
+
+TEST(UvgTest, RejectsNonterminating) {
+  for (const char* name : {"grow", "swap_forever", "loop_constant"}) {
+    Loaded l = Load(name);
+    EXPECT_NE(UvgAnalyzer::Analyze(l.program, l.query, l.adornment).verdict,
+              BaselineVerdict::kProved)
+        << name;
+  }
+}
+
+// ---------- Argument mapping (Brodsky-Sagiv style, Appendix B) ----------
+
+TEST(ArgMapTest, ProvesMerge) {
+  // Appendix B: "This translation was found to be sufficient to handle
+  // Example 5.1 ...".
+  Loaded l = Load("merge");
+  EXPECT_EQ(
+      ArgMapAnalyzer::Analyze(l.program, l.query, l.adornment, l.db).verdict,
+      BaselineVerdict::kProved);
+}
+
+TEST(ArgMapTest, ProvesExprParser) {
+  // "... and Example 6.1 ...".
+  Loaded l = Load("expr_parser");
+  EXPECT_EQ(
+      ArgMapAnalyzer::Analyze(l.program, l.query, l.adornment, l.db).verdict,
+      BaselineVerdict::kProved);
+}
+
+TEST(ArgMapTest, FailsOnPerm) {
+  // "... but not Example 3.1." Pairwise projections of
+  // append1+append2=append3 cannot relate P1 to P.
+  Loaded l = Load("perm");
+  EXPECT_EQ(
+      ArgMapAnalyzer::Analyze(l.program, l.query, l.adornment, l.db).verdict,
+      BaselineVerdict::kNotProved);
+}
+
+TEST(ArgMapTest, ProvesAppendWithoutDb) {
+  Loaded l = Load("append");
+  ArgSizeDb empty_db;
+  EXPECT_EQ(ArgMapAnalyzer::Analyze(l.program, l.query, l.adornment,
+                                    empty_db)
+                .verdict,
+            BaselineVerdict::kProved);
+}
+
+TEST(ArgMapTest, RejectsNonterminating) {
+  for (const char* name : {"grow", "swap_forever", "loop_constant"}) {
+    Loaded l = Load(name);
+    EXPECT_NE(ArgMapAnalyzer::Analyze(l.program, l.query, l.adornment, l.db)
+                  .verdict,
+              BaselineVerdict::kProved)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace termilog

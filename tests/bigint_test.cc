@@ -1,0 +1,175 @@
+#include "rational/bigint.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace termilog {
+namespace {
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_negative());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero, BigInt(0));
+  EXPECT_EQ((-zero), zero);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-1234567890123}, INT64_MAX, INT64_MIN + 1,
+                    INT64_MIN}) {
+    BigInt b(v);
+    EXPECT_TRUE(b.FitsInt64());
+    EXPECT_EQ(b.ToInt64(), v);
+  }
+}
+
+TEST(BigIntTest, AdditionBasics) {
+  EXPECT_EQ(BigInt(2) + BigInt(3), BigInt(5));
+  EXPECT_EQ(BigInt(-2) + BigInt(3), BigInt(1));
+  EXPECT_EQ(BigInt(2) + BigInt(-3), BigInt(-1));
+  EXPECT_EQ(BigInt(-2) + BigInt(-3), BigInt(-5));
+  EXPECT_EQ(BigInt(7) + BigInt(-7), BigInt(0));
+}
+
+TEST(BigIntTest, SubtractionBasics) {
+  EXPECT_EQ(BigInt(10) - BigInt(4), BigInt(6));
+  EXPECT_EQ(BigInt(4) - BigInt(10), BigInt(-6));
+  EXPECT_EQ(BigInt(-4) - BigInt(-10), BigInt(6));
+}
+
+TEST(BigIntTest, MultiplicationSigns) {
+  EXPECT_EQ(BigInt(6) * BigInt(7), BigInt(42));
+  EXPECT_EQ(BigInt(-6) * BigInt(7), BigInt(-42));
+  EXPECT_EQ(BigInt(-6) * BigInt(-7), BigInt(42));
+  EXPECT_EQ(BigInt(0) * BigInt(-7), BigInt(0));
+}
+
+TEST(BigIntTest, CarryPropagation) {
+  BigInt a(int64_t{0xffffffff});
+  EXPECT_EQ(a + BigInt(1), BigInt(int64_t{0x100000000}));
+  BigInt big = BigInt(INT64_MAX) + BigInt(INT64_MAX);
+  EXPECT_EQ(big.ToString(), "18446744073709551614");
+}
+
+TEST(BigIntTest, LargeMultiplication) {
+  // (2^64)^2 = 2^128, well beyond native width.
+  BigInt two64 = BigInt(INT64_MAX) + BigInt(INT64_MAX) + BigInt(2);
+  EXPECT_EQ(two64.ToString(), "18446744073709551616");
+  BigInt sq = two64 * two64;
+  EXPECT_EQ(sq.ToString(), "340282366920938463463374607431768211456");
+  EXPECT_FALSE(sq.FitsInt64());
+}
+
+TEST(BigIntTest, DivModTruncatedSemantics) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt(7), BigInt(2), &q, &r);
+  EXPECT_EQ(q, BigInt(3));
+  EXPECT_EQ(r, BigInt(1));
+  BigInt::DivMod(BigInt(-7), BigInt(2), &q, &r);
+  EXPECT_EQ(q, BigInt(-3));
+  EXPECT_EQ(r, BigInt(-1));
+  BigInt::DivMod(BigInt(7), BigInt(-2), &q, &r);
+  EXPECT_EQ(q, BigInt(-3));
+  EXPECT_EQ(r, BigInt(1));
+  BigInt::DivMod(BigInt(-7), BigInt(-2), &q, &r);
+  EXPECT_EQ(q, BigInt(3));
+  EXPECT_EQ(r, BigInt(-1));
+}
+
+TEST(BigIntTest, DivisionByLargerDivisor) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt(3), BigInt(10), &q, &r);
+  EXPECT_EQ(q, BigInt(0));
+  EXPECT_EQ(r, BigInt(3));
+}
+
+TEST(BigIntTest, MultiLimbDivision) {
+  BigInt two64 = BigInt::FromString("18446744073709551616").value();
+  BigInt big = two64 * two64 + BigInt(12345);
+  BigInt q, r;
+  BigInt::DivMod(big, two64, &q, &r);
+  EXPECT_EQ(q, two64);
+  EXPECT_EQ(r, BigInt(12345));
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigIntTest, CompareTotalOrder) {
+  EXPECT_LT(BigInt(-5), BigInt(-2));
+  EXPECT_LT(BigInt(-2), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(3));
+  EXPECT_LT(BigInt(3), BigInt::FromString("99999999999999999999").value());
+  EXPECT_LT(BigInt::FromString("-99999999999999999999").value(), BigInt(-5));
+}
+
+TEST(BigIntTest, FromStringValid) {
+  EXPECT_EQ(BigInt::FromString("0").value(), BigInt(0));
+  EXPECT_EQ(BigInt::FromString("-0").value(), BigInt(0));
+  EXPECT_EQ(BigInt::FromString("+123").value(), BigInt(123));
+  EXPECT_EQ(BigInt::FromString("  42 ").value(), BigInt(42));
+  EXPECT_EQ(BigInt::FromString("123456789012345678901234567890").value()
+                .ToString(),
+            "123456789012345678901234567890");
+}
+
+TEST(BigIntTest, FromStringInvalid) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a").ok());
+  EXPECT_FALSE(BigInt::FromString("1.5").ok());
+}
+
+TEST(BigIntTest, ToStringRoundTripRandom) {
+  unsigned seed = 12345;
+  auto next = [&seed]() {
+    seed = seed * 1103515245 + 12345;
+    return seed;
+  };
+  for (int i = 0; i < 200; ++i) {
+    std::string digits;
+    if (next() % 2) digits += '-';
+    int len = 1 + next() % 40;
+    digits += static_cast<char>('1' + next() % 9);
+    for (int d = 1; d < len; ++d) digits += static_cast<char>('0' + next() % 10);
+    BigInt value = BigInt::FromString(digits).value();
+    EXPECT_EQ(value.ToString(), digits);
+  }
+}
+
+TEST(BigIntTest, AlgebraicPropertiesRandom) {
+  unsigned seed = 999;
+  auto next = [&seed]() {
+    seed = seed * 1103515245 + 12345;
+    return static_cast<int64_t>(seed % 200001) - 100000;
+  };
+  for (int i = 0; i < 300; ++i) {
+    BigInt a(next()), b(next()), c(next());
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - b, a + (-b));
+    if (!b.is_zero()) {
+      BigInt q, r;
+      BigInt::DivMod(a, b, &q, &r);
+      EXPECT_EQ(q * b + r, a);
+      EXPECT_LT(r.Abs(), b.Abs());
+    }
+  }
+}
+
+TEST(BigIntTest, HashDistinguishesSign) {
+  EXPECT_NE(BigInt(5).Hash(), BigInt(-5).Hash());
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,133 @@
+#include "core/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/arg_size_db.h"
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+Program MustParse(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+struct Fixture {
+  Program program;
+  std::vector<RuleSubgoalSystem> systems;
+  std::vector<PredId> preds;
+};
+
+// append with first argument bound: valid certificate theta = 1/2.
+Fixture MakeAppendSetup() {
+  Program program = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  PredId append{program.symbols().Lookup("append"), 3};
+  ArgSizeDb db;
+  std::map<PredId, Adornment> modes;
+  modes[append] = {Mode::kBound, Mode::kFree, Mode::kFree};
+  Fixture setup{std::move(program), {}, {append}};
+  RuleSystemBuilder builder(setup.program, modes, db);
+  setup.systems = builder.BuildForScc({append}).value();
+  return setup;
+}
+
+TerminationCertificate MakeCertificate(const PredId& pred,
+                                       Rational theta, Rational delta) {
+  TerminationCertificate cert;
+  cert.theta[pred] = {std::move(theta)};
+  cert.delta[{pred, pred}] = std::move(delta);
+  return cert;
+}
+
+TEST(CertificateTest, ValidCertificateAccepted) {
+  Fixture s = MakeAppendSetup();
+  TerminationCertificate cert =
+      MakeCertificate(s.preds[0], Rational(1, 2), Rational(1));
+  EXPECT_TRUE(ValidateCertificate(s.systems, s.preds, cert).ok());
+}
+
+TEST(CertificateTest, LargerThetaAlsoAccepted) {
+  Fixture s = MakeAppendSetup();
+  TerminationCertificate cert =
+      MakeCertificate(s.preds[0], Rational(7), Rational(1));
+  EXPECT_TRUE(ValidateCertificate(s.systems, s.preds, cert).ok());
+}
+
+TEST(CertificateTest, TooSmallThetaRejected) {
+  Fixture s = MakeAppendSetup();
+  // theta = 1/3 gives decrease 2/3 < delta = 1.
+  TerminationCertificate cert =
+      MakeCertificate(s.preds[0], Rational(1, 3), Rational(1));
+  Status status = ValidateCertificate(s.systems, s.preds, cert);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("violated"), std::string::npos);
+}
+
+TEST(CertificateTest, ZeroThetaWithPositiveDeltaRejected) {
+  Fixture s = MakeAppendSetup();
+  TerminationCertificate cert =
+      MakeCertificate(s.preds[0], Rational(0), Rational(1));
+  EXPECT_FALSE(ValidateCertificate(s.systems, s.preds, cert).ok());
+}
+
+TEST(CertificateTest, NegativeThetaRejected) {
+  Fixture s = MakeAppendSetup();
+  TerminationCertificate cert =
+      MakeCertificate(s.preds[0], Rational(-1), Rational(1));
+  Status status = ValidateCertificate(s.systems, s.preds, cert);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("negative theta"), std::string::npos);
+}
+
+TEST(CertificateTest, ZeroDeltaSelfLoopRejectedByCycleCheck) {
+  Fixture s = MakeAppendSetup();
+  // theta = 1/2 satisfies the per-call inequality with delta = 0, but the
+  // delta cycle has weight 0: no well-founded argument.
+  TerminationCertificate cert =
+      MakeCertificate(s.preds[0], Rational(1, 2), Rational(0));
+  Status status = ValidateCertificate(s.systems, s.preds, cert);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cycle"), std::string::npos);
+}
+
+TEST(CertificateTest, MissingEntriesRejected) {
+  Fixture s = MakeAppendSetup();
+  TerminationCertificate cert;  // empty
+  EXPECT_FALSE(ValidateCertificate(s.systems, s.preds, cert).ok());
+}
+
+TEST(CertificateTest, FractionalDeltaCycleScaledExactly) {
+  Fixture s = MakeAppendSetup();
+  // delta = 1/3 with theta = 1/2: decrease 1 >= 1/3, cycle weight 1/3 > 0.
+  TerminationCertificate cert =
+      MakeCertificate(s.preds[0], Rational(1, 2), Rational(1, 3));
+  EXPECT_TRUE(ValidateCertificate(s.systems, s.preds, cert).ok());
+}
+
+TEST(CertificateTest, ArityMismatchRejected) {
+  Fixture s = MakeAppendSetup();
+  TerminationCertificate cert;
+  cert.theta[s.preds[0]] = {Rational(1), Rational(1)};  // nx is 1
+  cert.delta[{s.preds[0], s.preds[0]}] = Rational(1);
+  Status status = ValidateCertificate(s.systems, s.preds, cert);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("arity"), std::string::npos);
+}
+
+TEST(CertificateTest, ToStringRendersLevelsAndDeltas) {
+  Fixture s = MakeAppendSetup();
+  TerminationCertificate cert =
+      MakeCertificate(s.preds[0], Rational(1, 2), Rational(1));
+  std::map<PredId, Adornment> modes;
+  modes[s.preds[0]] = {Mode::kBound, Mode::kFree, Mode::kFree};
+  std::string text = cert.ToString(s.program, modes);
+  EXPECT_NE(text.find("level(append/3)"), std::string::npos);
+  EXPECT_NE(text.find("1/2"), std::string::npos);
+  EXPECT_NE(text.find("delta(append,append) = 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,124 @@
+#include "linalg/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace termilog {
+namespace {
+
+Constraint MakeGe(std::vector<int64_t> coeffs, int64_t constant) {
+  Constraint row;
+  for (int64_t c : coeffs) row.coeffs.emplace_back(c);
+  row.constant = Rational(constant);
+  row.rel = Relation::kGe;
+  return row;
+}
+
+Constraint MakeEq(std::vector<int64_t> coeffs, int64_t constant) {
+  Constraint row = MakeGe(std::move(coeffs), constant);
+  row.rel = Relation::kEq;
+  return row;
+}
+
+TEST(ConstraintTest, FromExprDense) {
+  LinearExpr e = LinearExpr::Variable(1) * Rational(2) - LinearExpr(Rational(3));
+  Constraint row = Constraint::FromExpr(e, 3, Relation::kGe);
+  EXPECT_EQ(row.num_vars(), 3);
+  EXPECT_EQ(row.coeffs[0], Rational(0));
+  EXPECT_EQ(row.coeffs[1], Rational(2));
+  EXPECT_EQ(row.constant, Rational(-3));
+}
+
+TEST(ConstraintTest, SatisfiedBy) {
+  Constraint ge = MakeGe({1, -1}, 0);  // x0 - x1 >= 0
+  EXPECT_TRUE(ge.SatisfiedBy({Rational(3), Rational(2)}));
+  EXPECT_TRUE(ge.SatisfiedBy({Rational(2), Rational(2)}));
+  EXPECT_FALSE(ge.SatisfiedBy({Rational(1), Rational(2)}));
+  Constraint eq = MakeEq({1, -1}, 0);
+  EXPECT_TRUE(eq.SatisfiedBy({Rational(2), Rational(2)}));
+  EXPECT_FALSE(eq.SatisfiedBy({Rational(3), Rational(2)}));
+}
+
+TEST(ConstraintTest, NormalizeScalesToCopimeIntegers) {
+  Constraint row;
+  row.coeffs = {Rational(1, 2), Rational(1, 3)};
+  row.constant = Rational(5, 6);
+  row.rel = Relation::kGe;
+  row.Normalize();
+  EXPECT_EQ(row.coeffs[0], Rational(3));
+  EXPECT_EQ(row.coeffs[1], Rational(2));
+  EXPECT_EQ(row.constant, Rational(5));
+}
+
+TEST(ConstraintTest, NormalizeEqSignConvention) {
+  Constraint row = MakeEq({-2, 4}, -6);
+  row.Normalize();
+  EXPECT_EQ(row.coeffs[0], Rational(1));
+  EXPECT_EQ(row.coeffs[1], Rational(-2));
+  EXPECT_EQ(row.constant, Rational(3));
+}
+
+TEST(ConstraintTest, NormalizePreservesGeDirection) {
+  Constraint row = MakeGe({-2, 2}, 4);  // -2x0 + 2x1 + 4 >= 0
+  row.Normalize();
+  // Must NOT flip sign: divide by 2 only.
+  EXPECT_EQ(row.coeffs[0], Rational(-1));
+  EXPECT_EQ(row.coeffs[1], Rational(1));
+  EXPECT_EQ(row.constant, Rational(2));
+}
+
+TEST(ConstraintSystemTest, SimplifyDropsDuplicatesAndWeakerRows) {
+  ConstraintSystem sys(2);
+  sys.Add(MakeGe({1, 0}, 0));
+  sys.Add(MakeGe({2, 0}, 0));   // same after normalize -> dropped
+  sys.Add(MakeGe({1, 0}, 5));   // weaker than constant 0 -> dropped
+  sys.Add(MakeGe({0, 1}, -1));
+  ASSERT_TRUE(sys.Simplify());
+  EXPECT_EQ(sys.size(), 2u);
+}
+
+TEST(ConstraintSystemTest, SimplifyKeepsStrongerConstant) {
+  ConstraintSystem sys(1);
+  sys.Add(MakeGe({1}, 5));
+  sys.Add(MakeGe({1}, -3));  // x0 >= 3 is stronger than x0 >= -5
+  ASSERT_TRUE(sys.Simplify());
+  ASSERT_EQ(sys.size(), 1u);
+  EXPECT_EQ(sys.rows()[0].constant, Rational(-3));
+}
+
+TEST(ConstraintSystemTest, SimplifyDetectsConstantContradiction) {
+  ConstraintSystem sys(1);
+  Constraint bad;
+  bad.coeffs = {Rational(0)};
+  bad.constant = Rational(-1);
+  bad.rel = Relation::kGe;  // 0 >= 1, false
+  sys.Add(bad);
+  EXPECT_FALSE(sys.Simplify());
+}
+
+TEST(ConstraintSystemTest, SimplifyDetectsEqContradiction) {
+  ConstraintSystem sys(1);
+  sys.Add(MakeEq({1}, 0));
+  sys.Add(MakeEq({1}, 5));  // x0 = 0 and x0 = -5
+  EXPECT_FALSE(sys.Simplify());
+}
+
+TEST(ConstraintSystemTest, ResizePadsRows) {
+  ConstraintSystem sys(1);
+  sys.Add(MakeGe({1}, 0));
+  sys.Resize(3);
+  EXPECT_EQ(sys.num_vars(), 3);
+  EXPECT_EQ(sys.rows()[0].coeffs.size(), 3u);
+  EXPECT_EQ(sys.rows()[0].coeffs[2], Rational(0));
+}
+
+TEST(ConstraintSystemTest, ToStringRendersRelations) {
+  ConstraintSystem sys(2);
+  sys.Add(MakeGe({1, -1}, 2));
+  sys.Add(MakeEq({0, 1}, 0));
+  std::string text = sys.ToString();
+  EXPECT_NE(text.find(">= 0"), std::string::npos);
+  EXPECT_NE(text.find("= 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,116 @@
+// Corpus-wide checks: every entry parses, analyzes with its expected
+// verdict, and (when terminating) passes SLD validation on its queries.
+// This is the test-suite half of experiments E5 and E8.
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "corpus/corpus.h"
+#include "interp/sld.h"
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+class CorpusTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusTest, ParsesCleanly) {
+  const CorpusEntry* entry = FindCorpusEntry(GetParam());
+  ASSERT_NE(entry, nullptr);
+  Result<Program> program = ParseProgram(entry->source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+}
+
+TEST_P(CorpusTest, AnalyzerVerdictMatchesExpectation) {
+  const CorpusEntry* entry = FindCorpusEntry(GetParam());
+  ASSERT_NE(entry, nullptr);
+  Result<Program> program = ParseProgram(entry->source);
+  ASSERT_TRUE(program.ok());
+  AnalysisOptions options;
+  options.apply_transformations = entry->needs_transformations;
+  options.allow_negative_deltas = entry->needs_negative_deltas;
+  options.supplied_constraints = entry->supplied_constraints;
+  TerminationAnalyzer analyzer(options);
+  Result<TerminationReport> report = analyzer.Analyze(*program, entry->query);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->proved, entry->expect_proved)
+      << entry->name << "\n"
+      << report->ToString();
+}
+
+TEST_P(CorpusTest, SoundnessNeverProvesNonterminating) {
+  // The method is a sufficient condition: it must NEVER prove a program
+  // whose ground truth is nontermination, under any option combination.
+  const CorpusEntry* entry = FindCorpusEntry(GetParam());
+  ASSERT_NE(entry, nullptr);
+  if (entry->terminating) GTEST_SKIP();
+  Result<Program> program = ParseProgram(entry->source);
+  ASSERT_TRUE(program.ok());
+  for (bool transforms : {false, true}) {
+    for (bool negative_deltas : {false, true}) {
+      AnalysisOptions options;
+      options.apply_transformations = transforms;
+      options.allow_negative_deltas = negative_deltas;
+      options.supplied_constraints = entry->supplied_constraints;
+      TerminationAnalyzer analyzer(options);
+      Result<TerminationReport> report =
+          analyzer.Analyze(*program, entry->query);
+      ASSERT_TRUE(report.ok());
+      EXPECT_FALSE(report->proved)
+          << entry->name << " transforms=" << transforms
+          << " negdeltas=" << negative_deltas;
+    }
+  }
+}
+
+TEST_P(CorpusTest, SldValidationOfTerminatingEntries) {
+  const CorpusEntry* entry = FindCorpusEntry(GetParam());
+  ASSERT_NE(entry, nullptr);
+  if (!entry->terminating || entry->validation_queries.empty()) GTEST_SKIP();
+  Result<Program> program = ParseProgram(entry->source);
+  ASSERT_TRUE(program.ok());
+  for (const std::string& query : entry->validation_queries) {
+    Result<SldResult> result = RunQuery(*program, query);
+    ASSERT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+    EXPECT_EQ(result->outcome, SldOutcome::kExhausted)
+        << entry->name << " query " << query;
+  }
+}
+
+std::vector<std::string> AllCorpusNames() {
+  std::vector<std::string> names;
+  for (const CorpusEntry& entry : Corpus()) names.push_back(entry.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, CorpusTest,
+                         ::testing::ValuesIn(AllCorpusNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(CorpusMetaTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const CorpusEntry& entry : Corpus()) {
+    EXPECT_TRUE(names.insert(entry.name).second) << entry.name;
+  }
+}
+
+TEST(CorpusMetaTest, CoversThePaperExamples) {
+  for (const char* name : {"perm", "merge", "expr_parser", "example_a1"}) {
+    EXPECT_NE(FindCorpusEntry(name), nullptr) << name;
+  }
+}
+
+TEST(CorpusMetaTest, HasNegativeAndLimitEntries) {
+  int nonterminating = 0, limitations = 0;
+  for (const CorpusEntry& entry : Corpus()) {
+    if (!entry.terminating) ++nonterminating;
+    if (entry.terminating && !entry.expect_proved) ++limitations;
+  }
+  EXPECT_GE(nonterminating, 3);
+  EXPECT_GE(limitations, 2);
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,100 @@
+#include "core/delta.h"
+
+#include <gtest/gtest.h>
+
+namespace termilog {
+namespace {
+
+ThetaRow Row(std::vector<int64_t> theta, int64_t delta, int64_t constant) {
+  ThetaRow row;
+  for (int64_t t : theta) row.theta_coeffs.emplace_back(t);
+  row.delta_coeff = Rational(delta);
+  row.constant = Rational(constant);
+  return row;
+}
+
+DerivedConstraints Pair(PredId i, PredId j, std::vector<ThetaRow> rows) {
+  DerivedConstraints d;
+  d.i = i;
+  d.j = j;
+  d.rows = std::move(rows);
+  return d;
+}
+
+const PredId kP{0, 1};
+const PredId kQ{1, 1};
+const PredId kR{2, 1};
+
+TEST(DeltaTest, SelfLoopDefaultsToOne) {
+  // theta - delta >= 0: positive theta coefficient, not forced.
+  auto d = Pair(kP, kP, {Row({1}, -1, 0)});
+  DeltaAssignment a = AssignDeltas({d}, {kP});
+  EXPECT_EQ(a.values.at({kP, kP}), 1);
+  EXPECT_FALSE(a.non_positive_cycle);
+}
+
+TEST(DeltaTest, ForcedZeroWhenNoPositiveCompensation) {
+  // -delta >= 0 (all theta coeffs zero): the paper's rule-2/4 case in
+  // Example 6.1.
+  auto d = Pair(kP, kQ, {Row({0, 0}, -1, 0)});
+  auto back = Pair(kQ, kP, {Row({0, 0}, -1, 2)});  // 2 - delta >= 0: free
+  DeltaAssignment a = AssignDeltas({d, back}, {kP, kQ});
+  EXPECT_EQ(a.values.at({kP, kQ}), 0);
+  EXPECT_EQ(a.values.at({kQ, kP}), 1);
+  ASSERT_EQ(a.forced_zero.size(), 1u);
+  EXPECT_FALSE(a.non_positive_cycle);  // cycle weight 0 + 1 = 1
+}
+
+TEST(DeltaTest, PositiveConstantPreventsForcing) {
+  auto d = Pair(kP, kP, {Row({0}, -1, 2)});  // 2 - delta >= 0: delta=1 fine
+  DeltaAssignment a = AssignDeltas({d}, {kP});
+  EXPECT_EQ(a.values.at({kP, kP}), 1);
+}
+
+TEST(DeltaTest, NegativeThetaCoeffForcesZero) {
+  // -theta - delta >= 0 with theta >= 0: delta must be 0.
+  auto d = Pair(kP, kP, {Row({-1}, -1, 0)});
+  DeltaAssignment a = AssignDeltas({d}, {kP});
+  EXPECT_EQ(a.values.at({kP, kP}), 0);
+  EXPECT_TRUE(a.non_positive_cycle);
+  EXPECT_EQ(a.cycle_witness, kP);
+}
+
+TEST(DeltaTest, ZeroWeightTwoCycleDetected) {
+  auto ab = Pair(kP, kQ, {Row({0, 0}, -1, 0)});
+  auto ba = Pair(kQ, kP, {Row({0, 0}, -1, 0)});
+  DeltaAssignment a = AssignDeltas({ab, ba}, {kP, kQ});
+  EXPECT_TRUE(a.non_positive_cycle);
+}
+
+TEST(DeltaTest, Example61Pattern) {
+  // delta_et = delta_tn = 0 forced; delta_ne = 1: the e->t->n->e cycle has
+  // weight 1, accepted.
+  auto et = Pair(kP, kQ, {Row({0, 0, 0}, -1, 0)});
+  auto tn = Pair(kQ, kR, {Row({0, 0, 0}, -1, 0)});
+  auto ne = Pair(kR, kP, {Row({0, 0, 2}, -1, 0)});
+  auto ee = Pair(kP, kP, {Row({4, 0, 0}, -1, 0)});
+  auto tt = Pair(kQ, kQ, {Row({0, 4, 0}, -1, 0)});
+  DeltaAssignment a = AssignDeltas({et, tn, ne, ee, tt}, {kP, kQ, kR});
+  EXPECT_EQ(a.values.at({kP, kQ}), 0);
+  EXPECT_EQ(a.values.at({kQ, kR}), 0);
+  EXPECT_EQ(a.values.at({kR, kP}), 1);
+  EXPECT_EQ(a.values.at({kP, kP}), 1);
+  EXPECT_FALSE(a.non_positive_cycle);
+}
+
+TEST(DeltaTest, MultipleRowsAnyForcingRowWins) {
+  auto d = Pair(kP, kP, {Row({1}, -1, 0), Row({0}, -1, 0)});
+  DeltaAssignment a = AssignDeltas({d}, {kP});
+  EXPECT_EQ(a.values.at({kP, kP}), 0);
+  EXPECT_TRUE(a.non_positive_cycle);
+}
+
+TEST(DeltaTest, RowsWithoutDeltaNeverForce) {
+  auto d = Pair(kP, kP, {Row({-1}, 0, -5), Row({1}, -1, 0)});
+  DeltaAssignment a = AssignDeltas({d}, {kP});
+  EXPECT_EQ(a.values.at({kP, kP}), 1);
+}
+
+}  // namespace
+}  // namespace termilog

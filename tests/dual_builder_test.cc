@@ -1,0 +1,223 @@
+#include "core/dual_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+Program MustParse(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+PredId Pred(const Program& p, const char* name, int arity) {
+  return PredId{p.symbols().Lookup(name), arity};
+}
+
+// Solves min c.theta subject to the derived rows with delta fixed, theta
+// nonnegative. Used to probe the reduced systems of the worked examples.
+Rational MinimizeUnderDerived(const DerivedConstraints& derived, int T,
+                              const std::vector<Rational>& objective,
+                              int64_t delta,
+                              const std::vector<Constraint>& extra = {}) {
+  ConstraintSystem sys(T);
+  for (const ThetaRow& row : derived.rows) {
+    Constraint c;
+    c.rel = Relation::kGe;
+    c.coeffs = row.theta_coeffs;
+    c.constant = row.constant + row.delta_coeff * Rational(delta);
+    sys.Add(std::move(c));
+  }
+  for (const Constraint& c : extra) sys.Add(c);
+  LpResult r = SimplexSolver::Minimize(sys, objective);
+  EXPECT_EQ(r.status, LpStatus::kOptimal);
+  return r.objective;
+}
+
+TEST(DualBuilderTest, ThetaSpaceLayout) {
+  std::map<PredId, int> counts;
+  PredId a{1, 2}, b{2, 3};
+  counts[a] = 2;
+  counts[b] = 1;
+  ThetaSpace space(counts);
+  EXPECT_EQ(space.total(), 3);
+  EXPECT_EQ(space.Column(a, 0), 0);
+  EXPECT_EQ(space.Column(a, 1), 1);
+  EXPECT_EQ(space.Column(b, 0), 2);
+  EXPECT_EQ(space.CountFor(a), 2);
+  EXPECT_EQ(space.CountFor(PredId{9, 9}), 0);
+}
+
+TEST(DualBuilderTest, PaperExample41ReducedConstraint) {
+  // End-to-end Eq. 9 for the perm rule: the reduced system must force
+  // 2*theta >= delta, i.e. theta >= 1/2 at delta = 1 (Example 4.1).
+  Program p = MustParse(R"(
+    perm([], []).
+    perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  ArgSizeDb db;
+  db.Set(Pred(p, "append", 3),
+         ArgSizeDb::ParseSpec(3, "a1 + a2 = a3").value());
+  std::map<PredId, Adornment> modes;
+  modes[Pred(p, "perm", 2)] = {Mode::kBound, Mode::kFree};
+  modes[Pred(p, "append", 3)] = {Mode::kFree, Mode::kFree, Mode::kBound};
+  RuleSystemBuilder builder(p, modes, db);
+  Result<RuleSubgoalSystem> sys = builder.BuildOne(1, 2);
+  ASSERT_TRUE(sys.ok());
+
+  std::map<PredId, int> counts;
+  counts[Pred(p, "perm", 2)] = 1;
+  ThetaSpace space(counts);
+  Result<DerivedConstraints> derived = BuildDerivedConstraints(*sys, space);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived->i, Pred(p, "perm", 2));
+  EXPECT_EQ(derived->j, Pred(p, "perm", 2));
+  // min theta at delta=1 must be exactly 1/2.
+  EXPECT_EQ(MinimizeUnderDerived(*derived, 1, {Rational(1)}, 1),
+            Rational(1, 2));
+  // And delta = 0 admits theta = 0.
+  EXPECT_EQ(MinimizeUnderDerived(*derived, 1, {Rational(1)}, 0), Rational(0));
+}
+
+TEST(DualBuilderTest, PaperExample51MergeReducedConstraints) {
+  // Example 5.1: combining both recursive rules must force
+  // theta1 = theta2 >= 1/2.
+  Program p = MustParse(R"(
+    merge([], Ys, Ys).
+    merge(Xs, [], Xs).
+    merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).
+    merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).
+  )");
+  ArgSizeDb db;
+  std::map<PredId, Adornment> modes;
+  PredId merge = Pred(p, "merge", 3);
+  modes[merge] = {Mode::kBound, Mode::kBound, Mode::kFree};
+  RuleSystemBuilder builder(p, modes, db);
+  std::map<PredId, int> counts;
+  counts[merge] = 2;
+  ThetaSpace space(counts);
+
+  ConstraintSystem combined(2);
+  for (int rule : {2, 3}) {
+    Result<RuleSubgoalSystem> sys = builder.BuildOne(rule, 1);
+    ASSERT_TRUE(sys.ok());
+    Result<DerivedConstraints> derived = BuildDerivedConstraints(*sys, space);
+    ASSERT_TRUE(derived.ok());
+    for (const ThetaRow& row : derived->rows) {
+      Constraint c;
+      c.rel = Relation::kGe;
+      c.coeffs = row.theta_coeffs;
+      c.constant = row.constant + row.delta_coeff;  // delta = 1
+      combined.Add(std::move(c));
+    }
+  }
+  // theta1 - theta2 = 0 is entailed; min(theta1 + theta2) = 1.
+  std::vector<Rational> diff = {Rational(1), Rational(-1)};
+  LpResult lo = SimplexSolver::Minimize(combined, diff);
+  LpResult hi = SimplexSolver::Maximize(combined, diff);
+  ASSERT_EQ(lo.status, LpStatus::kOptimal);
+  ASSERT_EQ(hi.status, LpStatus::kOptimal);
+  EXPECT_EQ(lo.objective, Rational(0));
+  EXPECT_EQ(hi.objective, Rational(0));
+  LpResult sum =
+      SimplexSolver::Minimize(combined, {Rational(1), Rational(1)});
+  ASSERT_EQ(sum.status, LpStatus::kOptimal);
+  EXPECT_EQ(sum.objective, Rational(1));
+}
+
+TEST(DualBuilderTest, PaperExample61Constraints) {
+  // Example 6.1: 4*theta_e >= delta_ee from rule 1, delta_et forced to 0
+  // by rule 2, and 2*theta_n >= delta_ne from rule 5.
+  Program p = MustParse(R"(
+    e(L, T) :- t(L, ['+'|C]), e(C, T).
+    e(L, T) :- t(L, T).
+    t(L, T) :- n(L, ['*'|C]), t(C, T).
+    t(L, T) :- n(L, T).
+    n(['('|A], T) :- e(A, [')'|T]).
+    n([L|T], T) :- z(L).
+  )");
+  ArgSizeDb db;
+  for (const char* name : {"e", "t", "n"}) {
+    db.Set(Pred(p, name, 2), ArgSizeDb::ParseSpec(2, "a1 >= 2 + a2").value());
+  }
+  std::map<PredId, Adornment> modes;
+  for (const char* name : {"e", "t", "n"}) {
+    modes[Pred(p, name, 2)] = {Mode::kBound, Mode::kFree};
+  }
+  RuleSystemBuilder builder(p, modes, db);
+  std::map<PredId, int> counts;
+  for (const char* name : {"e", "t", "n"}) counts[Pred(p, name, 2)] = 1;
+  ThetaSpace space(counts);
+  PredId e = Pred(p, "e", 2), t = Pred(p, "t", 2), n = Pred(p, "n", 2);
+  int ec = space.Column(e, 0), tc = space.Column(t, 0),
+      nc = space.Column(n, 0);
+
+  // Rule 0, subgoal e (index 1): 4 theta_e >= delta_ee.
+  {
+    Result<RuleSubgoalSystem> sys = builder.BuildOne(0, 1);
+    ASSERT_TRUE(sys.ok());
+    Result<DerivedConstraints> derived = BuildDerivedConstraints(*sys, space);
+    ASSERT_TRUE(derived.ok());
+    std::vector<Rational> obj(3);
+    obj[ec] = Rational(1);
+    EXPECT_EQ(MinimizeUnderDerived(*derived, 3, obj, 1), Rational(1, 4));
+  }
+  // Rule 1 (e :- t): the constant row is -delta_et >= 0: at delta = 1 the
+  // system is infeasible, at delta = 0 it forces theta_e >= theta_t.
+  {
+    Result<RuleSubgoalSystem> sys = builder.BuildOne(1, 0);
+    ASSERT_TRUE(sys.ok());
+    Result<DerivedConstraints> derived = BuildDerivedConstraints(*sys, space);
+    ASSERT_TRUE(derived.ok());
+    bool forces_zero = false;
+    for (const ThetaRow& row : derived->rows) {
+      if (row.delta_coeff.sign() < 0 && row.constant.sign() <= 0) {
+        bool no_positive = true;
+        for (const Rational& c : row.theta_coeffs) {
+          if (c.sign() > 0) no_positive = false;
+        }
+        if (no_positive) forces_zero = true;
+      }
+    }
+    EXPECT_TRUE(forces_zero);
+  }
+  // Rule 4 (n :- e): 2 theta_n >= delta_ne, not forced to zero.
+  {
+    Result<RuleSubgoalSystem> sys = builder.BuildOne(4, 0);
+    ASSERT_TRUE(sys.ok());
+    Result<DerivedConstraints> derived = BuildDerivedConstraints(*sys, space);
+    ASSERT_TRUE(derived.ok());
+    std::vector<Rational> obj(3);
+    obj[nc] = Rational(1);
+    std::vector<Constraint> tie;  // theta_e = theta_n not needed: gamma >= alpha
+    EXPECT_EQ(MinimizeUnderDerived(*derived, 3, obj, 1), Rational(1, 2));
+    (void)tc;
+  }
+}
+
+TEST(DualBuilderTest, NoImportsMeansNoWColumns) {
+  Program p = MustParse("f([X|Xs]) :- f(Xs).");
+  ArgSizeDb db;
+  std::map<PredId, Adornment> modes;
+  PredId f = Pred(p, "f", 1);
+  modes[f] = {Mode::kBound};
+  RuleSystemBuilder builder(p, modes, db);
+  Result<RuleSubgoalSystem> sys = builder.BuildOne(0, 0);
+  ASSERT_TRUE(sys.ok());
+  std::map<PredId, int> counts{{f, 1}};
+  ThetaSpace space(counts);
+  Result<DerivedConstraints> derived = BuildDerivedConstraints(*sys, space);
+  ASSERT_TRUE(derived.ok());
+  // theta*2 >= delta (head is 2+X+Xs, subgoal Xs).
+  EXPECT_EQ(MinimizeUnderDerived(*derived, 1, {Rational(1)}, 1),
+            Rational(1, 2));
+}
+
+}  // namespace
+}  // namespace termilog

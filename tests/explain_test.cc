@@ -1,0 +1,78 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+Program MustParse(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+std::string Explain(const char* corpus_name) {
+  const CorpusEntry* entry = FindCorpusEntry(corpus_name);
+  EXPECT_NE(entry, nullptr);
+  Program program = MustParse(entry->source);
+  AnalysisOptions options;
+  options.apply_transformations = entry->needs_transformations;
+  options.allow_negative_deltas = entry->needs_negative_deltas;
+  options.supplied_constraints = entry->supplied_constraints;
+  Result<std::string> trace =
+      ExplainAnalysis(program, entry->query, options);
+  EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+  return trace.ok() ? *trace : "";
+}
+
+TEST(ExplainTest, MergeTraceShowsThePaperMatrices) {
+  std::string trace = Explain("merge");
+  // Example 5.1's a vector and the reduced constraint 2*theta2 >= delta.
+  EXPECT_NE(trace.find("x = a + A phi: constant (2, 2)"), std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("y = b + B phi: constant (2, 0)"), std::string::npos);
+  EXPECT_NE(trace.find("2*theta[merge][2] - delta(merge,merge) >= 0"),
+            std::string::npos);
+  EXPECT_NE(trace.find("TERMINATES (proved)"), std::string::npos);
+  EXPECT_NE(trace.find("certificate"), std::string::npos);
+}
+
+TEST(ExplainTest, PermTraceShowsImportedConstraintAndDelta) {
+  std::string trace = Explain("perm");
+  EXPECT_NE(trace.find("a1 + a2 - a3 = 0"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("delta(perm,perm) = 1"), std::string::npos);
+  EXPECT_NE(trace.find("TERMINATES (proved)"), std::string::npos);
+}
+
+TEST(ExplainTest, ParserTraceShowsForcedDeltas) {
+  std::string trace = Explain("expr_parser");
+  EXPECT_NE(trace.find("delta(e,t) = 0   (forced to 0 by a derived row)"),
+            std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("delta(n,e) = 1"), std::string::npos);
+}
+
+TEST(ExplainTest, NonPositiveCycleCalledOut) {
+  std::string trace = Explain("grow");
+  EXPECT_NE(trace.find("NON-POSITIVE CYCLE"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("UNKNOWN"), std::string::npos);
+}
+
+TEST(ExplainTest, NonRecursiveSccsLabeled) {
+  Program p = MustParse("f(X) :- g(X). g(a).");
+  Result<std::string> trace = ExplainAnalysis(p, "f(b)");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace->find("non-recursive: nothing to prove"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, BadQueryPropagatesError) {
+  Program p = MustParse("f(a).");
+  EXPECT_FALSE(ExplainAnalysis(p, "missing(b)").ok());
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,140 @@
+#include "graph/digraph.h"
+#include "graph/minplus.h"
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+namespace termilog {
+namespace {
+
+TEST(DigraphTest, EdgesAreIdempotent) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.Successors(0).size(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(SccTest, ChainIsAllSingletons) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  auto sccs = StronglyConnectedComponents(g);
+  ASSERT_EQ(sccs.size(), 3u);
+  // Reverse topological: callee (2) first.
+  EXPECT_EQ(sccs[0], std::vector<int>{2});
+  EXPECT_EQ(sccs[2], std::vector<int>{0});
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  auto sccs = StronglyConnectedComponents(g);
+  ASSERT_EQ(sccs.size(), 2u);
+  EXPECT_EQ(sccs[0], std::vector<int>{3});
+  EXPECT_EQ(sccs[1], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SccTest, ReverseTopologicalOrderGeneral) {
+  // Two SCCs {0,1} -> {2,3}: callee component must come first.
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);
+  auto sccs = StronglyConnectedComponents(g);
+  ASSERT_EQ(sccs.size(), 2u);
+  EXPECT_EQ(sccs[0], (std::vector<int>{2, 3}));
+  EXPECT_EQ(sccs[1], (std::vector<int>{0, 1}));
+}
+
+TEST(SccTest, RecursiveComponentDetection) {
+  Digraph g(3);
+  g.AddEdge(0, 0);  // self loop
+  g.AddEdge(1, 2);
+  auto sccs = StronglyConnectedComponents(g);
+  for (const auto& scc : sccs) {
+    if (scc == std::vector<int>{0}) {
+      EXPECT_TRUE(IsRecursiveComponent(g, scc));
+    } else {
+      EXPECT_FALSE(IsRecursiveComponent(g, scc));
+    }
+  }
+}
+
+TEST(SccTest, DeepChainNoStackOverflow) {
+  const int n = 200000;
+  Digraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  auto sccs = StronglyConnectedComponents(g);
+  EXPECT_EQ(sccs.size(), static_cast<size_t>(n));
+}
+
+TEST(MinPlusTest, ShortestPaths) {
+  MinPlusClosure c(3);
+  c.AddEdge(0, 1, 2);
+  c.AddEdge(1, 2, 3);
+  c.AddEdge(0, 2, 10);
+  c.Run();
+  EXPECT_EQ(c.Distance(0, 2), 5);
+  EXPECT_EQ(c.Distance(2, 0), MinPlusClosure::kInfinity);
+}
+
+TEST(MinPlusTest, ParallelEdgesKeepMinimum) {
+  MinPlusClosure c(2);
+  c.AddEdge(0, 1, 5);
+  c.AddEdge(0, 1, 2);
+  c.Run();
+  EXPECT_EQ(c.Distance(0, 1), 2);
+}
+
+TEST(MinPlusTest, PositiveCyclePasses) {
+  // The paper's Example 6.1 delta graph: e->t 0, t->n 0, n->e 1,
+  // self-loops e->e 1, t->t 1.
+  MinPlusClosure c(3);
+  c.AddEdge(0, 1, 0);
+  c.AddEdge(1, 2, 0);
+  c.AddEdge(2, 0, 1);
+  c.AddEdge(0, 0, 1);
+  c.AddEdge(1, 1, 1);
+  c.Run();
+  EXPECT_FALSE(c.HasNonPositiveCycle());
+}
+
+TEST(MinPlusTest, ZeroCycleDetected) {
+  MinPlusClosure c(2);
+  c.AddEdge(0, 1, 0);
+  c.AddEdge(1, 0, 0);
+  c.Run();
+  EXPECT_TRUE(c.HasNonPositiveCycle());
+  EXPECT_GE(c.NonPositiveCycleNode(), 0);
+}
+
+TEST(MinPlusTest, ZeroSelfLoopDetected) {
+  MinPlusClosure c(1);
+  c.AddEdge(0, 0, 0);
+  c.Run();
+  EXPECT_TRUE(c.HasNonPositiveCycle());
+}
+
+TEST(MinPlusTest, NoEdgesNoCycle) {
+  MinPlusClosure c(3);
+  c.Run();
+  EXPECT_FALSE(c.HasNonPositiveCycle());
+}
+
+TEST(MinPlusTest, NegativeCycleDetected) {
+  MinPlusClosure c(2);
+  c.AddEdge(0, 1, -2);
+  c.AddEdge(1, 0, 1);
+  c.Run();
+  EXPECT_TRUE(c.HasNonPositiveCycle());
+}
+
+}  // namespace
+}  // namespace termilog

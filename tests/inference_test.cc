@@ -1,0 +1,169 @@
+#include "constraints/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+Constraint Ge(std::vector<int64_t> coeffs, int64_t constant) {
+  Constraint row;
+  for (int64_t c : coeffs) row.coeffs.emplace_back(c);
+  row.constant = Rational(constant);
+  row.rel = Relation::kGe;
+  return row;
+}
+
+Constraint Eq(std::vector<int64_t> coeffs, int64_t constant) {
+  Constraint row = Ge(std::move(coeffs), constant);
+  row.rel = Relation::kEq;
+  return row;
+}
+
+Program MustParse(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+PredId Pred(const Program& p, const char* name, int arity) {
+  return PredId{p.symbols().Lookup(name), arity};
+}
+
+TEST(InferenceTest, AppendThreeVariableConstraint) {
+  // The paper's Section 3 imported constraint:
+  // 0 = append1 + append2 - append3.
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  ArgSizeDb db;
+  ASSERT_TRUE(ConstraintInference::Run(p, &db).ok());
+  Polyhedron append = db.Get(Pred(p, "append", 3));
+  EXPECT_TRUE(append.Entails(Eq({1, 1, -1}, 0)));
+  EXPECT_TRUE(append.Entails(Ge({1, 0, 0}, 0)));
+}
+
+TEST(InferenceTest, ExprParserSameSccConstraint) {
+  // The paper's Example 6.1 imported constraint t1 >= 2 + t2 (and the same
+  // for e and n), inferred across the mutually recursive SCC.
+  Program p = MustParse(R"(
+    e(L, T) :- t(L, ['+'|C]), e(C, T).
+    e(L, T) :- t(L, T).
+    t(L, T) :- n(L, ['*'|C]), t(C, T).
+    t(L, T) :- n(L, T).
+    n(['('|A], T) :- e(A, [')'|T]).
+    n([L|T], T) :- z(L).
+  )");
+  ArgSizeDb db;
+  ASSERT_TRUE(ConstraintInference::Run(p, &db).ok());
+  for (const char* name : {"e", "t", "n"}) {
+    Polyhedron knowledge = db.Get(Pred(p, name, 2));
+    EXPECT_TRUE(knowledge.Entails(Ge({1, -1}, -2)))
+        << name << ":\n" << knowledge.ToString();
+  }
+}
+
+TEST(InferenceTest, ReverseLengthEquality) {
+  Program p = MustParse(R"(
+    rev([], []).
+    rev([X|Xs], R) :- rev(Xs, T), append(T, [X], R).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  ArgSizeDb db;
+  ASSERT_TRUE(ConstraintInference::Run(p, &db).ok());
+  // |rev1| = |rev2| exactly (reverse preserves size).
+  EXPECT_TRUE(db.Get(Pred(p, "rev", 2)).Entails(Eq({1, -1}, 0)));
+}
+
+TEST(InferenceTest, PartitionSplitsSizes) {
+  Program p = MustParse(R"(
+    part(P, [], [], []).
+    part(P, [X|Xs], [X|L], G) :- X =< P, part(P, Xs, L, G).
+    part(P, [X|Xs], L, [X|G]) :- P < X, part(P, Xs, L, G).
+  )");
+  ArgSizeDb db;
+  ASSERT_TRUE(ConstraintInference::Run(p, &db).ok());
+  // part2 = part3 + part4.
+  EXPECT_TRUE(db.Get(Pred(p, "part", 4)).Entails(Eq({0, 1, -1, -1}, 0)));
+}
+
+TEST(InferenceTest, MinusArithmeticIdentity) {
+  Program p = MustParse(
+      "minus(X, z, X). minus(s(X), s(Y), Z) :- minus(X, Y, Z).");
+  ArgSizeDb db;
+  ASSERT_TRUE(ConstraintInference::Run(p, &db).ok());
+  // minus1 = minus2 + minus3.
+  EXPECT_TRUE(db.Get(Pred(p, "minus", 3)).Entails(Eq({1, -1, -1}, 0)));
+}
+
+TEST(InferenceTest, EmptyPredicateStaysEmpty) {
+  // p has no base case: no derivable facts at all.
+  Program p = MustParse("p(f(X)) :- p(X).");
+  ArgSizeDb db;
+  ASSERT_TRUE(ConstraintInference::Run(p, &db).ok());
+  EXPECT_TRUE(db.Get(Pred(p, "p", 1)).IsEmpty());
+}
+
+TEST(InferenceTest, EdbDependentRuleDerivesNothingExtra) {
+  // q depends on unknown EDB e: sizes unconstrained beyond nonnegativity,
+  // but the +2 from the cons cell survives.
+  Program p = MustParse("q([X|Xs]) :- e(X, Xs).");
+  ArgSizeDb db;
+  ASSERT_TRUE(ConstraintInference::Run(p, &db).ok());
+  Polyhedron q = db.Get(Pred(p, "q", 1));
+  EXPECT_TRUE(q.Entails(Ge({1}, -2)));   // |arg| >= 2
+  EXPECT_FALSE(q.Entails(Ge({1}, -3)));
+}
+
+TEST(InferenceTest, SuppliedEntriesAreNotOverwritten) {
+  Program p = MustParse("q(X) :- e(X).");
+  ArgSizeDb db;
+  Polyhedron supplied = ArgSizeDb::ParseSpec(1, "a1 >= 7").value();
+  db.Set(Pred(p, "e", 1), supplied);
+  ASSERT_TRUE(ConstraintInference::Run(p, &db).ok());
+  EXPECT_TRUE(db.Get(Pred(p, "e", 1)).Entails(Ge({1}, -7)));
+  // And q picked the knowledge up through instantiation.
+  EXPECT_TRUE(db.Get(Pred(p, "q", 1)).Entails(Ge({1}, -7)));
+}
+
+TEST(InferenceTest, WideningForcesConvergenceOnCounters) {
+  // nat grows unboundedly: the loop must converge by widening, keeping
+  // nonnegativity but no upper bound.
+  Program p = MustParse("nat(z). nat(s(N)) :- nat(N).");
+  ArgSizeDb db;
+  std::map<PredId, InferenceStats> stats;
+  ASSERT_TRUE(
+      ConstraintInference::Run(p, &db, InferenceOptions(), &stats).ok());
+  Polyhedron nat = db.Get(Pred(p, "nat", 1));
+  EXPECT_FALSE(nat.IsEmpty());
+  EXPECT_TRUE(nat.Entails(Ge({1}, 0)));
+  EXPECT_FALSE(nat.Entails(Ge({-1}, 1000)));  // no fake upper bound
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats.begin()->second.reached_fixpoint);
+}
+
+TEST(InferenceTest, StatsReportSweeps) {
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  ArgSizeDb db;
+  std::map<PredId, InferenceStats> stats;
+  ASSERT_TRUE(
+      ConstraintInference::Run(p, &db, InferenceOptions(), &stats).ok());
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_GE(stats.begin()->second.sweeps, 2);
+}
+
+TEST(InferenceTest, RuleTransferOnEmptyBodyPolyhedronIsEmpty) {
+  Program p = MustParse("q(X) :- r(X). r(X) :- r(X).");
+  ArgSizeDb db;
+  std::map<PredId, Polyhedron> current;
+  current.emplace(Pred(p, "r", 1), Polyhedron::Empty(1));
+  Result<Polyhedron> q = ConstraintInference::RuleTransfer(
+      p, p.rules()[0], current, db, FmOptions());
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->IsEmpty());
+}
+
+}  // namespace
+}  // namespace termilog

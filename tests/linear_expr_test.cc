@@ -1,0 +1,80 @@
+#include "linalg/linear_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace termilog {
+namespace {
+
+TEST(LinearExprTest, ZeroDefault) {
+  LinearExpr e;
+  EXPECT_TRUE(e.IsZero());
+  EXPECT_TRUE(e.IsConstant());
+  EXPECT_EQ(e.MaxVar(), -1);
+}
+
+TEST(LinearExprTest, VariableAndCoeffs) {
+  LinearExpr e = LinearExpr::Variable(3);
+  EXPECT_EQ(e.Coeff(3), Rational(1));
+  EXPECT_EQ(e.Coeff(2), Rational(0));
+  EXPECT_EQ(e.MaxVar(), 3);
+  e.SetCoeff(3, Rational(0));
+  EXPECT_TRUE(e.IsZero());
+}
+
+TEST(LinearExprTest, AdditionMergesTerms) {
+  LinearExpr a = LinearExpr::Variable(0) + LinearExpr::Variable(1);
+  LinearExpr b = LinearExpr::Variable(1) * Rational(2) + LinearExpr(Rational(5));
+  LinearExpr sum = a + b;
+  EXPECT_EQ(sum.Coeff(0), Rational(1));
+  EXPECT_EQ(sum.Coeff(1), Rational(3));
+  EXPECT_EQ(sum.constant(), Rational(5));
+}
+
+TEST(LinearExprTest, SubtractionCancelsToZero) {
+  LinearExpr a = LinearExpr::Variable(0) * Rational(2) + LinearExpr(Rational(1));
+  LinearExpr diff = a - a;
+  EXPECT_TRUE(diff.IsZero());
+  EXPECT_TRUE(diff.coeffs().empty());  // no stored zero entries
+}
+
+TEST(LinearExprTest, ScaleByZeroClears) {
+  LinearExpr a = LinearExpr::Variable(0) + LinearExpr(Rational(7));
+  EXPECT_TRUE((a * Rational(0)).IsZero());
+}
+
+TEST(LinearExprTest, Substitute) {
+  // 2*x0 + x1 + 1 with x0 := x2 + 3  ->  2*x2 + x1 + 7.
+  LinearExpr e = LinearExpr::Variable(0) * Rational(2) +
+                 LinearExpr::Variable(1) + LinearExpr(Rational(1));
+  LinearExpr replacement = LinearExpr::Variable(2) + LinearExpr(Rational(3));
+  LinearExpr out = e.Substitute(0, replacement);
+  EXPECT_EQ(out.Coeff(0), Rational(0));
+  EXPECT_EQ(out.Coeff(1), Rational(1));
+  EXPECT_EQ(out.Coeff(2), Rational(2));
+  EXPECT_EQ(out.constant(), Rational(7));
+}
+
+TEST(LinearExprTest, SubstituteAbsentVarIsIdentity) {
+  LinearExpr e = LinearExpr::Variable(1);
+  EXPECT_EQ(e.Substitute(0, LinearExpr(Rational(9))), e);
+}
+
+TEST(LinearExprTest, Evaluate) {
+  LinearExpr e = LinearExpr::Variable(0) * Rational(2) +
+                 LinearExpr::Variable(2) * Rational(-1) +
+                 LinearExpr(Rational(4));
+  std::vector<Rational> point = {Rational(3), Rational(100), Rational(5)};
+  EXPECT_EQ(e.Evaluate(point), Rational(5));  // 6 - 5 + 4
+}
+
+TEST(LinearExprTest, ToStringReadable) {
+  LinearExpr e = LinearExpr(Rational(3)) + LinearExpr::Variable(0) +
+                 LinearExpr::Variable(4) * Rational(2) +
+                 LinearExpr::Variable(5) * Rational(-1);
+  EXPECT_EQ(e.ToString(), "3 + x0 + 2*x4 - x5");
+  LinearExpr zero;
+  EXPECT_EQ(zero.ToString(), "0");
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,60 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace termilog {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.At(1, 2), Rational(0));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3);
+  m.At(0, 1) = Rational(5);
+  m.At(1, 2) = Rational(-7);
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.At(1, 0), Rational(5));
+  EXPECT_EQ(t.At(2, 1), Rational(-7));
+}
+
+TEST(MatrixTest, Apply) {
+  // [[1,2],[3,4]] * (5,6) = (17, 39).
+  Matrix m(2, 2);
+  m.At(0, 0) = Rational(1);
+  m.At(0, 1) = Rational(2);
+  m.At(1, 0) = Rational(3);
+  m.At(1, 1) = Rational(4);
+  std::vector<Rational> out = m.Apply({Rational(5), Rational(6)});
+  EXPECT_EQ(out[0], Rational(17));
+  EXPECT_EQ(out[1], Rational(39));
+}
+
+TEST(MatrixTest, AllNonNegative) {
+  Matrix m(2, 2);
+  EXPECT_TRUE(m.AllNonNegative());
+  m.At(0, 1) = Rational(3);
+  EXPECT_TRUE(m.AllNonNegative());
+  m.At(1, 0) = Rational(-1, 2);
+  EXPECT_FALSE(m.AllNonNegative());
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix m(3, 2);
+  int v = 1;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) m.At(r, c) = Rational(v++);
+  }
+  Matrix tt = m.Transposed().Transposed();
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(tt.At(r, c), m.At(r, c));
+  }
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,101 @@
+#include "program/modes.h"
+
+#include <gtest/gtest.h>
+
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+Program MustParse(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+PredId Pred(const Program& p, const char* name, int arity) {
+  return PredId{p.symbols().Lookup(name), arity};
+}
+
+TEST(ModesTest, SimpleLinearRecursion) {
+  Program p = MustParse("append([],Y,Y). append([X|Xs],Y,[X|Zs]) :- "
+                        "append(Xs,Y,Zs).");
+  ModeAnalysisResult r = InferModes(p, Pred(p, "append", 3),
+                                    {Mode::kBound, Mode::kBound, Mode::kFree});
+  ASSERT_FALSE(r.HasConflicts());
+  EXPECT_EQ(AdornmentToString(r.adornments.at(Pred(p, "append", 3))), "bbf");
+}
+
+TEST(ModesTest, PositiveSubgoalBindsItsVariables) {
+  Program p = MustParse("q(X,Y) :- e(X,Z), r(Z,Y). r(A,B) :- f(A,B).");
+  ModeAnalysisResult r =
+      InferModes(p, Pred(p, "q", 2), {Mode::kBound, Mode::kFree});
+  // Z is bound after e(X,Z), so r is called as r(b,f).
+  EXPECT_EQ(AdornmentToString(r.adornments.at(Pred(p, "r", 2))), "bf");
+}
+
+TEST(ModesTest, NegativeSubgoalBindsNothing) {
+  Program p = MustParse("q(X,Y) :- \\+ e(X,Z), r(Z,Y). r(A,B) :- f(A,B).");
+  ModeAnalysisResult r =
+      InferModes(p, Pred(p, "q", 2), {Mode::kBound, Mode::kFree});
+  // Z stays free through the negated subgoal.
+  EXPECT_EQ(AdornmentToString(r.adornments.at(Pred(p, "r", 2))), "ff");
+}
+
+TEST(ModesTest, GroundArgumentIsBound) {
+  Program p = MustParse("q(X) :- r([a,b], X). r(A,B) :- e(A,B).");
+  ModeAnalysisResult r = InferModes(p, Pred(p, "q", 1), {Mode::kFree});
+  EXPECT_EQ(AdornmentToString(r.adornments.at(Pred(p, "r", 2))), "bf");
+}
+
+TEST(ModesTest, ConflictDetected) {
+  // perm calls append with two different adornments.
+  Program p = MustParse(R"(
+    perm([], []).
+    perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  ModeAnalysisResult r =
+      InferModes(p, Pred(p, "perm", 2), {Mode::kBound, Mode::kFree});
+  EXPECT_TRUE(r.HasConflicts());
+  EXPECT_EQ(r.conflicted.count(Pred(p, "append", 3)), 1u);
+}
+
+TEST(ModesTest, PartiallyBoundCompoundIsFree) {
+  // [X|F] with X bound and F free is a free argument.
+  Program p = MustParse("q(X) :- r([X|F]). r(A) :- e(A).");
+  ModeAnalysisResult r = InferModes(p, Pred(p, "q", 1), {Mode::kBound});
+  EXPECT_EQ(AdornmentToString(r.adornments.at(Pred(p, "r", 1))), "f");
+}
+
+TEST(ModesTest, BoundVarsAtPositions) {
+  Program p = MustParse("q(X,Y) :- e(X,A), f(A,B), g(B,Y).");
+  const Rule& rule = p.rules()[0];
+  Adornment head = {Mode::kBound, Mode::kFree};
+  // Before literal 0: only X (var 0).
+  EXPECT_EQ(BoundVarsAt(rule, head, 0).size(), 1u);
+  // After e(X,A): X and A.
+  EXPECT_EQ(BoundVarsAt(rule, head, 1).size(), 2u);
+  // After f(A,B): X, A, B.
+  EXPECT_EQ(BoundVarsAt(rule, head, 2).size(), 3u);
+  // After g(B,Y): all four.
+  EXPECT_EQ(BoundVarsAt(rule, head, 3).size(), 4u);
+}
+
+TEST(ModesTest, AtomAdornmentHelper) {
+  Program p = MustParse("q(X,Y,Z) :- r(X, [Y|W], a).");
+  const Atom& atom = p.rules()[0].body[0].atom;
+  std::set<int> bound = {0, 1};  // X, Y bound; W free
+  Adornment a = AtomAdornment(atom, bound);
+  EXPECT_EQ(AdornmentToString(a), "bfb");
+}
+
+TEST(ModesTest, UnreachedPredicatesAbsent) {
+  Program p = MustParse("q(X) :- r(X). r(X) :- e(X). s(X) :- s(X).");
+  ModeAnalysisResult r = InferModes(p, Pred(p, "q", 1), {Mode::kBound});
+  EXPECT_EQ(r.adornments.count(Pred(p, "s", 1)), 0u);
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,152 @@
+// End-to-end reproduction of the paper's four worked examples, asserting
+// the specific intermediate artifacts and certificates the paper reports.
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "corpus/corpus.h"
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+Program MustParse(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+TerminationReport Analyze(const CorpusEntry& entry) {
+  Program program = MustParse(entry.source);
+  AnalysisOptions options;
+  options.apply_transformations = entry.needs_transformations;
+  options.allow_negative_deltas = entry.needs_negative_deltas;
+  options.supplied_constraints = entry.supplied_constraints;
+  TerminationAnalyzer analyzer(options);
+  Result<TerminationReport> report = analyzer.Analyze(program, entry.query);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+const SccReport* FindProvedScc(const TerminationReport& report,
+                               const char* pred_name) {
+  for (const SccReport& scc : report.sccs) {
+    for (const PredId& pred : scc.preds) {
+      std::string name = report.analyzed_program.symbols().Name(pred.symbol);
+      if (name == pred_name ||
+          name.rfind(std::string(pred_name) + "__", 0) == 0) {
+        return &scc;
+      }
+    }
+  }
+  return nullptr;
+}
+
+TEST(PaperExamplesTest, Example31PermProvedWithThetaHalf) {
+  // "termination can be demonstrated using theta = 1/2" (Example 4.1) --
+  // the feasible point the solver finds must satisfy 2*theta >= 1, and
+  // the minimal solution is exactly 1/2 (checked in dual_builder_test);
+  // here we assert the end-to-end verdict and a valid certificate.
+  const CorpusEntry* entry = FindCorpusEntry("perm");
+  ASSERT_NE(entry, nullptr);
+  TerminationReport r = Analyze(*entry);
+  EXPECT_TRUE(r.proved) << r.ToString();
+  const SccReport* perm = FindProvedScc(r, "perm");
+  ASSERT_NE(perm, nullptr);
+  EXPECT_EQ(perm->status, SccStatus::kProved);
+  const auto& theta = perm->certificate.theta.begin()->second;
+  ASSERT_EQ(theta.size(), 1u);
+  EXPECT_GE(theta[0], Rational(1, 2));
+  // The imported feasibility constraint was the inferred
+  // append1 + append2 = append3.
+  bool append_known = false;
+  for (const auto& [pred, poly] : r.arg_sizes.entries()) {
+    std::string name = r.analyzed_program.symbols().Name(pred.symbol);
+    if (name.rfind("append", 0) == 0 && pred.arity == 3) {
+      Constraint row;
+      row.coeffs = {Rational(1), Rational(1), Rational(-1)};
+      row.constant = Rational(0);
+      row.rel = Relation::kEq;
+      if (poly.Entails(row)) append_known = true;
+    }
+  }
+  EXPECT_TRUE(append_known);
+}
+
+TEST(PaperExamplesTest, Example51MergeProvedWithEqualWeights) {
+  // "theta1 = theta2 >= 1/2 ... the sum of two bound arguments always
+  // decreases in every recursive call."
+  const CorpusEntry* entry = FindCorpusEntry("merge");
+  ASSERT_NE(entry, nullptr);
+  TerminationReport r = Analyze(*entry);
+  EXPECT_TRUE(r.proved) << r.ToString();
+  const SccReport* merge = FindProvedScc(r, "merge");
+  ASSERT_NE(merge, nullptr);
+  const auto& theta = merge->certificate.theta.begin()->second;
+  ASSERT_EQ(theta.size(), 2u);
+  EXPECT_EQ(theta[0], theta[1]);
+  EXPECT_GE(theta[0], Rational(1, 2));
+}
+
+TEST(PaperExamplesTest, Example61ParserProvedWithDeltaPattern) {
+  // Mutual + nonlinear recursion; delta_et = delta_tn = 0 forced,
+  // delta_ne = 1, all predicates get theta >= 1/2.
+  const CorpusEntry* entry = FindCorpusEntry("expr_parser");
+  ASSERT_NE(entry, nullptr);
+  TerminationReport r = Analyze(*entry);
+  EXPECT_TRUE(r.proved) << r.ToString();
+  const SccReport* scc = FindProvedScc(r, "e");
+  ASSERT_NE(scc, nullptr);
+  EXPECT_EQ(scc->preds.size(), 3u);
+  const SymbolTable& symbols = r.analyzed_program.symbols();
+  auto delta_of = [&](const char* from, const char* to) {
+    for (const auto& [edge, value] : scc->certificate.delta) {
+      if (symbols.Name(edge.first.symbol) == from &&
+          symbols.Name(edge.second.symbol) == to) {
+        return value;
+      }
+    }
+    ADD_FAILURE() << "missing delta " << from << "->" << to;
+    return Rational(-999);
+  };
+  EXPECT_EQ(delta_of("e", "t"), Rational(0));
+  EXPECT_EQ(delta_of("t", "n"), Rational(0));
+  EXPECT_EQ(delta_of("n", "e"), Rational(1));
+  EXPECT_EQ(delta_of("e", "e"), Rational(1));
+  EXPECT_EQ(delta_of("t", "t"), Rational(1));
+  for (const auto& [pred, theta] : scc->certificate.theta) {
+    (void)pred;
+    ASSERT_EQ(theta.size(), 1u);
+    EXPECT_GE(theta[0], Rational(1, 2));
+  }
+}
+
+TEST(PaperExamplesTest, ExampleA1RawFormNotProved) {
+  // "Our algorithm does not detect termination of these rules in their
+  // present form."
+  const CorpusEntry* entry = FindCorpusEntry("example_a1_raw");
+  ASSERT_NE(entry, nullptr);
+  TerminationReport r = Analyze(*entry);
+  EXPECT_FALSE(r.proved);
+}
+
+TEST(PaperExamplesTest, ExampleA1ProvedAfterTransformations) {
+  // "a sequence of automatic syntactic transformations puts the rules into
+  // a form in which termination is easily detected."
+  const CorpusEntry* entry = FindCorpusEntry("example_a1");
+  ASSERT_NE(entry, nullptr);
+  TerminationReport r = Analyze(*entry);
+  EXPECT_TRUE(r.proved) << r.ToString();
+  // p must have been exposed as non-recursive.
+  const SymbolTable& symbols = r.analyzed_program.symbols();
+  for (const SccReport& scc : r.sccs) {
+    for (const PredId& pred : scc.preds) {
+      if (symbols.Name(pred.symbol) == "p") {
+        EXPECT_EQ(scc.status, SccStatus::kNonRecursive);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace termilog

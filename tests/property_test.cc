@@ -1,0 +1,239 @@
+// Property-based sweeps over randomized inputs (seeded, deterministic):
+// Fourier-Motzkin projection vs exact LP, simplex duality, convex-hull
+// containment, unification laws, and size-polynomial soundness.
+
+#include <gtest/gtest.h>
+
+#include "fm/fourier_motzkin.h"
+#include "fm/polyhedron.h"
+#include "lp/simplex.h"
+#include "program/parser.h"
+#include "term/size.h"
+#include "term/unify.h"
+
+namespace termilog {
+namespace {
+
+// Small deterministic PRNG (xorshift) so failures reproduce.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  int64_t Range(int64_t lo, int64_t hi) {  // inclusive
+    return lo + static_cast<int64_t>(Next() % (hi - lo + 1));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+ConstraintSystem RandomSystem(Rng* rng, int num_vars, int num_rows) {
+  ConstraintSystem sys(num_vars);
+  for (int r = 0; r < num_rows; ++r) {
+    Constraint row;
+    row.rel = rng->Range(0, 4) == 0 ? Relation::kEq : Relation::kGe;
+    row.coeffs.resize(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      row.coeffs[v] = Rational(rng->Range(-3, 3));
+    }
+    row.constant = Rational(rng->Range(-5, 5));
+    sys.Add(std::move(row));
+  }
+  return sys;
+}
+
+class FmLpAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmLpAgreement, ProjectionPreservesFeasibilityAndOptima) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.Range(2, 4));
+  const int rows = static_cast<int>(rng.Range(2, 6));
+  ConstraintSystem sys = RandomSystem(&rng, n, rows);
+  std::vector<int> keep;
+  for (int v = 0; v < n; ++v) {
+    if (rng.Range(0, 1) == 0 || v == 0) keep.push_back(v);
+  }
+  Result<ConstraintSystem> projected = FourierMotzkin::Project(sys, keep);
+  ASSERT_TRUE(projected.ok());
+
+  std::vector<bool> free_full(n, true);
+  std::vector<bool> free_proj(keep.size(), true);
+  LpResult full = SimplexSolver::FindFeasible(sys, free_full);
+  ConstraintSystem proj_checked = *projected;
+  bool proj_consistent = proj_checked.Simplify();
+  LpResult proj = proj_consistent
+                      ? SimplexSolver::FindFeasible(proj_checked, free_proj)
+                      : LpResult{};
+  EXPECT_EQ(full.status == LpStatus::kOptimal,
+            proj_consistent && proj.status == LpStatus::kOptimal);
+
+  if (full.status == LpStatus::kOptimal) {
+    // The projection of the witness satisfies the projected system.
+    std::vector<Rational> shadow;
+    for (int v : keep) shadow.push_back(full.point[v]);
+    EXPECT_TRUE(projected->SatisfiedBy(shadow));
+    // Optima along each kept axis agree (exactness of FM).
+    for (size_t k = 0; k < keep.size(); ++k) {
+      std::vector<Rational> obj_full(n), obj_proj(keep.size());
+      obj_full[keep[k]] = Rational(1);
+      obj_proj[k] = Rational(1);
+      LpResult a = SimplexSolver::Minimize(sys, obj_full, free_full);
+      LpResult b = SimplexSolver::Minimize(proj_checked, obj_proj, free_proj);
+      ASSERT_EQ(a.status, b.status);
+      if (a.status == LpStatus::kOptimal) {
+        EXPECT_EQ(a.objective, b.objective);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmLpAgreement, ::testing::Range(1, 41));
+
+class SimplexDuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexDuality, StrongDualityOnRandomPrograms) {
+  // Primal: min c.x st A x >= b, x >= 0. Dual: max b.y st A^T y <= c, y>=0.
+  Rng rng(GetParam() + 1000);
+  const int n = static_cast<int>(rng.Range(2, 4));
+  const int m = static_cast<int>(rng.Range(2, 4));
+  std::vector<std::vector<int64_t>> A(m, std::vector<int64_t>(n));
+  std::vector<int64_t> b(m), c(n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) A[i][j] = rng.Range(-2, 3);
+    b[i] = rng.Range(-4, 4);
+  }
+  for (int j = 0; j < n; ++j) c[j] = rng.Range(0, 4);
+
+  ConstraintSystem primal(n);
+  for (int i = 0; i < m; ++i) {
+    Constraint row;
+    row.rel = Relation::kGe;
+    for (int j = 0; j < n; ++j) row.coeffs.emplace_back(A[i][j]);
+    row.constant = Rational(-b[i]);
+    primal.Add(std::move(row));
+  }
+  std::vector<Rational> c_obj;
+  for (int64_t v : c) c_obj.emplace_back(v);
+  LpResult p = SimplexSolver::Minimize(primal, c_obj);
+
+  ConstraintSystem dual(m);
+  for (int j = 0; j < n; ++j) {
+    Constraint row;
+    row.rel = Relation::kGe;
+    for (int i = 0; i < m; ++i) row.coeffs.emplace_back(-A[i][j]);
+    row.constant = Rational(c[j]);
+    dual.Add(std::move(row));
+  }
+  std::vector<Rational> b_obj;
+  for (int64_t v : b) b_obj.emplace_back(v);
+  LpResult d = SimplexSolver::Maximize(dual, b_obj);
+
+  if (p.status == LpStatus::kOptimal && d.status == LpStatus::kOptimal) {
+    EXPECT_EQ(p.objective, d.objective);
+  }
+  if (p.status == LpStatus::kOptimal) {
+    EXPECT_NE(d.status, LpStatus::kUnbounded);
+  }
+  if (p.status == LpStatus::kUnbounded) {
+    EXPECT_NE(d.status, LpStatus::kOptimal);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexDuality, ::testing::Range(1, 41));
+
+class HullProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(HullProperties, HullContainsBothAndIsIdempotent) {
+  Rng rng(GetParam() + 2000);
+  const int n = static_cast<int>(rng.Range(1, 3));
+  Polyhedron a = Polyhedron::FromSystem(RandomSystem(&rng, n, 3));
+  Polyhedron b = Polyhedron::FromSystem(RandomSystem(&rng, n, 3));
+  Result<Polyhedron> hull = Polyhedron::ConvexHull(a, b);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_TRUE(hull->Contains(a));
+  EXPECT_TRUE(hull->Contains(b));
+  // hull(hull, a) == hull.
+  Result<Polyhedron> again = Polyhedron::ConvexHull(*hull, a);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->Equals(*hull));
+  // Widening is an upper bound.
+  Polyhedron widened = a.Widen(*hull);
+  EXPECT_TRUE(widened.Contains(*hull));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HullProperties, ::testing::Range(1, 31));
+
+class UnifyProperties : public ::testing::TestWithParam<int> {};
+
+TermPtr RandomTerm(Rng* rng, SymbolTable* symbols, int depth) {
+  int choice = static_cast<int>(rng->Range(0, 5));
+  if (depth <= 0 || choice <= 1) {
+    if (choice == 0) {
+      return Term::MakeVariable(static_cast<int>(rng->Range(0, 3)));
+    }
+    const char* names[] = {"a", "b", "c"};
+    return Term::MakeConstant(symbols->Intern(names[rng->Range(0, 2)]));
+  }
+  const char* functors[] = {"f", "g"};
+  int functor = symbols->Intern(functors[rng->Range(0, 1)]);
+  int arity = static_cast<int>(rng->Range(1, 2));
+  std::vector<TermPtr> args;
+  for (int i = 0; i < arity; ++i) {
+    args.push_back(RandomTerm(rng, symbols, depth - 1));
+  }
+  return Term::MakeCompound(functor, std::move(args));
+}
+
+TEST_P(UnifyProperties, UnifierReallyUnifies) {
+  Rng rng(GetParam() + 3000);
+  SymbolTable symbols;
+  for (int i = 0; i < 30; ++i) {
+    TermPtr a = RandomTerm(&rng, &symbols, 3);
+    TermPtr b = RandomTerm(&rng, &symbols, 3);
+    Substitution subst;
+    if (subst.Unify(a, b, /*occurs_check=*/true)) {
+      EXPECT_TRUE(Term::Equal(subst.Apply(a), subst.Apply(b)))
+          << a->ToString(symbols) << " vs " << b->ToString(symbols);
+    }
+    // Unification is symmetric in success.
+    Substitution reverse;
+    EXPECT_EQ(Unifiable(a, b), Unifiable(b, a));
+  }
+}
+
+TEST_P(UnifyProperties, SizeOfInstanceMatchesPolynomial) {
+  // For any substitution sigma and term t:
+  // size(t sigma) = poly_t evaluated at the sizes of sigma's bindings.
+  Rng rng(GetParam() + 4000);
+  SymbolTable symbols;
+  for (int i = 0; i < 20; ++i) {
+    TermPtr t = RandomTerm(&rng, &symbols, 3);
+    Substitution subst;
+    for (int v = 0; v < 4; ++v) {
+      // Bind each variable to a random GROUND term.
+      TermPtr ground = RandomTerm(&rng, &symbols, 2);
+      if (!ground->IsGround()) {
+        ground = Term::MakeConstant(symbols.Intern("a"));
+      }
+      subst.Bind(v, ground);
+    }
+    TermPtr instance = subst.Apply(t);
+    ASSERT_TRUE(instance->IsGround());
+    LinearExpr poly = StructuralSize(t);
+    std::vector<Rational> var_sizes(4);
+    for (int v = 0; v < 4; ++v) {
+      var_sizes[v] = Rational(GroundSize(subst.Apply(Term::MakeVariable(v))));
+    }
+    EXPECT_EQ(Rational(GroundSize(instance)), poly.Evaluate(var_sizes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnifyProperties, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,94 @@
+#include "rational/rational.h"
+
+#include <gtest/gtest.h>
+
+namespace termilog {
+namespace {
+
+TEST(RationalTest, NormalizationReducesAndFixesSign) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.num(), BigInt(3));
+  EXPECT_EQ(r.den(), BigInt(4));
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), BigInt(-1));
+  EXPECT_EQ(neg.den(), BigInt(2));
+  Rational zero(0, -7);
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.den(), BigInt(1));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(RationalTest, ComparisonCrossMultiplies) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+}
+
+TEST(RationalTest, ToStringForms) {
+  EXPECT_EQ(Rational(5).ToString(), "5");
+  EXPECT_EQ(Rational(-5).ToString(), "-5");
+  EXPECT_EQ(Rational(1, 2).ToString(), "1/2");
+  EXPECT_EQ(Rational(-1, 2).ToString(), "-1/2");
+  EXPECT_EQ(Rational().ToString(), "0");
+}
+
+TEST(RationalTest, FromString) {
+  EXPECT_EQ(Rational::FromString("3/4").value(), Rational(3, 4));
+  EXPECT_EQ(Rational::FromString("-3/4").value(), Rational(-3, 4));
+  EXPECT_EQ(Rational::FromString("17").value(), Rational(17));
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("a/b").ok());
+}
+
+TEST(RationalTest, InverseAndAbs) {
+  EXPECT_EQ(Rational(-2, 3).Inverse(), Rational(-3, 2));
+  EXPECT_EQ(Rational(-2, 3).Abs(), Rational(2, 3));
+  EXPECT_EQ(Rational(5).Inverse(), Rational(1, 5));
+}
+
+TEST(RationalTest, IsInteger) {
+  EXPECT_TRUE(Rational(4, 2).is_integer());
+  EXPECT_FALSE(Rational(1, 2).is_integer());
+  EXPECT_TRUE(Rational().is_integer());
+}
+
+TEST(RationalTest, FieldAxiomsRandom) {
+  unsigned seed = 7;
+  auto next = [&seed]() {
+    seed = seed * 1103515245 + 12345;
+    int64_t num = static_cast<int64_t>(seed % 41) - 20;
+    seed = seed * 1103515245 + 12345;
+    int64_t den = 1 + static_cast<int64_t>(seed % 19);
+    return Rational(num, den);
+  };
+  for (int i = 0; i < 200; ++i) {
+    Rational a = next(), b = next(), c = next();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(), a);
+    EXPECT_EQ(a * Rational(1), a);
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.Inverse(), Rational(1));
+    }
+  }
+}
+
+TEST(RationalTest, NoPrecisionLossOnLongChains) {
+  // 1/3 summed 3000 times is exactly 1000.
+  Rational sum;
+  for (int i = 0; i < 3000; ++i) sum += Rational(1, 3);
+  EXPECT_EQ(sum, Rational(1000));
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,100 @@
+// The capture-rule reordering search (paper introduction / [Ull85]).
+
+#include "transform/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include "interp/sld.h"
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+Program MustParse(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+TEST(ReorderTest, AlreadyProvedIsUntouched) {
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  Result<ReorderResult> r = FindTerminatingOrder(p, "append(b,f,f)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->proved);
+  EXPECT_EQ(r->attempts, 1);
+  EXPECT_TRUE(r->log.empty());
+}
+
+TEST(ReorderTest, MovesProducerBeforeRecursiveCall) {
+  // As written, the recursive tc(Z,Y)... wait: t(X) :- t(Y), edge(X,Y).
+  // calls t with an UNBOUND argument; moving edge(X,Y) first binds Y and
+  // the supplied well-founded edge constraint proves termination.
+  Program p = MustParse("t(X) :- t(Y), edge(X, Y). t(X) :- leafish(X).");
+  ReorderOptions options;
+  options.analysis.supplied_constraints = {{"edge/2", "a1 >= 1 + a2"}};
+  Result<ReorderResult> r = FindTerminatingOrder(p, "t(b)", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->proved) << r->report.ToString();
+  ASSERT_EQ(r->log.size(), 1u);
+  EXPECT_NE(r->log[0].find("t(X) :- edge(X,Y), t(Y)."), std::string::npos)
+      << r->log[0];
+}
+
+TEST(ReorderTest, QuicksortWithPartitionLast) {
+  // Partition after the recursive calls: the recursive arguments are
+  // unbound and unconstrained. The search must move part/4 to the front.
+  Program p = MustParse(R"(
+    qs([], []).
+    qs([X|Xs], S) :- qs(L, SL), qs(G, SG), part(X, Xs, L, G),
+                     append(SL, [X|SG], S).
+    part(P, [], [], []).
+    part(P, [X|Xs], [X|L], G) :- X =< P, part(P, Xs, L, G).
+    part(P, [X|Xs], L, [X|G]) :- P < X, part(P, Xs, L, G).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  ReorderOptions options;
+  options.max_attempts = 128;
+  Result<ReorderResult> r = FindTerminatingOrder(p, "qs(b,f)", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->proved) << r->report.ToString();
+  // The reordered program must actually run top-down.
+  Result<SldResult> run = RunQuery(r->program, "qs([3,1,2],S)");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->outcome, SldOutcome::kExhausted);
+  EXPECT_EQ(run->num_solutions, 1u);
+}
+
+TEST(ReorderTest, HopelessProgramReportsNotProved) {
+  Program p = MustParse("q(X) :- q(f(X)), e(X).");
+  Result<ReorderResult> r = FindTerminatingOrder(p, "q(b)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->proved);
+  EXPECT_GE(r->attempts, 2);  // it did try the other order
+}
+
+TEST(ReorderTest, AttemptBudgetRespected) {
+  Program p = MustParse(
+      "q(X) :- a(X), b(X), c(X), d(X), q(f(X)).");
+  ReorderOptions options;
+  options.max_attempts = 5;
+  Result<ReorderResult> r = FindTerminatingOrder(p, "q(b)", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->proved);
+  EXPECT_LE(r->attempts, 5);
+}
+
+TEST(ReorderTest, LongBodiesSkipped) {
+  Program p = MustParse(
+      "q(X) :- a(X), b(X), c(X), d(X), e(X), f(X), q(g(X)).");
+  ReorderOptions options;
+  options.max_body_length = 5;
+  Result<ReorderResult> r = FindTerminatingOrder(p, "q(b)", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->proved);
+  EXPECT_EQ(r->attempts, 1);  // 7-literal body is out of scope
+}
+
+}  // namespace
+}  // namespace termilog

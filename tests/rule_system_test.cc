@@ -1,0 +1,185 @@
+#include "core/rule_system.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/inference.h"
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+Program MustParse(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+PredId Pred(const Program& p, const char* name, int arity) {
+  return PredId{p.symbols().Lookup(name), arity};
+}
+
+TEST(RuleSystemTest, PaperExample31PermMatrices) {
+  // Example 3.1: the a/A, b/B, c/C blocks for the perm rule.
+  Program p = MustParse(R"(
+    perm([], []).
+    perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  ArgSizeDb db;
+  db.Set(Pred(p, "append", 3), ArgSizeDb::ParseSpec(3, "a1 + a2 = a3").value());
+  std::map<PredId, Adornment> modes;
+  modes[Pred(p, "perm", 2)] = {Mode::kBound, Mode::kFree};
+  modes[Pred(p, "append", 3)] = {Mode::kFree, Mode::kFree, Mode::kBound};
+  RuleSystemBuilder builder(p, modes, db);
+  // Rule index 1 is the recursive perm rule; subgoal index 2 is perm(P1,L).
+  Result<RuleSubgoalSystem> sys = builder.BuildOne(1, 2);
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  EXPECT_EQ(sys->nx(), 1);
+  EXPECT_EQ(sys->ny(), 1);
+  EXPECT_EQ(sys->num_imported(), 2);  // two append subgoals
+  // phi = (P, X, L, E, F, P1): all logical variables, no slacks (equality
+  // imports need none).
+  EXPECT_EQ(sys->num_phi(), 6);
+  // a = (0), A = row of 1 on P's column.
+  EXPECT_EQ(sys->a[0], Rational(0));
+  int p_col = -1, p1_col = -1, x_col = -1, e_col = -1, f_col = -1;
+  for (int k = 0; k < sys->num_phi(); ++k) {
+    if (sys->phi[k].name == "P") p_col = k;
+    if (sys->phi[k].name == "P1") p1_col = k;
+    if (sys->phi[k].name == "X") x_col = k;
+    if (sys->phi[k].name == "E") e_col = k;
+    if (sys->phi[k].name == "F") f_col = k;
+  }
+  ASSERT_GE(p_col, 0);
+  ASSERT_GE(p1_col, 0);
+  EXPECT_EQ(sys->A.At(0, p_col), Rational(1));
+  EXPECT_EQ(sys->b[0], Rational(0));
+  EXPECT_EQ(sys->B.At(0, p1_col), Rational(1));
+  // First append import: 0 = 2 + E + X + F - P (the paper's c = [2],
+  // C = [-1 1 0 1 1 0] row over (P,X,L,E,F,P1)); rows are equalities, so
+  // compare up to a global sign.
+  Rational sign = sys->c[0].sign() >= 0 ? Rational(1) : Rational(-1);
+  EXPECT_EQ(sys->c[0] * sign, Rational(2));
+  EXPECT_EQ(sys->C.At(0, e_col) * sign, Rational(1));
+  EXPECT_EQ(sys->C.At(0, x_col) * sign, Rational(1));
+  EXPECT_EQ(sys->C.At(0, f_col) * sign, Rational(1));
+  EXPECT_EQ(sys->C.At(0, p_col) * sign, Rational(-1));
+}
+
+TEST(RuleSystemTest, PaperExample51MergeMatrices) {
+  Program p = MustParse(R"(
+    merge([], Ys, Ys).
+    merge(Xs, [], Xs).
+    merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).
+    merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).
+  )");
+  ArgSizeDb db;
+  std::map<PredId, Adornment> modes;
+  modes[Pred(p, "merge", 3)] = {Mode::kBound, Mode::kBound, Mode::kFree};
+  RuleSystemBuilder builder(p, modes, db);
+  Result<RuleSubgoalSystem> sys = builder.BuildOne(2, 1);
+  ASSERT_TRUE(sys.ok());
+  // Paper: a = (2,2), b = (2,0); C empty (X =< Y contributes nothing).
+  EXPECT_EQ(sys->nx(), 2);
+  EXPECT_EQ(sys->a[0], Rational(2));
+  EXPECT_EQ(sys->a[1], Rational(2));
+  EXPECT_EQ(sys->b[0], Rational(2));
+  EXPECT_EQ(sys->b[1], Rational(0));
+  EXPECT_EQ(sys->num_imported(), 0);
+  // phi = (X, Xs, Y, Ys, Zs).
+  EXPECT_EQ(sys->num_phi(), 5);
+  EXPECT_TRUE(sys->A.AllNonNegative());
+  EXPECT_TRUE(sys->B.AllNonNegative());
+}
+
+TEST(RuleSystemTest, InequalityImportGetsSlack) {
+  // Example 6.1 rule 1: the t import t1 >= 2 + t2 becomes an equality with
+  // one slack column.
+  Program p = MustParse(R"(
+    e(L, T) :- t(L, ['+'|C]), e(C, T).
+    t(L, T) :- z(L, T).
+  )");
+  ArgSizeDb db;
+  db.Set(Pred(p, "t", 2), ArgSizeDb::ParseSpec(2, "a1 >= 2 + a2").value());
+  std::map<PredId, Adornment> modes;
+  modes[Pred(p, "e", 2)] = {Mode::kBound, Mode::kFree};
+  modes[Pred(p, "t", 2)] = {Mode::kBound, Mode::kFree};
+  RuleSystemBuilder builder(p, modes, db);
+  Result<RuleSubgoalSystem> sys = builder.BuildOne(0, 1);
+  ASSERT_TRUE(sys.ok());
+  EXPECT_EQ(sys->num_imported(), 1);
+  // phi = (L, T, C) + one slack.
+  EXPECT_EQ(sys->num_phi(), 4);
+  EXPECT_EQ(sys->phi.back().kind, PhiVar::Kind::kSlack);
+}
+
+TEST(RuleSystemTest, BuildForSccFindsAllPairs) {
+  Program p = MustParse(R"(
+    ms([], []).
+    ms([X,Y|Zs], S) :- split(Zs, Xs, Ys), ms([X|Xs], S1), ms([Y|Ys], S2).
+    split([], [], []).
+    split([X|Xs], [X|Ys], Zs) :- split(Xs, Zs, Ys).
+  )");
+  ArgSizeDb db;
+  std::map<PredId, Adornment> modes;
+  modes[Pred(p, "ms", 2)] = {Mode::kBound, Mode::kFree};
+  modes[Pred(p, "split", 3)] = {Mode::kBound, Mode::kFree, Mode::kFree};
+  RuleSystemBuilder builder(p, modes, db);
+  Result<std::vector<RuleSubgoalSystem>> systems =
+      builder.BuildForScc({Pred(p, "ms", 2)});
+  ASSERT_TRUE(systems.ok());
+  EXPECT_EQ(systems->size(), 2u);  // the two recursive ms subgoals
+  EXPECT_EQ((*systems)[0].subgoal_index, 1);
+  EXPECT_EQ((*systems)[1].subgoal_index, 2);
+}
+
+TEST(RuleSystemTest, NegativePrecedingSubgoalDiscarded) {
+  // Appendix D: \+ guard before the recursive call contributes nothing.
+  Program p = MustParse(R"(
+    f([X|Xs], Ys) :- \+ bad(X), f(Xs, Ys).
+  )");
+  ArgSizeDb db;
+  db.Set(PredId{p.symbols().Lookup("bad"), 1},
+         ArgSizeDb::ParseSpec(1, "a1 >= 100").value());
+  std::map<PredId, Adornment> modes;
+  modes[Pred(p, "f", 2)] = {Mode::kBound, Mode::kFree};
+  RuleSystemBuilder builder(p, modes, db);
+  Result<RuleSubgoalSystem> sys = builder.BuildOne(0, 1);
+  ASSERT_TRUE(sys.ok());
+  EXPECT_EQ(sys->num_imported(), 0);
+}
+
+TEST(RuleSystemTest, NegativeRecursiveSubgoalTreatedAsPositive) {
+  Program p = MustParse("win(X) :- move(X, Y), \\+ win(Y).");
+  ArgSizeDb db;
+  std::map<PredId, Adornment> modes;
+  modes[Pred(p, "win", 1)] = {Mode::kBound};
+  RuleSystemBuilder builder(p, modes, db);
+  Result<std::vector<RuleSubgoalSystem>> systems =
+      builder.BuildForScc({Pred(p, "win", 1)});
+  ASSERT_TRUE(systems.ok());
+  ASSERT_EQ(systems->size(), 1u);
+  EXPECT_EQ((*systems)[0].subgoal_index, 1);
+}
+
+TEST(RuleSystemTest, UnreachablePairGetsContradictoryImport) {
+  // The preceding subgoal's knowledge is empty: the pair is encoded as
+  // primal-infeasible (0 = 1).
+  Program p = MustParse("q(X) :- r(X), q(X).");
+  ArgSizeDb db;
+  db.Set(PredId{p.symbols().Lookup("r"), 1}, Polyhedron::Empty(1));
+  std::map<PredId, Adornment> modes;
+  modes[Pred(p, "q", 1)] = {Mode::kBound};
+  RuleSystemBuilder builder(p, modes, db);
+  Result<RuleSubgoalSystem> sys = builder.BuildOne(0, 1);
+  ASSERT_TRUE(sys.ok());
+  ASSERT_EQ(sys->num_imported(), 1);
+  EXPECT_EQ(sys->c[0], Rational(1));
+  for (int k = 0; k < sys->num_phi(); ++k) {
+    EXPECT_EQ(sys->C.At(0, k), Rational(0));
+  }
+}
+
+}  // namespace
+}  // namespace termilog

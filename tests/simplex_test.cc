@@ -1,0 +1,160 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace termilog {
+namespace {
+
+Constraint Ge(std::vector<int64_t> coeffs, int64_t constant) {
+  Constraint row;
+  for (int64_t c : coeffs) row.coeffs.emplace_back(c);
+  row.constant = Rational(constant);
+  row.rel = Relation::kGe;
+  return row;
+}
+
+Constraint Eq(std::vector<int64_t> coeffs, int64_t constant) {
+  Constraint row = Ge(std::move(coeffs), constant);
+  row.rel = Relation::kEq;
+  return row;
+}
+
+std::vector<Rational> Obj(std::vector<int64_t> values) {
+  std::vector<Rational> out;
+  for (int64_t v : values) out.emplace_back(v);
+  return out;
+}
+
+TEST(SimplexTest, SimpleMaximize) {
+  // max x0 + x1 s.t. x0 + 2 x1 <= 4, 3 x0 + x1 <= 6, x >= 0.
+  ConstraintSystem sys(2);
+  sys.Add(Ge({-1, -2}, 4));
+  sys.Add(Ge({-3, -1}, 6));
+  LpResult r = SimplexSolver::Maximize(sys, Obj({1, 1}));
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(14, 5));  // x = (8/5, 6/5)
+}
+
+TEST(SimplexTest, SimpleMinimize) {
+  // min x0 s.t. x0 >= 3.
+  ConstraintSystem sys(1);
+  sys.Add(Ge({1}, -3));
+  LpResult r = SimplexSolver::Minimize(sys, Obj({1}));
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(3));
+  EXPECT_EQ(r.point[0], Rational(3));
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x0 >= 3 and x0 <= 1.
+  ConstraintSystem sys(1);
+  sys.Add(Ge({1}, -3));
+  sys.Add(Ge({-1}, 1));
+  EXPECT_EQ(SimplexSolver::FindFeasible(sys).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // max x0 with no upper bound.
+  ConstraintSystem sys(1);
+  sys.Add(Ge({1}, 0));
+  EXPECT_EQ(SimplexSolver::Maximize(sys, Obj({1})).status,
+            LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min x0 + x1 s.t. x0 + x1 = 10, x0 - x1 = 2.
+  ConstraintSystem sys(2);
+  sys.Add(Eq({1, 1}, -10));
+  sys.Add(Eq({1, -1}, -2));
+  LpResult r = SimplexSolver::Minimize(sys, Obj({1, 1}));
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.point[0], Rational(6));
+  EXPECT_EQ(r.point[1], Rational(4));
+}
+
+TEST(SimplexTest, FreeVariablesCanGoNegative) {
+  // min x0 s.t. x0 >= -5 with x0 free.
+  ConstraintSystem sys(1);
+  sys.Add(Ge({1}, 5));
+  LpResult r = SimplexSolver::Minimize(sys, Obj({1}), {true});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(-5));
+}
+
+TEST(SimplexTest, FreeVariableEquality) {
+  // x0 free, x1 >= 0: x0 + x1 = -3, min x1 -> x1 = 0, x0 = -3.
+  ConstraintSystem sys(2);
+  sys.Add(Eq({1, 1}, 3));
+  LpResult r = SimplexSolver::Minimize(sys, Obj({0, 1}), {true, false});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.point[0], Rational(-3));
+  EXPECT_EQ(r.point[1], Rational(0));
+}
+
+TEST(SimplexTest, ExactRationalOptimum) {
+  // max 2 x0 + 3 x1 s.t. 3 x0 + 4 x1 <= 1, x >= 0 -> 3/4 at (0, 1/4).
+  ConstraintSystem sys(2);
+  sys.Add(Ge({-3, -4}, 1));
+  LpResult r = SimplexSolver::Maximize(sys, Obj({2, 3}));
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(3, 4));
+}
+
+TEST(SimplexTest, RedundantRowsHandled) {
+  ConstraintSystem sys(2);
+  sys.Add(Eq({1, 1}, -4));
+  sys.Add(Eq({2, 2}, -8));  // same hyperplane
+  LpResult r = SimplexSolver::Minimize(sys, Obj({1, 0}));
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(0));
+}
+
+TEST(SimplexTest, DegenerateCyclingGuard) {
+  // Klee-Minty-flavored degenerate system; Bland's rule must terminate.
+  ConstraintSystem sys(3);
+  sys.Add(Ge({-1, 0, 0}, 5));
+  sys.Add(Ge({-4, -1, 0}, 25));
+  sys.Add(Ge({-8, -4, -1}, 125));
+  LpResult r = SimplexSolver::Maximize(sys, Obj({4, 2, 1}));
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(125));
+}
+
+TEST(SimplexTest, FeasiblePointSatisfiesSystem) {
+  ConstraintSystem sys(3);
+  sys.Add(Ge({1, 1, 1}, -6));
+  sys.Add(Ge({-1, 2, 0}, 3));
+  sys.Add(Eq({0, 1, -1}, 0));
+  LpResult r = SimplexSolver::FindFeasible(sys);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_TRUE(sys.SatisfiedBy(r.point));
+}
+
+TEST(SimplexTest, MinimizeEqualsNegatedMaximize) {
+  ConstraintSystem sys(2);
+  sys.Add(Ge({-1, -1}, 10));
+  LpResult mx = SimplexSolver::Maximize(sys, Obj({3, 2}));
+  LpResult mn = SimplexSolver::Minimize(sys, Obj({-3, -2}));
+  ASSERT_EQ(mx.status, LpStatus::kOptimal);
+  ASSERT_EQ(mn.status, LpStatus::kOptimal);
+  EXPECT_EQ(mx.objective, -mn.objective);
+}
+
+TEST(SimplexTest, DualityGapIsZero) {
+  // Primal: min c.x st Ax >= b, x >= 0; dual: max b.y st A^T y <= c, y>=0.
+  // A = [[1,2],[3,1]], b = (4,6), c = (5,4).
+  ConstraintSystem primal(2);
+  primal.Add(Ge({1, 2}, -4));
+  primal.Add(Ge({3, 1}, -6));
+  LpResult p = SimplexSolver::Minimize(primal, Obj({5, 4}));
+  ConstraintSystem dual(2);
+  dual.Add(Ge({-1, -3}, 5));
+  dual.Add(Ge({-2, -1}, 4));
+  LpResult d = SimplexSolver::Maximize(dual, Obj({4, 6}));
+  ASSERT_EQ(p.status, LpStatus::kOptimal);
+  ASSERT_EQ(d.status, LpStatus::kOptimal);
+  EXPECT_EQ(p.objective, d.objective);
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,89 @@
+#include "term/size.h"
+
+#include <gtest/gtest.h>
+
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+class SizeTest : public ::testing::Test {
+ protected:
+  TermPtr Parse(const char* text) {
+    Result<TermPtr> term = ParseTerm(text, &symbols_);
+    EXPECT_TRUE(term.ok()) << term.status().ToString();
+    return *term;
+  }
+  SymbolTable symbols_;
+};
+
+TEST_F(SizeTest, PaperListExample) {
+  // "the list a.b.c.[] has structural term size 6" (Section 2.2).
+  TermPtr list = Parse("[a,b,c]");
+  EXPECT_EQ(GroundSize(list), 6);
+}
+
+TEST_F(SizeTest, PaperPolynomialExample) {
+  // size of f(u, v, a) is 3 + u + v (Section 2.2).
+  TermPtr t = Parse("f(U, V, a)");
+  LinearExpr size = StructuralSize(t);
+  EXPECT_EQ(size.constant(), Rational(3));
+  EXPECT_EQ(size.Coeff(0), Rational(1));
+  EXPECT_EQ(size.Coeff(1), Rational(1));
+}
+
+TEST_F(SizeTest, PaperRepeatedVariableExample) {
+  // p(f(v1, g(v2), v2), v1): x1 = 4 + v1 + 2*v2, x2 = v1 (Section 2.2).
+  TermPtr arg1 = Parse("f(V1, g(V2), V2)");
+  LinearExpr s1 = StructuralSize(arg1);
+  EXPECT_EQ(s1.constant(), Rational(4));
+  EXPECT_EQ(s1.Coeff(0), Rational(1));  // V1
+  EXPECT_EQ(s1.Coeff(1), Rational(2));  // V2 occurs twice
+}
+
+TEST_F(SizeTest, VariableAlone) {
+  LinearExpr size = StructuralSize(Term::MakeVariable(5));
+  EXPECT_EQ(size.constant(), Rational(0));
+  EXPECT_EQ(size.Coeff(5), Rational(1));
+}
+
+TEST_F(SizeTest, ConstantsHaveSizeZero) {
+  EXPECT_EQ(GroundSize(Parse("a")), 0);
+  EXPECT_EQ(GroundSize(Parse("[]")), 0);
+  EXPECT_EQ(GroundSize(Parse("42")), 0);
+}
+
+TEST_F(SizeTest, ConsCellSize) {
+  // [X|Xs] = .(X, Xs): size 2 + X + Xs.
+  LinearExpr size = StructuralSize(Parse("[X|Xs]"));
+  EXPECT_EQ(size.constant(), Rational(2));
+  EXPECT_EQ(size.Coeff(0), Rational(1));
+  EXPECT_EQ(size.Coeff(1), Rational(1));
+}
+
+TEST_F(SizeTest, GroundSizeMatchesPolynomialOnGroundTerms) {
+  for (const char* text :
+       {"f(g(a),h(b,c))", "[[a],[b,c]]", "s(s(s(z)))", "node(leaf,leaf)"}) {
+    TermPtr t = Parse(text);
+    LinearExpr size = StructuralSize(t);
+    EXPECT_TRUE(size.IsConstant());
+    EXPECT_EQ(size.constant(), Rational(GroundSize(t))) << text;
+  }
+}
+
+TEST_F(SizeTest, NonnegativeCoefficientsAlways) {
+  // The Eq. 9 construction relies on size polynomials having nonnegative
+  // coefficients and constants.
+  for (const char* text :
+       {"f(X,X,X)", "[X,Y|Z]", "g(h(X,a),Y)", "X"}) {
+    LinearExpr size = StructuralSize(Parse(text));
+    EXPECT_GE(size.constant().sign(), 0);
+    for (const auto& [var, coeff] : size.coeffs()) {
+      (void)var;
+      EXPECT_GT(coeff.sign(), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,146 @@
+#include "interp/sld.h"
+
+#include <gtest/gtest.h>
+
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+Program MustParse(const std::string& source) {
+  Result<Program> program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+SldResult RunGoal(Program& program, const char* goal,
+              SldOptions options = SldOptions()) {
+  Result<SldResult> result = RunQuery(program, goal, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(SldTest, AppendEnumeratesOneSolution) {
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  SldResult r = RunGoal(p, "append([a,b],[c],R)");
+  EXPECT_EQ(r.outcome, SldOutcome::kExhausted);
+  EXPECT_EQ(r.num_solutions, 1u);
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(r.solutions[0]->ToString(p.symbols()),
+            "append([a,b],[c],[a,b,c])");
+}
+
+TEST(SldTest, AppendBackwardsEnumeratesSplits) {
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  SldResult r = RunGoal(p, "append(A,B,[a,b,c])");
+  EXPECT_EQ(r.outcome, SldOutcome::kExhausted);
+  EXPECT_EQ(r.num_solutions, 4u);
+}
+
+TEST(SldTest, FailingGoalExhausts) {
+  Program p = MustParse("p(a).");
+  SldResult r = RunGoal(p, "p(b)");
+  EXPECT_EQ(r.outcome, SldOutcome::kExhausted);
+  EXPECT_EQ(r.num_solutions, 0u);
+}
+
+TEST(SldTest, InfiniteLoopHitsDepthLimit) {
+  Program p = MustParse("p :- p.");
+  SldOptions options;
+  options.max_depth = 100;
+  SldResult r = RunGoal(p, "p", options);
+  EXPECT_EQ(r.outcome, SldOutcome::kDepthExceeded);
+}
+
+TEST(SldTest, GrowingGoalHitsLimit) {
+  Program p = MustParse("q(X) :- q(f(X)).");
+  SldOptions options;
+  options.max_depth = 200;
+  SldResult r = RunGoal(p, "q(a)", options);
+  EXPECT_EQ(r.outcome, SldOutcome::kDepthExceeded);
+}
+
+TEST(SldTest, SolutionLimitStopsEarly) {
+  Program p = MustParse("n(z). n(s(X)) :- n(X).");
+  SldOptions options;
+  options.max_solutions = 3;
+  SldResult r = RunGoal(p, "n(X)", options);
+  EXPECT_EQ(r.outcome, SldOutcome::kSolutionLimit);
+  EXPECT_EQ(r.num_solutions, 3u);
+}
+
+TEST(SldTest, UnificationBuiltin) {
+  Program p = MustParse("eq(X, Y) :- X = Y.");
+  SldResult r = RunGoal(p, "eq(f(A), f(b))");
+  EXPECT_EQ(r.num_solutions, 1u);
+  EXPECT_EQ(r.solutions[0]->ToString(p.symbols()), "eq(f(b),f(b))");
+  SldResult fail = RunGoal(p, "eq(a, b)");
+  EXPECT_EQ(fail.num_solutions, 0u);
+}
+
+TEST(SldTest, IntegerComparisons) {
+  Program p = MustParse("between(X, Y) :- X =< Y, Y >= X, X < Y.");
+  EXPECT_EQ(RunGoal(p, "between(1, 2)").num_solutions, 1u);
+  EXPECT_EQ(RunGoal(p, "between(2, 2)").num_solutions, 0u);  // strict < fails
+  EXPECT_EQ(RunGoal(p, "between(3, 2)").num_solutions, 0u);
+}
+
+TEST(SldTest, MergeSortsInterleavedInput) {
+  Program p = MustParse(R"(
+    merge([], Ys, Ys).
+    merge(Xs, [], Xs).
+    merge([X|Xs], [Y|Ys], [X|Zs]) :- X =< Y, merge([Y|Ys], Xs, Zs).
+    merge([X|Xs], [Y|Ys], [Y|Zs]) :- Y =< X, merge(Ys, [X|Xs], Zs).
+  )");
+  SldResult r = RunGoal(p, "merge([1,3],[2,4],R)");
+  EXPECT_EQ(r.outcome, SldOutcome::kExhausted);
+  ASSERT_GE(r.num_solutions, 1u);
+  EXPECT_EQ(r.solutions[0]->ToString(p.symbols()),
+            "merge([1,3],[2,4],[1,2,3,4])");
+}
+
+TEST(SldTest, NegationAsFailure) {
+  Program p = MustParse(R"(
+    bad(b).
+    ok(X) :- \+ bad(X).
+  )");
+  EXPECT_EQ(RunGoal(p, "ok(a)").num_solutions, 1u);
+  EXPECT_EQ(RunGoal(p, "ok(b)").num_solutions, 0u);
+}
+
+TEST(SldTest, StructuralEqualityBuiltins) {
+  Program p = MustParse("same(X, Y) :- X == Y. diff(X, Y) :- X \\== Y.");
+  EXPECT_EQ(RunGoal(p, "same(f(a), f(a))").num_solutions, 1u);
+  EXPECT_EQ(RunGoal(p, "same(f(a), f(b))").num_solutions, 0u);
+  EXPECT_EQ(RunGoal(p, "diff(f(a), f(b))").num_solutions, 1u);
+}
+
+TEST(SldTest, UnknownPredicateFails) {
+  Program p = MustParse("p(X) :- mystery(X).");
+  SldResult r = RunGoal(p, "p(a)");
+  EXPECT_EQ(r.outcome, SldOutcome::kExhausted);
+  EXPECT_EQ(r.num_solutions, 0u);
+}
+
+TEST(SldTest, PermEnumeratesAllPermutations) {
+  Program p = MustParse(R"(
+    perm([], []).
+    perm(P, [X|L]) :- append(E, [X|F], P), append(E, F, P1), perm(P1, L).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  SldResult r = RunGoal(p, "perm([a,b,c],Q)");
+  EXPECT_EQ(r.outcome, SldOutcome::kExhausted);
+  EXPECT_EQ(r.num_solutions, 6u);
+}
+
+TEST(SldTest, StepsAreCounted) {
+  Program p = MustParse("p(a).");
+  SldResult r = RunGoal(p, "p(a)");
+  EXPECT_GE(r.steps, 1);
+}
+
+}  // namespace
+}  // namespace termilog

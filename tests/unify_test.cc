@@ -1,0 +1,105 @@
+#include "term/unify.h"
+
+#include <gtest/gtest.h>
+
+namespace termilog {
+namespace {
+
+class UnifyTest : public ::testing::Test {
+ protected:
+  TermPtr Var(int v) { return Term::MakeVariable(v); }
+  TermPtr C(const char* name) {
+    return Term::MakeConstant(symbols_.Intern(name));
+  }
+  TermPtr F(const char* name, std::vector<TermPtr> args) {
+    return Term::MakeCompound(symbols_.Intern(name), std::move(args));
+  }
+  SymbolTable symbols_;
+};
+
+TEST_F(UnifyTest, VariableBindsToConstant) {
+  Substitution s;
+  EXPECT_TRUE(s.Unify(Var(0), C("a")));
+  EXPECT_TRUE(Term::Equal(s.Apply(Var(0)), C("a")));
+}
+
+TEST_F(UnifyTest, SymmetricBinding) {
+  Substitution s;
+  EXPECT_TRUE(s.Unify(C("a"), Var(0)));
+  EXPECT_TRUE(Term::Equal(s.Apply(Var(0)), C("a")));
+}
+
+TEST_F(UnifyTest, FunctorClashFails) {
+  Substitution s;
+  EXPECT_FALSE(s.Unify(C("a"), C("b")));
+  Substitution s2;
+  EXPECT_FALSE(s2.Unify(F("f", {Var(0)}), F("g", {Var(0)})));
+  Substitution s3;
+  EXPECT_FALSE(s3.Unify(F("f", {Var(0)}), F("f", {Var(0), Var(1)})));
+}
+
+TEST_F(UnifyTest, ChainedVariables) {
+  Substitution s;
+  EXPECT_TRUE(s.Unify(Var(0), Var(1)));
+  EXPECT_TRUE(s.Unify(Var(1), C("a")));
+  EXPECT_TRUE(Term::Equal(s.Apply(Var(0)), C("a")));
+}
+
+TEST_F(UnifyTest, StructuralDecomposition) {
+  // f(X, g(Y)) = f(a, g(b)).
+  Substitution s;
+  EXPECT_TRUE(s.Unify(F("f", {Var(0), F("g", {Var(1)})}),
+                      F("f", {C("a"), F("g", {C("b")})})));
+  EXPECT_TRUE(Term::Equal(s.Apply(Var(0)), C("a")));
+  EXPECT_TRUE(Term::Equal(s.Apply(Var(1)), C("b")));
+}
+
+TEST_F(UnifyTest, SharedVariableConstraint) {
+  // f(X, X) = f(a, b) must fail.
+  Substitution s;
+  EXPECT_FALSE(s.Unify(F("f", {Var(0), Var(0)}), F("f", {C("a"), C("b")})));
+  // f(X, X) = f(Y, a) binds both to a.
+  Substitution s2;
+  EXPECT_TRUE(s2.Unify(F("f", {Var(0), Var(0)}), F("f", {Var(1), C("a")})));
+  EXPECT_TRUE(Term::Equal(s2.Apply(Var(1)), C("a")));
+}
+
+TEST_F(UnifyTest, OccursCheck) {
+  Substitution with;
+  EXPECT_FALSE(with.Unify(Var(0), F("f", {Var(0)}), /*occurs_check=*/true));
+  Substitution without;
+  EXPECT_TRUE(without.Unify(Var(0), F("f", {Var(0)}),
+                            /*occurs_check=*/false));
+}
+
+TEST_F(UnifyTest, SelfUnifyVariable) {
+  Substitution s;
+  EXPECT_TRUE(s.Unify(Var(0), Var(0)));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST_F(UnifyTest, UnifiableDoesNotLeakBindings) {
+  EXPECT_TRUE(Unifiable(Var(0), C("a")));
+  EXPECT_FALSE(Unifiable(C("a"), C("b")));
+}
+
+TEST_F(UnifyTest, OffsetVariables) {
+  TermPtr t = F("f", {Var(0), F("g", {Var(2)})});
+  TermPtr shifted = OffsetVariables(t, 10);
+  std::set<int> vars;
+  shifted->CollectVariables(&vars);
+  EXPECT_EQ(vars, (std::set<int>{10, 12}));
+}
+
+TEST_F(UnifyTest, ApplyIsIdempotent) {
+  Substitution s;
+  ASSERT_TRUE(s.Unify(Var(0), F("f", {Var(1)})));
+  ASSERT_TRUE(s.Unify(Var(1), C("a")));
+  TermPtr once = s.Apply(Var(0));
+  TermPtr twice = s.Apply(once);
+  EXPECT_TRUE(Term::Equal(once, twice));
+  EXPECT_TRUE(once->IsGround());
+}
+
+}  // namespace
+}  // namespace termilog
