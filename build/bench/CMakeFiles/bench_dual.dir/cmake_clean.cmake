@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dual.dir/bench_dual.cc.o"
+  "CMakeFiles/bench_dual.dir/bench_dual.cc.o.d"
+  "bench_dual"
+  "bench_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

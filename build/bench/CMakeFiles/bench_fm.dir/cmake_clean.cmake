@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fm.dir/bench_fm.cc.o"
+  "CMakeFiles/bench_fm.dir/bench_fm.cc.o.d"
+  "bench_fm"
+  "bench_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rational.dir/bench_rational.cc.o"
+  "CMakeFiles/bench_rational.dir/bench_rational.cc.o.d"
+  "bench_rational"
+  "bench_rational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

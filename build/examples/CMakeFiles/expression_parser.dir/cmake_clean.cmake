@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_parser.dir/expression_parser.cpp.o"
+  "CMakeFiles/expression_parser.dir/expression_parser.cpp.o.d"
+  "expression_parser"
+  "expression_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/termilog_cli.dir/termilog_cli.cpp.o"
+  "CMakeFiles/termilog_cli.dir/termilog_cli.cpp.o.d"
+  "termilog_cli"
+  "termilog_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/termilog_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/argmap.cc" "src/CMakeFiles/termilog.dir/baselines/argmap.cc.o" "gcc" "src/CMakeFiles/termilog.dir/baselines/argmap.cc.o.d"
+  "/root/repo/src/baselines/naish.cc" "src/CMakeFiles/termilog.dir/baselines/naish.cc.o" "gcc" "src/CMakeFiles/termilog.dir/baselines/naish.cc.o.d"
+  "/root/repo/src/baselines/uvg.cc" "src/CMakeFiles/termilog.dir/baselines/uvg.cc.o" "gcc" "src/CMakeFiles/termilog.dir/baselines/uvg.cc.o.d"
+  "/root/repo/src/constraints/arg_size_db.cc" "src/CMakeFiles/termilog.dir/constraints/arg_size_db.cc.o" "gcc" "src/CMakeFiles/termilog.dir/constraints/arg_size_db.cc.o.d"
+  "/root/repo/src/constraints/inference.cc" "src/CMakeFiles/termilog.dir/constraints/inference.cc.o" "gcc" "src/CMakeFiles/termilog.dir/constraints/inference.cc.o.d"
+  "/root/repo/src/core/analyzer.cc" "src/CMakeFiles/termilog.dir/core/analyzer.cc.o" "gcc" "src/CMakeFiles/termilog.dir/core/analyzer.cc.o.d"
+  "/root/repo/src/core/certificate.cc" "src/CMakeFiles/termilog.dir/core/certificate.cc.o" "gcc" "src/CMakeFiles/termilog.dir/core/certificate.cc.o.d"
+  "/root/repo/src/core/delta.cc" "src/CMakeFiles/termilog.dir/core/delta.cc.o" "gcc" "src/CMakeFiles/termilog.dir/core/delta.cc.o.d"
+  "/root/repo/src/core/dual_builder.cc" "src/CMakeFiles/termilog.dir/core/dual_builder.cc.o" "gcc" "src/CMakeFiles/termilog.dir/core/dual_builder.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/termilog.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/termilog.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/rule_system.cc" "src/CMakeFiles/termilog.dir/core/rule_system.cc.o" "gcc" "src/CMakeFiles/termilog.dir/core/rule_system.cc.o.d"
+  "/root/repo/src/corpus/corpus.cc" "src/CMakeFiles/termilog.dir/corpus/corpus.cc.o" "gcc" "src/CMakeFiles/termilog.dir/corpus/corpus.cc.o.d"
+  "/root/repo/src/fm/fourier_motzkin.cc" "src/CMakeFiles/termilog.dir/fm/fourier_motzkin.cc.o" "gcc" "src/CMakeFiles/termilog.dir/fm/fourier_motzkin.cc.o.d"
+  "/root/repo/src/fm/polyhedron.cc" "src/CMakeFiles/termilog.dir/fm/polyhedron.cc.o" "gcc" "src/CMakeFiles/termilog.dir/fm/polyhedron.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/termilog.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/termilog.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/minplus.cc" "src/CMakeFiles/termilog.dir/graph/minplus.cc.o" "gcc" "src/CMakeFiles/termilog.dir/graph/minplus.cc.o.d"
+  "/root/repo/src/graph/scc.cc" "src/CMakeFiles/termilog.dir/graph/scc.cc.o" "gcc" "src/CMakeFiles/termilog.dir/graph/scc.cc.o.d"
+  "/root/repo/src/interp/bottom_up.cc" "src/CMakeFiles/termilog.dir/interp/bottom_up.cc.o" "gcc" "src/CMakeFiles/termilog.dir/interp/bottom_up.cc.o.d"
+  "/root/repo/src/interp/sld.cc" "src/CMakeFiles/termilog.dir/interp/sld.cc.o" "gcc" "src/CMakeFiles/termilog.dir/interp/sld.cc.o.d"
+  "/root/repo/src/linalg/constraint.cc" "src/CMakeFiles/termilog.dir/linalg/constraint.cc.o" "gcc" "src/CMakeFiles/termilog.dir/linalg/constraint.cc.o.d"
+  "/root/repo/src/linalg/linear_expr.cc" "src/CMakeFiles/termilog.dir/linalg/linear_expr.cc.o" "gcc" "src/CMakeFiles/termilog.dir/linalg/linear_expr.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/termilog.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/termilog.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/CMakeFiles/termilog.dir/lp/simplex.cc.o" "gcc" "src/CMakeFiles/termilog.dir/lp/simplex.cc.o.d"
+  "/root/repo/src/program/ast.cc" "src/CMakeFiles/termilog.dir/program/ast.cc.o" "gcc" "src/CMakeFiles/termilog.dir/program/ast.cc.o.d"
+  "/root/repo/src/program/modes.cc" "src/CMakeFiles/termilog.dir/program/modes.cc.o" "gcc" "src/CMakeFiles/termilog.dir/program/modes.cc.o.d"
+  "/root/repo/src/program/parser.cc" "src/CMakeFiles/termilog.dir/program/parser.cc.o" "gcc" "src/CMakeFiles/termilog.dir/program/parser.cc.o.d"
+  "/root/repo/src/rational/bigint.cc" "src/CMakeFiles/termilog.dir/rational/bigint.cc.o" "gcc" "src/CMakeFiles/termilog.dir/rational/bigint.cc.o.d"
+  "/root/repo/src/rational/rational.cc" "src/CMakeFiles/termilog.dir/rational/rational.cc.o" "gcc" "src/CMakeFiles/termilog.dir/rational/rational.cc.o.d"
+  "/root/repo/src/term/size.cc" "src/CMakeFiles/termilog.dir/term/size.cc.o" "gcc" "src/CMakeFiles/termilog.dir/term/size.cc.o.d"
+  "/root/repo/src/term/symbol_table.cc" "src/CMakeFiles/termilog.dir/term/symbol_table.cc.o" "gcc" "src/CMakeFiles/termilog.dir/term/symbol_table.cc.o.d"
+  "/root/repo/src/term/term.cc" "src/CMakeFiles/termilog.dir/term/term.cc.o" "gcc" "src/CMakeFiles/termilog.dir/term/term.cc.o.d"
+  "/root/repo/src/term/unify.cc" "src/CMakeFiles/termilog.dir/term/unify.cc.o" "gcc" "src/CMakeFiles/termilog.dir/term/unify.cc.o.d"
+  "/root/repo/src/transform/adornment.cc" "src/CMakeFiles/termilog.dir/transform/adornment.cc.o" "gcc" "src/CMakeFiles/termilog.dir/transform/adornment.cc.o.d"
+  "/root/repo/src/transform/equality.cc" "src/CMakeFiles/termilog.dir/transform/equality.cc.o" "gcc" "src/CMakeFiles/termilog.dir/transform/equality.cc.o.d"
+  "/root/repo/src/transform/pipeline.cc" "src/CMakeFiles/termilog.dir/transform/pipeline.cc.o" "gcc" "src/CMakeFiles/termilog.dir/transform/pipeline.cc.o.d"
+  "/root/repo/src/transform/reorder.cc" "src/CMakeFiles/termilog.dir/transform/reorder.cc.o" "gcc" "src/CMakeFiles/termilog.dir/transform/reorder.cc.o.d"
+  "/root/repo/src/transform/splitting.cc" "src/CMakeFiles/termilog.dir/transform/splitting.cc.o" "gcc" "src/CMakeFiles/termilog.dir/transform/splitting.cc.o.d"
+  "/root/repo/src/transform/term_rewrite.cc" "src/CMakeFiles/termilog.dir/transform/term_rewrite.cc.o" "gcc" "src/CMakeFiles/termilog.dir/transform/term_rewrite.cc.o.d"
+  "/root/repo/src/transform/unfolding.cc" "src/CMakeFiles/termilog.dir/transform/unfolding.cc.o" "gcc" "src/CMakeFiles/termilog.dir/transform/unfolding.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/termilog.dir/util/status.cc.o" "gcc" "src/CMakeFiles/termilog.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/termilog.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/termilog.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

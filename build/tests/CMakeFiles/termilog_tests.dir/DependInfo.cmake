@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analyzer_test.cc" "tests/CMakeFiles/termilog_tests.dir/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/analyzer_test.cc.o.d"
+  "/root/repo/tests/arg_size_db_test.cc" "tests/CMakeFiles/termilog_tests.dir/arg_size_db_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/arg_size_db_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/termilog_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/bigint_test.cc" "tests/CMakeFiles/termilog_tests.dir/bigint_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/bigint_test.cc.o.d"
+  "/root/repo/tests/bottom_up_test.cc" "tests/CMakeFiles/termilog_tests.dir/bottom_up_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/bottom_up_test.cc.o.d"
+  "/root/repo/tests/certificate_test.cc" "tests/CMakeFiles/termilog_tests.dir/certificate_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/certificate_test.cc.o.d"
+  "/root/repo/tests/constraint_test.cc" "tests/CMakeFiles/termilog_tests.dir/constraint_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/constraint_test.cc.o.d"
+  "/root/repo/tests/corpus_test.cc" "tests/CMakeFiles/termilog_tests.dir/corpus_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/corpus_test.cc.o.d"
+  "/root/repo/tests/delta_test.cc" "tests/CMakeFiles/termilog_tests.dir/delta_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/delta_test.cc.o.d"
+  "/root/repo/tests/dual_builder_test.cc" "tests/CMakeFiles/termilog_tests.dir/dual_builder_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/dual_builder_test.cc.o.d"
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/termilog_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/explain_test.cc.o.d"
+  "/root/repo/tests/fourier_motzkin_test.cc" "tests/CMakeFiles/termilog_tests.dir/fourier_motzkin_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/fourier_motzkin_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/termilog_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/termilog_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/inference_test.cc" "tests/CMakeFiles/termilog_tests.dir/inference_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/inference_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/termilog_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/linear_expr_test.cc" "tests/CMakeFiles/termilog_tests.dir/linear_expr_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/linear_expr_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/termilog_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/modes_test.cc" "tests/CMakeFiles/termilog_tests.dir/modes_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/modes_test.cc.o.d"
+  "/root/repo/tests/negative_delta_test.cc" "tests/CMakeFiles/termilog_tests.dir/negative_delta_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/negative_delta_test.cc.o.d"
+  "/root/repo/tests/paper_examples_test.cc" "tests/CMakeFiles/termilog_tests.dir/paper_examples_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/paper_examples_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/termilog_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/polyhedron_test.cc" "tests/CMakeFiles/termilog_tests.dir/polyhedron_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/polyhedron_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/termilog_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rational_test.cc" "tests/CMakeFiles/termilog_tests.dir/rational_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/rational_test.cc.o.d"
+  "/root/repo/tests/reorder_test.cc" "tests/CMakeFiles/termilog_tests.dir/reorder_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/reorder_test.cc.o.d"
+  "/root/repo/tests/rule_system_test.cc" "tests/CMakeFiles/termilog_tests.dir/rule_system_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/rule_system_test.cc.o.d"
+  "/root/repo/tests/simplex_test.cc" "tests/CMakeFiles/termilog_tests.dir/simplex_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/simplex_test.cc.o.d"
+  "/root/repo/tests/size_test.cc" "tests/CMakeFiles/termilog_tests.dir/size_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/size_test.cc.o.d"
+  "/root/repo/tests/sld_test.cc" "tests/CMakeFiles/termilog_tests.dir/sld_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/sld_test.cc.o.d"
+  "/root/repo/tests/term_test.cc" "tests/CMakeFiles/termilog_tests.dir/term_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/term_test.cc.o.d"
+  "/root/repo/tests/transform_test.cc" "tests/CMakeFiles/termilog_tests.dir/transform_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/transform_test.cc.o.d"
+  "/root/repo/tests/unify_test.cc" "tests/CMakeFiles/termilog_tests.dir/unify_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/unify_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/termilog_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/termilog_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/termilog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
