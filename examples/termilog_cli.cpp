@@ -22,6 +22,13 @@
 //                          Eq. 9 rows, deltas, certificate)
 //   --show-constraints     print the inter-argument constraint store
 //   --baselines            also run the three prior-art analyzers
+//   --deadline-ms N        wall-clock budget for the analysis
+//   --work-budget N        abstract work-tick budget (FM row combinations,
+//                          simplex pivots, inference sweeps, ...)
+//   --limb-limit N         cap on the largest BigInt (32-bit limbs)
+//
+// Exit codes: 0 = proved, 2 = not proved, 3 = resource-limited (a budget
+// tripped; the report printed is valid but partial), 1 = usage/parse error.
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +47,29 @@ namespace {
 int Fail(const char* message) {
   std::fprintf(stderr, "termilog_cli: %s\n", message);
   return EXIT_FAILURE;
+}
+
+constexpr int kExitNotProved = 2;
+constexpr int kExitResourceLimited = 3;
+
+// 0 proved / 2 not proved / 3 resource-limited, with the tripped budget on
+// stderr so scripts can tell a weak verdict from an underfunded one.
+int VerdictExit(bool proved, bool resource_limited,
+                const std::string& first_trip) {
+  if (resource_limited) {
+    std::fprintf(stderr, "termilog_cli: resource budget tripped: %s\n",
+                 first_trip.c_str());
+  }
+  if (proved) return EXIT_SUCCESS;
+  return resource_limited ? kExitResourceLimited : kExitNotProved;
+}
+
+bool ParseInt64Flag(const char* text, int64_t* out) {
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace
@@ -69,6 +99,18 @@ int main(int argc, char** argv) {
       show_constraints = true;
     } else if (arg == "--baselines") {
       run_baselines = true;
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      if (!ParseInt64Flag(argv[++i], &options.limits.deadline_ms)) {
+        return Fail("--deadline-ms wants a nonnegative integer");
+      }
+    } else if (arg == "--work-budget" && i + 1 < argc) {
+      if (!ParseInt64Flag(argv[++i], &options.limits.work_budget)) {
+        return Fail("--work-budget wants a nonnegative integer");
+      }
+    } else if (arg == "--limb-limit" && i + 1 < argc) {
+      if (!ParseInt64Flag(argv[++i], &options.limits.bigint_limb_limit)) {
+        return Fail("--limb-limit wants a nonnegative integer");
+      }
     } else if (arg == "--supply" && i + 1 < argc) {
       std::string spec = argv[++i];
       size_t colon = spec.find(':');
@@ -136,14 +178,20 @@ int main(int argc, char** argv) {
       auto reports = analyzer.AnalyzeDeclaredModes(program);
       if (!reports.ok()) return Fail(reports.status().ToString().c_str());
       bool all_proved = true;
+      bool any_limited = false;
+      std::string first_trip;
       for (const auto& [decl, mode_report] : *reports) {
         std::printf("==== mode %s(%s) ====\n%s\n",
                     program.symbols().Name(decl.pred.symbol).c_str(),
                     AdornmentToString(decl.adornment).c_str(),
                     mode_report.ToString().c_str());
         all_proved = all_proved && mode_report.proved;
+        if (mode_report.resource_limited && !any_limited) {
+          any_limited = true;
+          first_trip = mode_report.first_resource_trip;
+        }
       }
-      return all_proved ? EXIT_SUCCESS : 2;
+      return VerdictExit(all_proved, any_limited, first_trip);
     }
     const ModeDecl& decl = program.mode_decls().front();
     query = program.symbols().Name(decl.pred.symbol) + "(";
@@ -228,5 +276,6 @@ int main(int argc, char** argv) {
                 run->outcome == SldOutcome::kExhausted ? "exhausted"
                                                        : "NOT exhausted");
   }
-  return report->proved ? EXIT_SUCCESS : 2;
+  return VerdictExit(report->proved, report->resource_limited,
+                     report->first_resource_trip);
 }

@@ -7,6 +7,7 @@
 #include "graph/scc.h"
 #include "term/size.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace termilog {
@@ -100,7 +101,9 @@ Result<Polyhedron> ConstraintInference::RuleTransfer(
 
 Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
                                 const InferenceOptions& options,
-                                std::map<PredId, InferenceStats>* stats) {
+                                std::map<PredId, InferenceStats>* stats,
+                                std::vector<std::string>* warnings) {
+  TERMILOG_FAILPOINT("inference.run");
   // Dependency graph over defined predicates.
   std::vector<PredId> preds;
   for (const PredId& pred : program.DefinedPredicates()) {
@@ -140,7 +143,17 @@ Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
     std::sort(rule_indices.begin(), rule_indices.end());
 
     InferenceStats scc_stats;
+    Status scc_status = Status::Ok();
     for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+      if (TERMILOG_FAILPOINT_HIT("inference.sweep")) {
+        scc_status = Status::ResourceExhausted(
+            FailpointRegistry::TripMessage("inference.sweep"));
+        break;
+      }
+      if (options.fm.governor != nullptr) {
+        scc_status = options.fm.governor->Charge("inference.sweep");
+        if (!scc_status.ok()) break;
+      }
       ++scc_stats.sweeps;
       std::map<PredId, Polyhedron> before = current;
       for (int r : rule_indices) {
@@ -148,12 +161,19 @@ Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
         PredId pred = rule.head.pred_id();
         Result<Polyhedron> transferred =
             RuleTransfer(program, rule, current, *db, options.fm);
-        if (!transferred.ok()) return transferred.status();
+        if (!transferred.ok()) {
+          scc_status = transferred.status();
+          break;
+        }
         Result<Polyhedron> joined = Polyhedron::ConvexHull(
             current.at(pred), *transferred, options.fm);
-        if (!joined.ok()) return joined.status();
+        if (!joined.ok()) {
+          scc_status = joined.status();
+          break;
+        }
         current.at(pred) = std::move(joined).value();
       }
+      if (!scc_status.ok()) break;
       bool stable = true;
       for (const PredId& pred : scc_preds) {
         if (!before.at(pred).Contains(current.at(pred))) {
@@ -172,10 +192,28 @@ Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
         }
       }
     }
-    if (!scc_stats.reached_fixpoint) {
-      return Status::ResourceExhausted(
+    if (scc_status.ok() && !scc_stats.reached_fixpoint) {
+      scc_status = Status::ResourceExhausted(
           StrCat("constraint inference did not converge within ",
                  options.max_sweeps, " sweeps"));
+    }
+    if (!scc_status.ok()) {
+      // Resource exhaustion degrades per SCC: leave these predicates out of
+      // the db (the unconstrained top approximation, sound downstream) and
+      // move on. Anything else is a real error.
+      if (scc_status.code() != StatusCode::kResourceExhausted) {
+        return scc_status;
+      }
+      if (warnings != nullptr) {
+        warnings->push_back(
+            StrCat("inference skipped for SCC of ",
+                   program.PredName(scc_preds.front()),
+                   " (left unconstrained): ", scc_status.message()));
+      }
+      if (stats != nullptr) {
+        stats->emplace(scc_preds.front(), scc_stats);
+      }
+      continue;
     }
     // One descending refinement pass: lfp <= F(stable) <= stable, and
     // F(stable) recovers facts (like argument nonnegativity bounds) that

@@ -48,9 +48,17 @@ class ConstraintInference {
   /// Runs the inference over all defined predicates of `program`,
   /// populating `db`. Optionally reports per-SCC stats keyed by the
   /// lexicographically first predicate of the SCC.
+  ///
+  /// Resource exhaustion (FM blowup, governor trip, non-convergence within
+  /// max_sweeps) degrades gracefully per SCC: the affected predicates are
+  /// simply left out of `db` (the unconstrained top approximation, which is
+  /// sound for everything downstream) and a human-readable line is appended
+  /// to `warnings` when non-null. Only non-resource errors return a
+  /// non-OK Status.
   static Status Run(const Program& program, ArgSizeDb* db,
                     const InferenceOptions& options = InferenceOptions(),
-                    std::map<PredId, InferenceStats>* stats = nullptr);
+                    std::map<PredId, InferenceStats>* stats = nullptr,
+                    std::vector<std::string>* warnings = nullptr);
 
   /// Transfer function for one rule under the given per-predicate
   /// polyhedra: the polyhedron of head-argument sizes derivable through

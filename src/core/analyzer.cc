@@ -13,6 +13,7 @@
 #include "transform/adornment.h"
 #include "transform/pipeline.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace termilog {
@@ -92,9 +93,26 @@ Digraph BuildDependencyGraph(const Program& program,
 SccReport TerminationAnalyzer::AnalyzeScc(
     const Program& program, const std::vector<PredId>& scc_preds,
     const std::map<PredId, Adornment>& modes, const ArgSizeDb& db,
-    bool has_conflict) const {
+    bool has_conflict, const ResourceGovernor* governor) const {
   SccReport report;
   report.preds = scc_preds;
+
+  if (TERMILOG_FAILPOINT_HIT("analyzer.scc")) {
+    report.status = SccStatus::kResourceLimit;
+    report.notes.push_back(FailpointRegistry::TripMessage("analyzer.scc"));
+    return report;
+  }
+  // A governor that tripped on an earlier SCC answers this one immediately:
+  // the whole analysis is winding down, but each remaining SCC still gets a
+  // well-formed RESOURCE_LIMIT verdict instead of an error.
+  if (governor != nullptr && !governor->CheckNow("analyzer.scc").ok()) {
+    report.status = SccStatus::kResourceLimit;
+    report.notes.push_back(governor->trip_status().ToString());
+    return report;
+  }
+
+  FmOptions fm = options_.fm;
+  fm.governor = governor;
 
   if (has_conflict) {
     report.status = SccStatus::kUnsupported;
@@ -133,8 +151,7 @@ SccReport TerminationAnalyzer::AnalyzeScc(
 
   std::vector<DerivedConstraints> derived;
   for (const RuleSubgoalSystem& sys : *systems) {
-    Result<DerivedConstraints> d =
-        BuildDerivedConstraints(sys, space, options_.fm);
+    Result<DerivedConstraints> d = BuildDerivedConstraints(sys, space, fm);
     if (!d.ok()) {
       report.status = SccStatus::kResourceLimit;
       report.notes.push_back(d.status().ToString());
@@ -164,7 +181,13 @@ SccReport TerminationAnalyzer::AnalyzeScc(
     }
     global.Simplify();
     report.reduced_constraints = global.ToString(&namer);
-    LpResult lp = SimplexSolver::FindFeasible(global);  // theta >= 0
+    // theta >= 0
+    LpResult lp = SimplexSolver::FindFeasible(global, {}, governor);
+    if (lp.status == LpStatus::kPivotLimit) {
+      report.status = SccStatus::kResourceLimit;
+      report.notes.push_back("feasibility LP resource-limited");
+      return report;
+    }
     if (lp.status == LpStatus::kOptimal) {
       for (const PredId& pred : scc_preds) {
         std::vector<Rational> theta(bound_counts.at(pred));
@@ -177,8 +200,8 @@ SccReport TerminationAnalyzer::AnalyzeScc(
         report.certificate.delta.emplace(edge, Rational(value));
       }
       if (options_.validate_certificates) {
-        Status valid =
-            ValidateCertificate(*systems, scc_preds, report.certificate);
+        Status valid = ValidateCertificate(*systems, scc_preds,
+                                           report.certificate, governor);
         if (!valid.ok()) {
           report.status = SccStatus::kResourceLimit;
           report.notes.push_back(
@@ -259,7 +282,12 @@ SccReport TerminationAnalyzer::AnalyzeScc(
     }
     std::vector<bool> is_free(width, false);
     for (int col = T; col < width; ++col) is_free[col] = true;  // deltas, sigmas
-    LpResult lp = SimplexSolver::FindFeasible(system, is_free);
+    LpResult lp = SimplexSolver::FindFeasible(system, is_free, governor);
+    if (lp.status == LpStatus::kPivotLimit) {
+      report.status = SccStatus::kResourceLimit;
+      report.notes.push_back("negative-delta feasibility LP resource-limited");
+      return report;
+    }
     if (lp.status == LpStatus::kOptimal) {
       for (const PredId& pred : scc_preds) {
         std::vector<Rational> theta(bound_counts.at(pred));
@@ -273,8 +301,8 @@ SccReport TerminationAnalyzer::AnalyzeScc(
       }
       report.used_negative_deltas = true;
       if (options_.validate_certificates) {
-        Status valid =
-            ValidateCertificate(*systems, scc_preds, report.certificate);
+        Status valid = ValidateCertificate(*systems, scc_preds,
+                                           report.certificate, governor);
         if (!valid.ok()) {
           report.status = SccStatus::kResourceLimit;
           report.notes.push_back(
@@ -302,13 +330,39 @@ Result<TerminationReport> TerminationAnalyzer::Analyze(
   report.analyzed_program = program;
   PredId entry = query;
 
+  // One governor per Analyze call: the deadline clock starts here and every
+  // subsystem below charges the same budget.
+  ResourceGovernor governor(options_.limits);
+  const ResourceGovernor* gov = &governor;
+  auto note_trip = [&report](const std::string& message) {
+    report.resource_limited = true;
+    if (report.first_resource_trip.empty()) {
+      report.first_resource_trip = message;
+    }
+  };
+
   if (options_.apply_transformations) {
     TransformOptions transform_options;
     transform_options.phases = options_.transform_phases;
+    transform_options.governor = gov;
     Result<Program> transformed = RunTransformPipeline(
         program, {query}, transform_options, &report.notes);
-    if (!transformed.ok()) return transformed.status();
-    report.analyzed_program = std::move(transformed).value();
+    if (transformed.ok()) {
+      report.analyzed_program = std::move(transformed).value();
+    } else if (transformed.status().code() ==
+               StatusCode::kResourceExhausted) {
+      // Rung 2 of the degradation ladder: a transform blowup is not fatal —
+      // the untransformed program is analyzable, just possibly with weaker
+      // verdicts.
+      std::string message =
+          StrCat("transformations abandoned (", transformed.status().message(),
+                 "); analyzing the untransformed program");
+      report.notes.push_back(message);
+      note_trip(message);
+      report.analyzed_program = program;
+    } else {
+      return transformed.status();
+    }
   }
 
   // Modes; adornment conflicts are repaired by cloning (Section 3's
@@ -359,9 +413,26 @@ Result<TerminationReport> TerminationAnalyzer::Analyze(
     report.arg_sizes.Set(pred, std::move(parsed).value());
   }
   if (options_.run_inference) {
+    InferenceOptions inference_options = options_.inference;
+    inference_options.fm.governor = gov;
+    std::vector<std::string> warnings;
     Status status = ConstraintInference::Run(analyzed, &report.arg_sizes,
-                                             options_.inference);
-    if (!status.ok()) return status;
+                                             inference_options, nullptr,
+                                             &warnings);
+    if (!status.ok()) {
+      // Run degrades resource trips per SCC internally; a non-OK status here
+      // is a real error unless a failpoint forced the whole pass down.
+      if (status.code() != StatusCode::kResourceExhausted) return status;
+      std::string message = StrCat("constraint inference skipped (",
+                                   status.message(),
+                                   "); predicates left unconstrained");
+      report.notes.push_back(message);
+      note_trip(message);
+    }
+    for (const std::string& warning : warnings) {
+      report.notes.push_back(warning);
+      note_trip(warning);
+    }
   }
 
   // Dependency SCCs over the predicates reachable from the query (those
@@ -396,7 +467,14 @@ Result<TerminationReport> TerminationAnalyzer::Analyze(
       continue;
     }
     SccReport scc = AnalyzeScc(analyzed, scc_preds, report.modes,
-                               report.arg_sizes, has_conflict);
+                               report.arg_sizes, has_conflict, gov);
+    if (scc.status == SccStatus::kResourceLimit) {
+      // Attach the spend snapshot so a resource-limited verdict says what
+      // was actually consumed, not just that something ran out.
+      scc.notes.push_back(
+          StrCat("resource spend: ", governor.Spend().ToString()));
+      note_trip(scc.notes.front());
+    }
     if (scc.status != SccStatus::kProved &&
         scc.status != SccStatus::kNonRecursive) {
       report.proved = false;
@@ -416,7 +494,22 @@ TerminationAnalyzer::AnalyzeDeclaredModes(const Program& program) const {
   for (const ModeDecl& decl : program.mode_decls()) {
     Result<TerminationReport> report =
         Analyze(program, decl.pred, decl.adornment);
-    if (!report.ok()) return report.status();
+    if (!report.ok()) {
+      // Isolate the failure to this mode: the other declared modes still
+      // deserve real analyses.
+      TerminationReport failed;
+      failed.analyzed_program = program;
+      failed.proved = false;
+      std::string message =
+          StrCat("analysis of this mode failed: ", report.status().ToString());
+      failed.notes.push_back(message);
+      if (report.status().code() == StatusCode::kResourceExhausted) {
+        failed.resource_limited = true;
+        failed.first_resource_trip = message;
+      }
+      out.emplace_back(decl, std::move(failed));
+      continue;
+    }
     out.emplace_back(decl, std::move(report).value());
   }
   return out;
@@ -434,6 +527,9 @@ std::string TerminationReport::ToString() const {
   std::string out;
   out += StrCat("verdict: ", proved ? "TERMINATES (proved)" : "UNKNOWN",
                 "\n");
+  if (resource_limited) {
+    out += StrCat("resource-limited: ", first_resource_trip, "\n");
+  }
   out += "modes:\n";
   for (const auto& [pred, adornment] : modes) {
     out += StrCat("  ", analyzed_program.PredName(pred), " : ",

@@ -11,6 +11,7 @@
 #include "core/certificate.h"
 #include "core/rule_system.h"
 #include "program/ast.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace termilog {
@@ -38,6 +39,13 @@ struct AnalysisOptions {
   /// override / pre-empt inference for those predicates.
   std::vector<std::pair<std::string, std::string>> supplied_constraints;
 
+  /// Resource budgets for one Analyze call. Every subsystem (transforms,
+  /// inference, FM, simplex, certificate validation) charges one shared
+  /// governor built from these limits; budget trips degrade the analysis
+  /// (per-SCC kResourceLimit verdicts, untransformed retry) instead of
+  /// failing it. Default: unlimited.
+  GovernorLimits limits;
+
   InferenceOptions inference;
   FmOptions fm;
 };
@@ -50,7 +58,9 @@ enum class SccStatus {
   kNonPositiveCycle,  // Section 6.1 step 3: zero-weight delta cycle --
                       // "strong evidence of nontermination"
   kUnsupported,       // preconditions violated (e.g. adornment conflicts)
-  kResourceLimit,     // FM or inference blowup
+  kResourceLimit,     // a resource budget tripped (FM blowup, simplex pivot
+                      // cap, governor deadline/work/limb limit): the SCC is
+                      // unanswered, with the spend recorded in notes
 };
 
 const char* SccStatusName(SccStatus status);
@@ -72,6 +82,13 @@ struct SccReport {
 struct TerminationReport {
   /// True iff every reachable recursive SCC was proved.
   bool proved = false;
+  /// True when any part of the analysis was degraded by a resource budget
+  /// (an SCC verdict, the transform pipeline, or constraint inference).
+  /// The report is still valid — every verdict it does contain holds —
+  /// but it may be weaker than an unconstrained run's.
+  bool resource_limited = false;
+  /// First budget-trip message when resource_limited is set.
+  std::string first_resource_trip;
   std::vector<SccReport> sccs;
   std::map<PredId, Adornment> modes;
   /// Inter-argument constraints used (inferred + supplied).
@@ -110,6 +127,11 @@ class TerminationAnalyzer {
   /// capture-rule setting, where "different orders can be chosen for
   /// different bound-free query patterns" and each pattern needs its own
   /// termination proof. Fails if the program declares no modes.
+  ///
+  /// A failure while analyzing one mode (including a resource trip that
+  /// escaped degradation) is isolated to that mode: its report carries the
+  /// error in `notes` with proved == false, and the other modes still get
+  /// real analyses.
   Result<std::vector<std::pair<ModeDecl, TerminationReport>>>
   AnalyzeDeclaredModes(const Program& program) const;
 
@@ -117,7 +139,8 @@ class TerminationAnalyzer {
   SccReport AnalyzeScc(const Program& program,
                        const std::vector<PredId>& scc_preds,
                        const std::map<PredId, Adornment>& modes,
-                       const ArgSizeDb& db, bool has_conflict) const;
+                       const ArgSizeDb& db, bool has_conflict,
+                       const ResourceGovernor* governor) const;
 
   AnalysisOptions options_;
 };

@@ -51,7 +51,8 @@ std::string TerminationCertificate::ToString(
 
 Status ValidateCertificate(const std::vector<RuleSubgoalSystem>& systems,
                            const std::vector<PredId>& scc_preds,
-                           const TerminationCertificate& certificate) {
+                           const TerminationCertificate& certificate,
+                           const ResourceGovernor* governor) {
   // theta >= 0 componentwise.
   for (const auto& [pred, coeffs] : certificate.theta) {
     for (const Rational& coeff : coeffs) {
@@ -114,8 +115,13 @@ Status ValidateCertificate(const std::vector<RuleSubgoalSystem>& systems,
     for (int i = 0; i < sys.nx(); ++i) objective[i] = theta[i];
     for (int j = 0; j < sys.ny(); ++j) objective[y_base + j] = -eta[j];
 
-    LpResult lp = SimplexSolver::Minimize(primal, objective);
+    LpResult lp = SimplexSolver::Minimize(primal, objective, {}, governor);
     if (lp.status == LpStatus::kInfeasible) continue;  // unreachable pair
+    if (lp.status == LpStatus::kPivotLimit) {
+      return Status::ResourceExhausted(
+          StrCat("certificate validation resource-limited at rule #",
+                 sys.rule_index, " subgoal #", sys.subgoal_index));
+    }
     if (lp.status != LpStatus::kOptimal) {
       return Status::Internal(
           StrCat("primal check unbounded for rule #", sys.rule_index,

@@ -9,6 +9,7 @@
 #include "core/rule_system.h"
 #include "program/ast.h"
 #include "rational/rational.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace termilog {
@@ -35,10 +36,13 @@ struct TerminationCertificate {
 /// primal is vacuously fine), then checks cycle positivity by min-plus
 /// closure over scaled integer weights. Because the analyzer derives
 /// certificates through the DUAL + Fourier-Motzkin path, this check is an
-/// end-to-end cross-validation of the whole pipeline.
+/// end-to-end cross-validation of the whole pipeline. A non-null
+/// `governor` bounds the validation LPs; budget trips surface as
+/// kResourceExhausted (the certificate is neither confirmed nor refuted).
 Status ValidateCertificate(const std::vector<RuleSubgoalSystem>& systems,
                            const std::vector<PredId>& scc_preds,
-                           const TerminationCertificate& certificate);
+                           const TerminationCertificate& certificate,
+                           const ResourceGovernor* governor = nullptr);
 
 }  // namespace termilog
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace termilog {
@@ -41,6 +42,7 @@ std::string ThetaSpace::ColumnName(const Program& program, int column) const {
 Result<DerivedConstraints> BuildDerivedConstraints(
     const RuleSubgoalSystem& sys, const ThetaSpace& space,
     const FmOptions& options) {
+  TERMILOG_FAILPOINT("dual.build");
   TERMILOG_CHECK_MSG(sys.A.AllNonNegative() && sys.B.AllNonNegative(),
                      "Eq. 9 direct construction requires A, B >= 0");
   for (const Rational& value : sys.a) TERMILOG_CHECK(value.sign() >= 0);

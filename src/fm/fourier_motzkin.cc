@@ -5,6 +5,7 @@
 
 #include "lp/simplex.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace termilog {
@@ -52,6 +53,7 @@ Constraint SubstituteEq(const Constraint& row, const Constraint& pivot,
 Status FourierMotzkin::EliminateVariable(ConstraintSystem* system, int var,
                                          const FmOptions& options) {
   TERMILOG_CHECK(var >= 0 && var < system->num_vars());
+  TERMILOG_FAILPOINT("fm.eliminate");
 
   // Prefer a Gaussian step on an equality row mentioning the variable.
   int pivot_index = -1;
@@ -63,6 +65,11 @@ Status FourierMotzkin::EliminateVariable(ConstraintSystem* system, int var,
     }
   }
   if (pivot_index >= 0) {
+    if (options.governor != nullptr) {
+      Status charged = options.governor->Charge(
+          "fm.eliminate", static_cast<int64_t>(system->rows().size()));
+      if (!charged.ok()) return charged;
+    }
     Constraint pivot = system->rows()[pivot_index];
     std::vector<Constraint> next;
     next.reserve(system->rows().size() - 1);
@@ -92,6 +99,13 @@ Status FourierMotzkin::EliminateVariable(ConstraintSystem* system, int var,
     return Status::ResourceExhausted(
         StrCat("FM blowup eliminating x", var, ": ", projected, " rows"));
   }
+  // One work tick per row combination: the pairing product is exactly the
+  // number of CombineGe calls below.
+  if (options.governor != nullptr) {
+    Status charged = options.governor->Charge(
+        "fm.eliminate", static_cast<int64_t>(projected) + 1);
+    if (!charged.ok()) return charged;
+  }
   std::vector<Constraint> next = std::move(zero);
   for (const Constraint& p : pos) {
     for (const Constraint& n : neg) {
@@ -101,7 +115,7 @@ Status FourierMotzkin::EliminateVariable(ConstraintSystem* system, int var,
   system->mutable_rows() = std::move(next);
   system->Simplify();
   if (options.lp_prune && system->size() > options.lp_prune_threshold) {
-    LpPruneRedundant(system);
+    LpPruneRedundant(system, options.governor);
   }
   return Status::Ok();
 }
@@ -179,10 +193,14 @@ Result<ConstraintSystem> FourierMotzkin::Project(
   return out;
 }
 
-void FourierMotzkin::LpPruneRedundant(ConstraintSystem* system) {
+void FourierMotzkin::LpPruneRedundant(ConstraintSystem* system,
+                                      const ResourceGovernor* governor) {
   std::vector<bool> all_free(system->num_vars(), true);
   // Iterate from the end so erase indices stay valid.
   for (size_t i = system->rows().size(); i-- > 0;) {
+    // A system left unpruned is still correct, so an exhausted budget just
+    // stops the optimization.
+    if (governor != nullptr && governor->exhausted()) return;
     const Constraint row = system->rows()[i];
     if (row.rel == Relation::kEq) continue;
     ConstraintSystem rest(system->num_vars());
@@ -190,7 +208,7 @@ void FourierMotzkin::LpPruneRedundant(ConstraintSystem* system) {
       if (j != i) rest.Add(system->rows()[j]);
     }
     // Redundant iff min(coeffs.x) over `rest` satisfies min + constant >= 0.
-    LpResult lp = SimplexSolver::Minimize(rest, row.coeffs, all_free);
+    LpResult lp = SimplexSolver::Minimize(rest, row.coeffs, all_free, governor);
     bool redundant = false;
     if (lp.status == LpStatus::kInfeasible) {
       redundant = true;  // empty system entails anything

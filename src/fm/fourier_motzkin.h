@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "linalg/constraint.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace termilog {
@@ -20,6 +21,10 @@ struct FmOptions {
   /// elimination step exceeds lp_prune_threshold.
   bool lp_prune = true;
   size_t lp_prune_threshold = 48;
+  /// Shared analysis budget (not owned; may be null). Every elimination
+  /// step charges its row-combination count; trips surface as
+  /// kResourceExhausted with the governor's structured reason.
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// Fourier-Motzkin variable elimination over ConstraintSystem rows.
@@ -46,8 +51,11 @@ class FourierMotzkin {
                                               FmOptions());
 
   /// Removes rows entailed by the remaining rows (exact LP check, all
-  /// variables treated as free). Keeps equality rows intact.
-  static void LpPruneRedundant(ConstraintSystem* system);
+  /// variables treated as free). Keeps equality rows intact. Pruning is an
+  /// optimization, so a governed solver that runs out of budget simply
+  /// leaves the remaining rows unpruned.
+  static void LpPruneRedundant(ConstraintSystem* system,
+                               const ResourceGovernor* governor = nullptr);
 };
 
 }  // namespace termilog

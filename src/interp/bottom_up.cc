@@ -8,6 +8,7 @@
 
 #include "term/size.h"
 #include "term/unify.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace termilog {
@@ -114,6 +115,12 @@ BottomUpEvaluator::Evaluate() const {
       }
       if (total_size > options_.max_term_size) return;
       if (store.total >= options_.max_facts) {
+        truncated = true;
+        return;
+      }
+      if (TERMILOG_FAILPOINT_HIT("interp.bottom_up") ||
+          (options_.governor != nullptr &&
+           !options_.governor->Charge("interp.bottom_up").ok())) {
         truncated = true;
         return;
       }

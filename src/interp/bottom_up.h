@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "program/ast.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace termilog {
@@ -20,6 +21,9 @@ struct BottomUpOptions {
   size_t max_facts = 200'000;
   /// Cap on naive-evaluation rounds.
   int max_rounds = 64;
+  /// Charged one work tick per emitted fact; a trip ends evaluation with
+  /// kResourceExhausted (same contract as hitting max_facts).
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// A derived ground fact.

@@ -5,6 +5,7 @@
 
 #include "program/parser.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace termilog {
@@ -130,6 +131,13 @@ void Explore(const std::vector<Literal>& goals, const Substitution& subst,
   for (int rule_index : program.RuleIndicesFor(goal.atom.pred_id())) {
     if (state->aborted) return;
     if (++state->steps > state->options->max_steps) {
+      state->aborted = true;
+      state->outcome = SldOutcome::kBudgetExhausted;
+      return;
+    }
+    if (TERMILOG_FAILPOINT_HIT("sld.step") ||
+        (state->options->governor != nullptr &&
+         !state->options->governor->Charge("sld.step").ok())) {
       state->aborted = true;
       state->outcome = SldOutcome::kBudgetExhausted;
       return;

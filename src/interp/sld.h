@@ -6,6 +6,7 @@
 
 #include "program/ast.h"
 #include "term/unify.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace termilog {
@@ -21,6 +22,9 @@ struct SldOptions {
   /// which is what termination validation wants).
   size_t max_solutions = 0;
   bool occurs_check = false;
+  /// Charged one work tick per resolution step; a trip ends the search
+  /// with SldOutcome::kBudgetExhausted.
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// How the search ended.

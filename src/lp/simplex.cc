@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace termilog {
 namespace {
@@ -49,7 +50,8 @@ class Tableau {
   // `forbidden` columns may never enter the basis (used to lock artificials
   // out during phase 2).
   LpStatus Optimize(const std::vector<Rational>& objective,
-                    const std::vector<bool>& forbidden, int* pivots) {
+                    const std::vector<bool>& forbidden, int* pivots,
+                    const ResourceGovernor* governor) {
     // Maintain the reduced-cost row incrementally: start from the plain
     // objective and eliminate basic columns.
     std::vector<Rational> cost = objective;
@@ -59,6 +61,10 @@ class Tableau {
 
     while (true) {
       if (++*pivots > SimplexSolver::kMaxPivots) return LpStatus::kPivotLimit;
+      if (TERMILOG_FAILPOINT_HIT("lp.pivot")) return LpStatus::kPivotLimit;
+      if (governor != nullptr && !governor->Charge("lp.pivot").ok()) {
+        return LpStatus::kPivotLimit;
+      }
       // Bland: entering column = smallest index with negative reduced cost.
       int entering = -1;
       for (int c = 0; c < num_cols_; ++c) {
@@ -177,7 +183,8 @@ class Tableau {
 
 LpResult SolveMin(const ConstraintSystem& system,
                   const std::vector<Rational>& objective,
-                  const std::vector<bool>& is_free) {
+                  const std::vector<bool>& is_free,
+                  const ResourceGovernor* governor) {
   const int n = system.num_vars();
   TERMILOG_CHECK(objective.empty() ||
                  static_cast<int>(objective.size()) == n);
@@ -221,7 +228,7 @@ LpResult SolveMin(const ConstraintSystem& system,
   for (int c = first_artificial; c < tableau.num_cols(); ++c) {
     phase1_obj[c] = Rational(1);
   }
-  LpStatus status = tableau.Optimize(phase1_obj, {}, &pivots);
+  LpStatus status = tableau.Optimize(phase1_obj, {}, &pivots, governor);
   LpResult result;
   if (status != LpStatus::kOptimal) {
     // Phase 1 is bounded below by zero, so kUnbounded cannot happen.
@@ -242,7 +249,7 @@ LpResult SolveMin(const ConstraintSystem& system,
       if (neg_col[i] >= 0) phase2_obj[neg_col[i]] = -objective[i];
     }
   }
-  status = tableau.Optimize(phase2_obj, {}, &pivots);
+  status = tableau.Optimize(phase2_obj, {}, &pivots, governor);
   result.status = status;
   if (status != LpStatus::kOptimal) return result;
 
@@ -262,23 +269,26 @@ LpResult SolveMin(const ConstraintSystem& system,
 
 LpResult SimplexSolver::Minimize(const ConstraintSystem& system,
                                  const std::vector<Rational>& objective,
-                                 const std::vector<bool>& is_free) {
-  return SolveMin(system, objective, is_free);
+                                 const std::vector<bool>& is_free,
+                                 const ResourceGovernor* governor) {
+  return SolveMin(system, objective, is_free, governor);
 }
 
 LpResult SimplexSolver::Maximize(const ConstraintSystem& system,
                                  const std::vector<Rational>& objective,
-                                 const std::vector<bool>& is_free) {
+                                 const std::vector<bool>& is_free,
+                                 const ResourceGovernor* governor) {
   std::vector<Rational> negated = objective;
   for (Rational& c : negated) c = -c;
-  LpResult result = SolveMin(system, negated, is_free);
+  LpResult result = SolveMin(system, negated, is_free, governor);
   result.objective = -result.objective;
   return result;
 }
 
 LpResult SimplexSolver::FindFeasible(const ConstraintSystem& system,
-                                     const std::vector<bool>& is_free) {
-  return SolveMin(system, {}, is_free);
+                                     const std::vector<bool>& is_free,
+                                     const ResourceGovernor* governor) {
+  return SolveMin(system, {}, is_free, governor);
 }
 
 }  // namespace termilog

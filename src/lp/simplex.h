@@ -5,6 +5,7 @@
 
 #include "linalg/constraint.h"
 #include "rational/rational.h"
+#include "util/governor.h"
 
 namespace termilog {
 
@@ -13,7 +14,9 @@ enum class LpStatus {
   kOptimal,     // finite optimum found; point and objective valid
   kInfeasible,  // constraint set empty
   kUnbounded,   // feasible but objective unbounded in the requested direction
-  kPivotLimit,  // safety valve tripped (should not happen with Bland's rule)
+  kPivotLimit,  // pivot cap or governor budget tripped: the solve is
+                // resource-limited, not answered. The analyzer surfaces
+                // this as SccStatus::kResourceLimit.
 };
 
 /// Result of an LP solve. `point` is in the caller's variable space.
@@ -34,23 +37,31 @@ struct LpResult {
 /// `coeffs . x + constant REL 0`.
 class SimplexSolver {
  public:
-  /// Hard cap on pivots; exceeded => kPivotLimit (diagnostic only).
+  /// Hard cap on pivots; exceeded => kPivotLimit. Bland's rule makes the
+  /// cap unreachable on well-posed inputs, but callers must treat the
+  /// status as a first-class resource-limit outcome (the analyzer maps it
+  /// to SccStatus::kResourceLimit, never to a silent NOT_PROVED).
   static constexpr int kMaxPivots = 200000;
 
-  /// Minimizes objective . x subject to `system`.
+  /// Minimizes objective . x subject to `system`. A non-null `governor` is
+  /// charged one work tick per pivot; when it trips the solve returns
+  /// kPivotLimit (query the governor for the structured trip reason).
   static LpResult Minimize(const ConstraintSystem& system,
                            const std::vector<Rational>& objective,
-                           const std::vector<bool>& is_free = {});
+                           const std::vector<bool>& is_free = {},
+                           const ResourceGovernor* governor = nullptr);
 
   /// Maximizes objective . x subject to `system`.
   static LpResult Maximize(const ConstraintSystem& system,
                            const std::vector<Rational>& objective,
-                           const std::vector<bool>& is_free = {});
+                           const std::vector<bool>& is_free = {},
+                           const ResourceGovernor* governor = nullptr);
 
   /// Pure feasibility: returns kOptimal with a witness point, or
   /// kInfeasible.
   static LpResult FindFeasible(const ConstraintSystem& system,
-                               const std::vector<bool>& is_free = {});
+                               const std::vector<bool>& is_free = {},
+                               const ResourceGovernor* governor = nullptr);
 };
 
 }  // namespace termilog

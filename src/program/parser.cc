@@ -354,7 +354,25 @@ class Parser {
     return atom;
   }
 
+  // Depth guard: nested-term parsing recurses on the C++ stack, so a
+  // crafted input like f(f(f(... would otherwise overflow it. The cap is
+  // far above anything a real program contains, but low enough that the
+  // remaining recursion fits a default stack even with sanitizer-inflated
+  // frames (ASan roughly quadruples them).
+  static constexpr int kMaxTermDepth = 400;
+
   Result<TermPtr> ParseTermInternal() {
+    if (term_depth_ >= kMaxTermDepth) {
+      return Status::ResourceExhausted(
+          StrCat("term nesting exceeds the depth limit of ", kMaxTermDepth));
+    }
+    ++term_depth_;
+    Result<TermPtr> out = ParseTermImpl();
+    --term_depth_;
+    return out;
+  }
+
+  Result<TermPtr> ParseTermImpl() {
     const Token& tok = Current();
     switch (tok.kind) {
       case TokKind::kVar: {
@@ -425,6 +443,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int term_depth_ = 0;
   Program* program_;
   std::vector<std::string>* warnings_;
   std::vector<std::string> var_names_;

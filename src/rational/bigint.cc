@@ -10,7 +10,19 @@ namespace termilog {
 
 namespace {
 constexpr uint64_t kBase = uint64_t{1} << 32;
+
+thread_local int64_t g_limb_high_water = 0;
 }  // namespace
+
+int64_t BigInt::LimbHighWater() { return g_limb_high_water; }
+
+void BigInt::ResetLimbHighWater() { g_limb_high_water = 0; }
+
+void BigInt::NoteLimbs(size_t limbs) {
+  if (static_cast<int64_t>(limbs) > g_limb_high_water) {
+    g_limb_high_water = static_cast<int64_t>(limbs);
+  }
+}
 
 BigInt::BigInt(int64_t value) {
   if (value == 0) return;
@@ -160,6 +172,7 @@ BigInt BigInt::operator+(const BigInt& other) const {
     out.negative_ = other.negative_;
   }
   out.Trim();
+  NoteLimbs(out.limbs_.size());
   return out;
 }
 
@@ -169,6 +182,7 @@ BigInt BigInt::operator*(const BigInt& other) const {
   BigInt out;
   out.limbs_ = MulMagnitude(limbs_, other.limbs_);
   out.negative_ = !out.limbs_.empty() && (negative_ != other.negative_);
+  NoteLimbs(out.limbs_.size());
   return out;
 }
 

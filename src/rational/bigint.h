@@ -191,7 +191,16 @@ class BigInt {
   /// Hash suitable for unordered containers.
   size_t Hash() const;
 
+  /// Thread-local high-water mark: the largest limb count of any arithmetic
+  /// result produced since the last reset. The ResourceGovernor samples
+  /// this as a memory-growth proxy — FM and simplex blow up through
+  /// coefficient magnitude long before they exhaust row budgets.
+  static int64_t LimbHighWater();
+  static void ResetLimbHighWater();
+
  private:
+  static void NoteLimbs(size_t limbs);
+
   static int CompareMagnitude(const LimbVector& a,
                               const LimbVector& b);
   static LimbVector AddMagnitude(const LimbVector& a,

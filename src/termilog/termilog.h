@@ -45,5 +45,7 @@
 #include "transform/reorder.h"
 #include "transform/splitting.h"
 #include "transform/unfolding.h"
+#include "util/failpoint.h"
+#include "util/governor.h"
 
 #endif  // TERMILOG_TERMILOG_H_

@@ -6,12 +6,14 @@
 #include "transform/equality.h"
 #include "transform/splitting.h"
 #include "transform/unfolding.h"
+#include "util/failpoint.h"
 
 namespace termilog {
 
 Result<Program> RunTransformPipeline(
     const Program& program, const std::vector<PredId>& protected_preds,
     const TransformOptions& options, std::vector<std::string>* log) {
+  TERMILOG_FAILPOINT("transform.pipeline");
   std::set<PredId> protect(protected_preds.begin(), protected_preds.end());
   Program current = EliminatePositiveEquality(program);
   auto append_log = [log](const std::vector<std::string>& lines) {
@@ -19,8 +21,13 @@ Result<Program> RunTransformPipeline(
     for (const std::string& line : lines) log->push_back(line);
   };
   for (int phase = 0; phase < options.phases; ++phase) {
+    TERMILOG_FAILPOINT("transform.phase");
+    if (options.governor != nullptr) {
+      Status charged = options.governor->Charge("transform.phase");
+      if (!charged.ok()) return charged;
+    }
     UnfoldResult unfolded =
-        SafeUnfolding(current, protect, options.max_rules);
+        SafeUnfolding(current, protect, options.max_rules, options.governor);
     append_log(unfolded.log);
     current = std::move(unfolded.program);
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "program/ast.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace termilog {
@@ -18,6 +19,10 @@ struct TransformOptions {
   int phases = 3;
   int max_splits_per_phase = 8;
   int max_rules = 2000;
+  /// Charged per phase and per unfolding step. A trip aborts the pipeline
+  /// with kResourceExhausted; the caller can retry untransformed (the
+  /// analyzer does exactly that).
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// Runs positive-equality elimination once, then alternates safe unfolding

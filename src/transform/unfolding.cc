@@ -5,6 +5,7 @@
 #include "term/unify.h"
 #include "transform/term_rewrite.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace termilog {
@@ -86,7 +87,7 @@ bool Resolve(const Rule& caller, size_t position, const Rule& callee,
 
 UnfoldResult SafeUnfolding(const Program& program,
                            const std::set<PredId>& protected_preds,
-                           int max_rules) {
+                           int max_rules, const ResourceGovernor* governor) {
   UnfoldResult result;
   result.program = program;
 
@@ -94,6 +95,16 @@ UnfoldResult SafeUnfolding(const Program& program,
   // shrink; the iteration cap is a defensive backstop on top of max_rules.
   int iteration_budget = 64 + 4 * static_cast<int>(program.rules().size());
   while (iteration_budget-- > 0) {
+    // Each step preserves the program's meaning, so a budget trip just
+    // stops early with whatever has been unfolded so far.
+    if (TERMILOG_FAILPOINT_HIT("transform.unfold")) {
+      result.log.push_back("unfolding stopped by failpoint transform.unfold");
+      break;
+    }
+    if (governor != nullptr && !governor->Charge("transform.unfold").ok()) {
+      result.log.push_back("unfolding stopped: resource budget exhausted");
+      break;
+    }
     Program& current = result.program;
     // Pick an unfoldable predicate.
     PredId target;

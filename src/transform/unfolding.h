@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "program/ast.h"
+#include "util/governor.h"
 
 namespace termilog {
 
@@ -24,10 +25,14 @@ struct UnfoldResult {
 /// must never be unfolded away) and discarded otherwise.
 ///
 /// Predicates occurring under negation are not unfolded (resolution through
-/// negation is unsound). `max_rules` caps the program growth.
+/// negation is unsound). `max_rules` caps the program growth. A non-null
+/// `governor` is charged one work tick per unfolding step; tripping it
+/// stops unfolding gracefully (each step preserves the program's meaning,
+/// so a partial result is still usable).
 UnfoldResult SafeUnfolding(const Program& program,
                            const std::set<PredId>& protected_preds,
-                           int max_rules = 2000);
+                           int max_rules = 2000,
+                           const ResourceGovernor* governor = nullptr);
 
 }  // namespace termilog
 

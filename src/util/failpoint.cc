@@ -1,0 +1,85 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace termilog {
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  const char* env = std::getenv("TERMILOG_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') EnableFromSpec(env);
+}
+
+void FailpointRegistry::EnableFromSpec(const std::string& spec) {
+  for (const std::string& piece : Split(spec, ',')) {
+    std::string_view entry = StripWhitespace(piece);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      Enable(std::string(entry));
+      continue;
+    }
+    int max_fails = 0;
+    for (char digit : entry.substr(eq + 1)) {
+      if (digit < '0' || digit > '9') {
+        max_fails = -1;
+        break;
+      }
+      max_fails = max_fails * 10 + (digit - '0');
+    }
+    Enable(std::string(entry.substr(0, eq)), max_fails == 0 ? -1 : max_fails);
+  }
+}
+
+void FailpointRegistry::Enable(const std::string& site, int max_fails) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = remaining_.emplace(site, max_fails);
+  if (!inserted) it->second = max_fails;
+  if (inserted) active_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::Disable(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remaining_.erase(site) > 0) {
+    active_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_count_.fetch_sub(static_cast<int>(remaining_.size()),
+                          std::memory_order_relaxed);
+  remaining_.clear();
+  fail_counts_.clear();
+}
+
+bool FailpointRegistry::ShouldFail(const char* site) {
+  // Fast path: nothing enabled anywhere, skip the lock. Hot loops (simplex
+  // pivots, SLD steps) hit this on every iteration.
+  if (active_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = remaining_.find(site);
+  if (it == remaining_.end()) return false;
+  if (it->second == 0) return false;  // budget of forced failures used up
+  if (it->second > 0) --it->second;
+  ++fail_counts_[site];
+  return true;
+}
+
+int64_t FailpointRegistry::FailCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fail_counts_.find(site);
+  return it == fail_counts_.end() ? 0 : it->second;
+}
+
+std::string FailpointRegistry::TripMessage(const char* site) {
+  return StrCat("failpoint '", site, "' forced");
+}
+
+}  // namespace termilog

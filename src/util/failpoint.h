@@ -1,0 +1,97 @@
+#ifndef TERMILOG_UTIL_FAILPOINT_H_
+#define TERMILOG_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace termilog {
+
+/// Deterministic fault-injection registry. Every budget-check and
+/// error-return site in the library carries a named failpoint; tests (or an
+/// operator, via the TERMILOG_FAILPOINTS environment variable) activate a
+/// site by name to force its kResourceExhausted path, so each degradation
+/// ladder rung can be exercised without constructing a genuinely
+/// pathological input.
+///
+/// Activation syntax (programmatic or env var, comma-separated):
+///   site          fail every hit while enabled
+///   site=N        fail only the first N hits, then behave normally
+///
+/// The macros compile to nothing when TERMILOG_FAILPOINTS_ENABLED is not
+/// defined (CMake option TERMILOG_FAILPOINTS, ON by default; turn it OFF
+/// for release builds).
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  /// Enables `site`; max_fails < 0 means fail every hit.
+  void Enable(const std::string& site, int max_fails = -1);
+  void Disable(const std::string& site);
+  /// Disables everything and clears hit counters.
+  void Clear();
+
+  /// Consulted by the TERMILOG_FAILPOINT* macros. Constant-time no-lock
+  /// false when nothing is enabled.
+  bool ShouldFail(const char* site);
+
+  /// Times ShouldFail returned true for `site` since the last Clear.
+  int64_t FailCount(const std::string& site) const;
+
+  /// Parses a TERMILOG_FAILPOINTS-style spec ("a,b=2") into Enable calls.
+  void EnableFromSpec(const std::string& spec);
+
+  /// Message used by forced trips, e.g. "failpoint 'fm.eliminate' forced".
+  static std::string TripMessage(const char* site);
+
+ private:
+  FailpointRegistry();
+
+  mutable std::mutex mu_;
+  std::atomic<int> active_count_{0};
+  std::map<std::string, int> remaining_;  // -1 = unlimited
+  std::map<std::string, int64_t> fail_counts_;
+};
+
+/// RAII activation for tests: enables on construction, disables on scope
+/// exit.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string site, int max_fails = -1)
+      : site_(std::move(site)) {
+    FailpointRegistry::Global().Enable(site_, max_fails);
+  }
+  ~ScopedFailpoint() { FailpointRegistry::Global().Disable(site_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace termilog
+
+#ifdef TERMILOG_FAILPOINTS_ENABLED
+/// Expression form: true when the named failpoint is active and fires.
+#define TERMILOG_FAILPOINT_HIT(site) \
+  (::termilog::FailpointRegistry::Global().ShouldFail(site))
+#else
+#define TERMILOG_FAILPOINT_HIT(site) (false)
+#endif
+
+/// Statement form for functions returning Status or Result<T>: when the
+/// named failpoint fires, returns kResourceExhausted from the enclosing
+/// function. Compiled to nothing when failpoints are disabled.
+#define TERMILOG_FAILPOINT(site)                           \
+  do {                                                     \
+    if (TERMILOG_FAILPOINT_HIT(site)) {                    \
+      return ::termilog::Status::ResourceExhausted(        \
+          ::termilog::FailpointRegistry::TripMessage(site)); \
+    }                                                      \
+  } while (0)
+
+#endif  // TERMILOG_UTIL_FAILPOINT_H_

@@ -1,0 +1,91 @@
+#include "util/governor.h"
+
+#include "rational/bigint.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// How many work ticks may pass between steady-clock / limb samples. The
+// clock read is ~20ns but the hot loops (simplex pivots, SLD steps) run
+// millions of iterations, so sampling every tick would be measurable.
+constexpr int64_t kClockCheckInterval = 64;
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string GovernorSpend::ToString() const {
+  return StrCat("work=", work, " elapsed_ms=", elapsed_ms,
+                " bigint_limbs=", bigint_limb_high_water);
+}
+
+ResourceGovernor::ResourceGovernor(const GovernorLimits& limits)
+    : limits_(limits), start_(std::chrono::steady_clock::now()) {
+  // The limb high-water is a thread-local inside BigInt; reset it so this
+  // governor measures only growth that happens on its watch.
+  if (limits_.bigint_limb_limit > 0) BigInt::ResetLimbHighWater();
+}
+
+Status ResourceGovernor::Trip(const char* site, const char* budget,
+                              const std::string& detail) const {
+  if (!tripped_) {
+    tripped_ = true;
+    trip_ = Status::ResourceExhausted(
+        StrCat("governor: ", budget, " budget exhausted at ", site, " (",
+               detail, "; spent ", Spend().ToString(), ")"));
+  }
+  return trip_;
+}
+
+Status ResourceGovernor::CheckClockAndLimbs(const char* site) const {
+  if (limits_.deadline_ms > 0 && ElapsedMs(start_) > limits_.deadline_ms) {
+    return Trip(site, "wall-clock",
+                StrCat("deadline ", limits_.deadline_ms, "ms"));
+  }
+  if (limits_.bigint_limb_limit > 0 &&
+      BigInt::LimbHighWater() > limits_.bigint_limb_limit) {
+    return Trip(site, "bigint-limb",
+                StrCat("limit ", limits_.bigint_limb_limit, " limbs"));
+  }
+  return Status::Ok();
+}
+
+Status ResourceGovernor::Charge(const char* site, int64_t amount) const {
+  if (tripped_) return trip_;
+  work_ += amount;
+  if (limits_.Unlimited()) return Status::Ok();
+  if (limits_.work_budget > 0 && work_ > limits_.work_budget) {
+    return Trip(site, "work", StrCat("limit ", limits_.work_budget, " ticks"));
+  }
+  ticks_since_clock_check_ += amount;
+  if (ticks_since_clock_check_ >= kClockCheckInterval) {
+    ticks_since_clock_check_ = 0;
+    return CheckClockAndLimbs(site);
+  }
+  return Status::Ok();
+}
+
+Status ResourceGovernor::CheckNow(const char* site) const {
+  if (tripped_) return trip_;
+  if (limits_.Unlimited()) return Status::Ok();
+  if (limits_.work_budget > 0 && work_ > limits_.work_budget) {
+    return Trip(site, "work", StrCat("limit ", limits_.work_budget, " ticks"));
+  }
+  ticks_since_clock_check_ = 0;
+  return CheckClockAndLimbs(site);
+}
+
+GovernorSpend ResourceGovernor::Spend() const {
+  GovernorSpend spend;
+  spend.work = work_;
+  spend.elapsed_ms = ElapsedMs(start_);
+  spend.bigint_limb_high_water = BigInt::LimbHighWater();
+  return spend;
+}
+
+}  // namespace termilog

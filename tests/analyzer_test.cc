@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "program/parser.h"
+#include "util/failpoint.h"
 
 namespace termilog {
 namespace {
@@ -212,6 +213,141 @@ TEST(AnalyzerTest, AnalyzeDeclaredModesNeedsDirectives) {
   TerminationAnalyzer analyzer;
   EXPECT_FALSE(analyzer.AnalyzeDeclaredModes(p).ok());
 }
+
+bool HasNoteContaining(const std::vector<std::string>& notes,
+                       const char* needle) {
+  for (const std::string& note : notes) {
+    if (note.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(AnalyzerDegradation, TinyWorkBudgetProducesValidPartialReport) {
+  // A genuinely exhausted budget (not a failpoint): Analyze must still
+  // return a well-formed report where every starved SCC is RESOURCE_LIMIT
+  // with a spend snapshot, never an error Status.
+  Program p = MustParse(R"(
+    rev([], []).
+    rev([X|Xs], Ys) :- rev(Xs, Zs), append(Zs, [X], Ys).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  AnalysisOptions options;
+  options.run_inference = false;
+  options.limits.work_budget = 1;
+  TerminationAnalyzer analyzer(options);
+  Result<TerminationReport> r = analyzer.Analyze(p, "rev(b,f)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->proved);
+  EXPECT_TRUE(r->resource_limited);
+  EXPECT_FALSE(r->first_resource_trip.empty());
+  int limited = 0;
+  for (const SccReport& scc : r->sccs) {
+    if (scc.status != SccStatus::kResourceLimit) continue;
+    ++limited;
+    EXPECT_TRUE(HasNoteContaining(scc.notes, "resource spend:"))
+        << r->ToString();
+  }
+  EXPECT_GE(limited, 1);
+}
+
+#ifdef TERMILOG_FAILPOINTS_ENABLED
+
+TEST(AnalyzerDegradation, DualBuildTripDegradesOneSccOnly) {
+  // rev calls append, and SCCs are analyzed callees first, so the single
+  // forced dual.build failure lands on append's SCC. rev's own descent
+  // (first argument shrinks) needs nothing from append, so its SCC must
+  // still get a real PROVED verdict.
+  Program p = MustParse(R"(
+    rev([], []).
+    rev([X|Xs], Ys) :- rev(Xs, Zs), append(Zs, [X], Ys).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  ScopedFailpoint fp("dual.build", /*max_fails=*/1);
+  TerminationReport r = MustAnalyze(p, "rev(b,f)");
+  EXPECT_FALSE(r.proved);
+  EXPECT_TRUE(r.resource_limited);
+  EXPECT_FALSE(r.first_resource_trip.empty());
+  int limited = 0;
+  int proved = 0;
+  for (const SccReport& scc : r.sccs) {
+    if (scc.status == SccStatus::kResourceLimit) {
+      ++limited;
+      EXPECT_TRUE(HasNoteContaining(scc.notes, "resource spend:"))
+          << r.ToString();
+    }
+    if (scc.status == SccStatus::kProved) ++proved;
+  }
+  EXPECT_EQ(limited, 1) << r.ToString();
+  EXPECT_EQ(proved, 1) << r.ToString();
+}
+
+TEST(AnalyzerDegradation, PivotTripBecomesResourceLimitNotNotProved) {
+  // A pivot-limit outcome is "unanswered", not "condition failed": the SCC
+  // must be RESOURCE_LIMIT, never a silent NOT_PROVED.
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  AnalysisOptions options;
+  options.run_inference = false;
+  TerminationAnalyzer analyzer(options);
+  ScopedFailpoint fp("lp.pivot");
+  Result<TerminationReport> r = analyzer.Analyze(p, "append(b,f,f)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->sccs.size(), 1u);
+  EXPECT_EQ(r->sccs[0].status, SccStatus::kResourceLimit) << r->ToString();
+  EXPECT_TRUE(r->resource_limited);
+}
+
+TEST(AnalyzerDegradation, TransformTripFallsBackToUntransformedProgram) {
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  AnalysisOptions options;
+  options.apply_transformations = true;
+  ScopedFailpoint fp("transform.pipeline");
+  TerminationReport r = MustAnalyze(p, "append(b,f,f)", options);
+  EXPECT_TRUE(r.proved) << r.ToString();
+  EXPECT_TRUE(r.resource_limited);
+  EXPECT_TRUE(HasNoteContaining(r.notes, "transformations abandoned"))
+      << r.ToString();
+}
+
+TEST(AnalyzerDegradation, InferenceTripLeavesPredicatesUnconstrained) {
+  // A budget trip during constraint inference leaves the predicates out of
+  // the ArgSizeDb (the sound top approximation) and warns; append's direct
+  // structural descent still proves.
+  Program p = MustParse(
+      "append([],Ys,Ys). append([X|Xs],Ys,[X|Zs]) :- append(Xs,Ys,Zs).");
+  ScopedFailpoint fp("inference.sweep");
+  TerminationReport r = MustAnalyze(p, "append(b,f,f)");
+  EXPECT_TRUE(r.proved) << r.ToString();
+  EXPECT_TRUE(r.resource_limited);
+  EXPECT_TRUE(HasNoteContaining(r.notes, "inference skipped for SCC"))
+      << r.ToString();
+}
+
+TEST(AnalyzerDegradation, DeclaredModesIsolateResourceTrips) {
+  Program p = MustParse(R"(
+    :- mode(append(b, f, f)).
+    :- mode(append(f, f, b)).
+    append([], Ys, Ys).
+    append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+  )");
+  ScopedFailpoint fp("analyzer.scc", /*max_fails=*/1);
+  TerminationAnalyzer analyzer;
+  auto reports = analyzer.AnalyzeDeclaredModes(p);
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  ASSERT_EQ(reports->size(), 2u);
+  // The forced trip lands on the first mode's only SCC; the second mode's
+  // analysis is untouched.
+  EXPECT_FALSE((*reports)[0].second.proved);
+  EXPECT_TRUE((*reports)[0].second.resource_limited);
+  EXPECT_TRUE((*reports)[1].second.proved)
+      << (*reports)[1].second.ToString();
+  EXPECT_FALSE((*reports)[1].second.resource_limited);
+}
+
+#endif  // TERMILOG_FAILPOINTS_ENABLED
 
 TEST(AnalyzerTest, SecondArgumentDescent) {
   Program p = MustParse(R"(

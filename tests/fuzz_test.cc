@@ -148,6 +148,32 @@ TEST(AnalyzerEdgeCases, SelfUnifyingHeadHandled) {
   EXPECT_TRUE(r->proved);
 }
 
+TEST(ParserDepthGuard, PathologicalNestingReturnsResourceExhausted) {
+  // 3000 levels of f(...) — far beyond the parser's recursion cap. Must
+  // come back as a structured error, not a C++ stack overflow.
+  std::string source = "p(";
+  for (int i = 0; i < 3000; ++i) source += "f(";
+  source += "a";
+  for (int i = 0; i < 3000; ++i) source += ")";
+  source += ").";
+  Result<Program> result = ParseProgram(source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("depth"), std::string::npos);
+}
+
+TEST(ParserDepthGuard, ModerateNestingStillParses) {
+  // 300 levels is deep but within the cap.
+  std::string source = "p(";
+  for (int i = 0; i < 300; ++i) source += "f(";
+  source += "a";
+  for (int i = 0; i < 300; ++i) source += ")";
+  source += ").";
+  Result<Program> result = ParseProgram(source);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->rules().size(), 1u);
+}
+
 TEST(AnalyzerEdgeCases, DeepTermsInRules) {
   std::string deep = "f(";
   std::string close = ")";

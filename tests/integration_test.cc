@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/analyzer.h"
+#include "corpus/corpus.h"
 #include "interp/sld.h"
 #include "program/parser.h"
 #include "term/size.h"
@@ -172,6 +173,75 @@ TEST(IntegrationTest, WholeCorpusStyleEndToEnd) {
   EXPECT_EQ(r.outcome, SldOutcome::kExhausted);
   ASSERT_GE(r.num_solutions, 1u);
   EXPECT_EQ(r.solutions[0]->args()[2]->ToString(p.symbols()), "s(s(z))");
+}
+
+// Runs every corpus entry under `limits` and checks the degradation
+// contract: Analyze never errors, every RESOURCE_LIMIT SCC carries a spend
+// note, and a resource-limited report names its first trip.
+void SweepCorpusUnderBudget(const GovernorLimits& limits,
+                            bool expect_a_trip) {
+  int resource_limited_entries = 0;
+  for (const CorpusEntry& entry : Corpus()) {
+    Result<Program> program = ParseProgram(entry.source);
+    ASSERT_TRUE(program.ok()) << entry.name;
+    AnalysisOptions options;
+    options.apply_transformations = entry.needs_transformations;
+    options.allow_negative_deltas = entry.needs_negative_deltas;
+    options.supplied_constraints = entry.supplied_constraints;
+    options.limits = limits;
+    TerminationAnalyzer analyzer(options);
+    Result<TerminationReport> report =
+        analyzer.Analyze(*program, entry.query);
+    ASSERT_TRUE(report.ok())
+        << entry.name << ": " << report.status().ToString();
+    EXPECT_FALSE(report->ToString().empty());
+    if (report->resource_limited) {
+      ++resource_limited_entries;
+      EXPECT_FALSE(report->first_resource_trip.empty()) << entry.name;
+    }
+    for (const SccReport& scc : report->sccs) {
+      if (scc.status != SccStatus::kResourceLimit) continue;
+      EXPECT_TRUE(report->resource_limited) << entry.name;
+      bool has_spend = false;
+      for (const std::string& note : scc.notes) {
+        if (note.find("resource spend:") != std::string::npos) {
+          has_spend = true;
+        }
+      }
+      EXPECT_TRUE(has_spend) << entry.name << "\n" << report->ToString();
+    }
+    // A budget trip must never flip a verdict to PROVED spuriously: when
+    // the ground truth is nontermination, the partial report still must
+    // not prove.
+    if (!entry.terminating) {
+      EXPECT_FALSE(report->proved) << entry.name;
+    }
+  }
+  // A tiny work budget must actually bite somewhere on a 47-program
+  // corpus — otherwise this sweep tests nothing. (Wall-clock and limb
+  // budgets depend on the machine, so their sweeps only check the
+  // contract.)
+  if (expect_a_trip) {
+    EXPECT_GE(resource_limited_entries, 1);
+  }
+}
+
+TEST(IntegrationTest, CorpusSweepUnderTinyWorkBudget) {
+  GovernorLimits limits;
+  limits.work_budget = 200;
+  SweepCorpusUnderBudget(limits, /*expect_a_trip=*/true);
+}
+
+TEST(IntegrationTest, CorpusSweepUnderMillisecondDeadline) {
+  GovernorLimits limits;
+  limits.deadline_ms = 1;
+  SweepCorpusUnderBudget(limits, /*expect_a_trip=*/false);
+}
+
+TEST(IntegrationTest, CorpusSweepUnderLimbLimit) {
+  GovernorLimits limits;
+  limits.bigint_limb_limit = 8;
+  SweepCorpusUnderBudget(limits, /*expect_a_trip=*/false);
 }
 
 }  // namespace

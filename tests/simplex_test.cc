@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/failpoint.h"
+
 namespace termilog {
 namespace {
 
@@ -139,6 +141,33 @@ TEST(SimplexTest, MinimizeEqualsNegatedMaximize) {
   ASSERT_EQ(mn.status, LpStatus::kOptimal);
   EXPECT_EQ(mx.objective, -mn.objective);
 }
+
+TEST(SimplexTest, ExhaustedGovernorYieldsPivotLimit) {
+  // A governor that has already tripped makes the solve return kPivotLimit
+  // before the first pivot — the resource outcome, never a wrong verdict.
+  GovernorLimits limits;
+  limits.work_budget = 1;
+  ResourceGovernor governor(limits);
+  ASSERT_TRUE(governor.Charge("setup").ok());
+  ASSERT_FALSE(governor.Charge("setup").ok());  // pre-exhaust
+  ConstraintSystem sys(2);
+  sys.Add(Ge({-1, -2}, 4));
+  sys.Add(Ge({-3, -1}, 6));
+  LpResult r = SimplexSolver::Minimize(sys, Obj({1, 1}), {}, &governor);
+  EXPECT_EQ(r.status, LpStatus::kPivotLimit);
+  EXPECT_EQ(SimplexSolver::FindFeasible(sys, {}, &governor).status,
+            LpStatus::kPivotLimit);
+}
+
+#ifdef TERMILOG_FAILPOINTS_ENABLED
+TEST(SimplexTest, PivotFailpointForcesPivotLimit) {
+  ScopedFailpoint fp("lp.pivot");
+  ConstraintSystem sys(1);
+  sys.Add(Ge({1}, -3));
+  LpResult r = SimplexSolver::Minimize(sys, Obj({1}));
+  EXPECT_EQ(r.status, LpStatus::kPivotLimit);
+}
+#endif
 
 TEST(SimplexTest, DualityGapIsZero) {
   // Primal: min c.x st Ax >= b, x >= 0; dual: max b.y st A^T y <= c, y>=0.
