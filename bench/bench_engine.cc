@@ -1,0 +1,104 @@
+// E11: batch-engine throughput and cache effectiveness. Runs the full
+// corpus through the parallel batch engine (docs/engine.md) at jobs =
+// 1/2/4/8, cold cache and warm (an immediate rerun on the same engine),
+// and emits one machine-readable JSON object on stdout — the repo's
+// BENCH_engine.json trajectory point. The interesting columns: wall-clock
+// scaling with jobs, and the warm-run SCC cache hit rate (the fraction of
+// per-SCC tasks served without re-solving).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "termilog/termilog.h"
+
+using namespace termilog;
+
+namespace {
+
+std::vector<BatchRequest> CorpusRequests() {
+  std::vector<BatchRequest> requests;
+  for (const CorpusEntry& entry : Corpus()) {
+    Program program = ParseProgram(entry.source).value();
+    auto query = ParseQuerySpec(program, entry.query).value();
+    BatchRequest request;
+    request.name = entry.name;
+    request.program = std::move(program);
+    request.query = query.first;
+    request.adornment = query.second;
+    request.options.apply_transformations = entry.needs_transformations;
+    request.options.allow_negative_deltas = entry.needs_negative_deltas;
+    request.options.supplied_constraints = entry.supplied_constraints;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+struct RunSample {
+  int64_t wall_ms = 0;
+  int64_t scc_tasks = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+};
+
+// EngineStats accumulate across Run calls; the warm sample is the delta
+// between the post-warm and post-cold snapshots.
+RunSample Delta(const EngineStats& after, const EngineStats& before) {
+  RunSample sample;
+  sample.wall_ms = after.wall_ms;  // wall_ms is per-Run, not cumulative
+  sample.scc_tasks = after.scc_tasks - before.scc_tasks;
+  sample.cache_hits = after.cache_hits - before.cache_hits;
+  sample.cache_misses = after.cache_misses - before.cache_misses;
+  return sample;
+}
+
+std::string SampleJson(const RunSample& sample, size_t requests) {
+  double seconds = static_cast<double>(sample.wall_ms) / 1000.0;
+  double throughput =
+      seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  double hit_rate =
+      sample.scc_tasks > 0
+          ? static_cast<double>(sample.cache_hits) /
+                static_cast<double>(sample.scc_tasks)
+          : 0.0;
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"wall_ms\":%lld,\"scc_tasks\":%lld,\"cache_hits\":%lld,"
+                "\"cache_misses\":%lld,\"requests_per_s\":%.2f,"
+                "\"scc_hit_rate\":%.4f}",
+                static_cast<long long>(sample.wall_ms),
+                static_cast<long long>(sample.scc_tasks),
+                static_cast<long long>(sample.cache_hits),
+                static_cast<long long>(sample.cache_misses), throughput,
+                hit_rate);
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<BatchRequest> requests = CorpusRequests();
+
+  std::string out = "{\"bench\":\"engine\",\"corpus_requests\":" +
+                    std::to_string(requests.size()) + ",\"runs\":[";
+  bool first = true;
+  for (int jobs : {1, 2, 4, 8}) {
+    BatchEngine engine(EngineOptions{jobs, /*use_cache=*/true});
+
+    engine.Run(requests);
+    EngineStats cold_stats = engine.stats();
+    RunSample cold = Delta(cold_stats, EngineStats());
+
+    engine.Run(requests);
+    RunSample warm = Delta(engine.stats(), cold_stats);
+
+    if (!first) out += ',';
+    first = false;
+    out += "{\"jobs\":" + std::to_string(jobs) +
+           ",\"cold\":" + SampleJson(cold, requests.size()) +
+           ",\"warm\":" + SampleJson(warm, requests.size()) + "}";
+  }
+  out += "]}";
+  std::printf("%s\n", out.c_str());
+  return 0;
+}

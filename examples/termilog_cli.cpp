@@ -5,12 +5,27 @@
 // Usage:
 //   termilog_cli FILE QUERY [options]
 //   termilog_cli --corpus NAME [options]
+//   termilog_cli --batch DIR|MANIFEST [--jobs N] [options]
 //
 //   FILE    program file (Prolog subset; see README)
 //   QUERY   entry pattern, e.g. "perm(b,f)" (b = bound, f = free).
 //           Omitted if the file has a `:- mode(pred(b,f)).` directive.
 //
+// Batch mode analyzes many requests through the parallel engine
+// (docs/engine.md): DIR expands to every *.pl file in sorted order, one
+// request per `:- mode(...)` directive; MANIFEST is a text file of lines
+//   corpus:NAME          a built-in corpus entry
+//   FILE [QUERY]         a program file (QUERY optional as above)
+// (# comments and blank lines ignored). Output is one JSON line per
+// request, streamed to stdout in request order — byte-identical for every
+// --jobs value — with an aggregate stats object (cache hits/misses, work
+// spend) on stderr.
+//
 // Options:
+//   --json                 structured JSON output instead of text (single
+//                          run and multi-mode; --batch is always JSON)
+//   --jobs N               worker threads for --batch / multi-mode (default 1)
+//   --no-cache             disable the engine's content-addressed SCC cache
 //   --transform            run the Appendix A pipeline first
 //   --negative-deltas      enable the Appendix C free-delta mode
 //   --no-inference         skip inter-argument inference (manual mode)
@@ -30,10 +45,13 @@
 // Exit codes: 0 = proved, 2 = not proved, 3 = resource-limited (a budget
 // tripped; the report printed is valid but partial), 1 = usage/parse error.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -72,6 +90,188 @@ bool ParseInt64Flag(const char* text, int64_t* out) {
   return true;
 }
 
+std::string ModeQueryText(const Program& program, const ModeDecl& decl) {
+  std::string query = program.symbols().Name(decl.pred.symbol) + "(";
+  for (size_t i = 0; i < decl.adornment.size(); ++i) {
+    if (i > 0) query += ",";
+    query += decl.adornment[i] == Mode::kBound ? "b" : "f";
+  }
+  query += ")";
+  return query;
+}
+
+// The batch is a list of output slots, filled either eagerly (parse/setup
+// errors, rendered as {"ok":false,...} lines up front) or by the engine as
+// requests complete. Slots print in order, so the JSONL stream is
+// deterministic regardless of --jobs.
+struct BatchPlan {
+  std::vector<std::optional<std::string>> lines;
+  std::vector<BatchRequest> requests;
+  std::vector<size_t> request_slot;   // request index -> output slot
+  std::vector<std::string> request_query;  // query text for the JSON line
+  bool any_error = false;
+
+  void AddErrorLine(const std::string& name, const Status& status) {
+    any_error = true;
+    lines.push_back(ReportToJsonLine(name, "", status, TerminationReport()));
+  }
+
+  // One request per declared mode (or the explicit query when given).
+  void AddProgram(const std::string& name, const Program& program,
+                  const std::string& query, const AnalysisOptions& options) {
+    std::vector<std::string> queries;
+    if (!query.empty()) {
+      queries.push_back(query);
+    } else {
+      for (const ModeDecl& decl : program.mode_decls()) {
+        queries.push_back(ModeQueryText(program, decl));
+      }
+      if (queries.empty()) {
+        AddErrorLine(name, Status::InvalidArgument(
+                               "no QUERY given and no :- mode(...) "
+                               "directive in the file"));
+        return;
+      }
+    }
+    for (const std::string& q : queries) {
+      std::string request_name =
+          queries.size() > 1 ? name + " " + q : name;
+      Result<std::pair<PredId, Adornment>> parsed_query =
+          ParseQuerySpec(program, q);
+      if (!parsed_query.ok()) {
+        AddErrorLine(request_name, parsed_query.status());
+        continue;
+      }
+      BatchRequest request;
+      request.name = request_name;
+      request.program = program;
+      request.query = parsed_query->first;
+      request.adornment = parsed_query->second;
+      request.options = options;
+      request_slot.push_back(lines.size());
+      request_query.push_back(q);
+      lines.emplace_back(std::nullopt);
+      requests.push_back(std::move(request));
+    }
+  }
+
+  void AddFile(const std::string& path, const std::string& query,
+               const AnalysisOptions& options) {
+    std::ifstream in(path);
+    if (!in) {
+      AddErrorLine(path, Status::InvalidArgument("cannot open program file"));
+      return;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Result<Program> parsed = ParseProgram(buffer.str());
+    if (!parsed.ok()) {
+      AddErrorLine(path, parsed.status());
+      return;
+    }
+    AddProgram(path, *parsed, query, options);
+  }
+
+  void AddCorpusEntry(const std::string& name, const AnalysisOptions& base) {
+    const CorpusEntry* entry = FindCorpusEntry(name);
+    if (entry == nullptr) {
+      AddErrorLine("corpus:" + name,
+                   Status::InvalidArgument("unknown corpus entry"));
+      return;
+    }
+    AnalysisOptions options = base;
+    options.apply_transformations |= entry->needs_transformations;
+    options.allow_negative_deltas |= entry->needs_negative_deltas;
+    for (const auto& supplied : entry->supplied_constraints) {
+      options.supplied_constraints.push_back(supplied);
+    }
+    Result<Program> parsed = ParseProgram(entry->source);
+    if (!parsed.ok()) {
+      AddErrorLine("corpus:" + name, parsed.status());
+      return;
+    }
+    AddProgram("corpus:" + name, *parsed, entry->query, options);
+  }
+};
+
+// Expands DIR|MANIFEST into a BatchPlan, runs it through the engine, and
+// streams the JSONL report. Returns the process exit code.
+int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
+             int jobs, bool use_cache) {
+  namespace fs = std::filesystem;
+  BatchPlan plan;
+  std::error_code ec;
+  if (fs::is_directory(batch_path, ec)) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(batch_path, ec)) {
+      if (entry.path().extension() == ".pl") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) return Fail("--batch directory holds no *.pl files");
+    for (const std::string& file : files) plan.AddFile(file, "", options);
+  } else {
+    std::ifstream in(batch_path);
+    if (!in) return Fail("cannot open --batch manifest");
+    std::string line;
+    while (std::getline(in, line)) {
+      size_t start = line.find_first_not_of(" \t");
+      if (start == std::string::npos || line[start] == '#') continue;
+      size_t end = line.find_last_not_of(" \t\r");
+      line = line.substr(start, end - start + 1);
+      if (line.rfind("corpus:", 0) == 0) {
+        plan.AddCorpusEntry(line.substr(7), options);
+        continue;
+      }
+      size_t space = line.find(' ');
+      std::string file = line.substr(0, space);
+      std::string query =
+          space == std::string::npos ? "" : line.substr(space + 1);
+      size_t qstart = query.find_first_not_of(" \t");
+      query = qstart == std::string::npos ? "" : query.substr(qstart);
+      plan.AddFile(file, query, options);
+    }
+    if (plan.lines.empty()) return Fail("--batch manifest names no requests");
+  }
+
+  EngineOptions engine_options;
+  engine_options.jobs = jobs;
+  engine_options.use_cache = use_cache;
+  BatchEngine engine(engine_options);
+
+  bool all_proved = !plan.any_error;
+  bool any_limited = false;
+  size_t next_request = 0;
+  size_t next_to_print = 0;
+  auto flush = [&] {
+    while (next_to_print < plan.lines.size() &&
+           plan.lines[next_to_print].has_value()) {
+      std::printf("%s\n", plan.lines[next_to_print]->c_str());
+      ++next_to_print;
+    }
+    std::fflush(stdout);
+  };
+  engine.Run(plan.requests, [&](const BatchItemResult& item) {
+    size_t index = next_request++;
+    plan.lines[plan.request_slot[index]] = ReportToJsonLine(
+        item.name, plan.request_query[index], item.status, item.report);
+    if (!item.status.ok()) {
+      all_proved = false;
+    } else {
+      all_proved = all_proved && item.report.proved;
+      any_limited = any_limited || item.report.resource_limited;
+    }
+    flush();
+  });
+  flush();
+
+  std::fprintf(stderr, "%s\n",
+               EngineStatsToJson(engine.stats(), jobs).c_str());
+  if (all_proved) return EXIT_SUCCESS;
+  return any_limited ? kExitResourceLimited : kExitNotProved;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,13 +279,24 @@ int main(int argc, char** argv) {
   AnalysisOptions options;
   std::vector<std::string> run_goals;
   bool show_constraints = false, run_baselines = false, reorder = false;
-  bool explain = false;
-  std::string corpus_name;
+  bool explain = false, json = false, use_cache = true;
+  int64_t jobs = 1;
+  std::string corpus_name, batch_path;
 
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--transform") {
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-cache") {
+      use_cache = false;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      if (!ParseInt64Flag(argv[++i], &jobs) || jobs < 1) {
+        return Fail("--jobs wants a positive integer");
+      }
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch_path = argv[++i];
+    } else if (arg == "--transform") {
       options.apply_transformations = true;
     } else if (arg == "--negative-deltas") {
       options.allow_negative_deltas = true;
@@ -128,6 +339,10 @@ int main(int argc, char** argv) {
     } else {
       positional.push_back(arg);
     }
+  }
+
+  if (!batch_path.empty()) {
+    return RunBatch(batch_path, options, static_cast<int>(jobs), use_cache);
   }
 
   if (!corpus_name.empty()) {
@@ -173,33 +388,66 @@ int main(int argc, char** argv) {
     }
     if (program.mode_decls().size() > 1) {
       // Analyze every declared mode (the capture-rule setting: one proof
-      // per bound-free pattern).
-      TerminationAnalyzer analyzer(options);
-      auto reports = analyzer.AnalyzeDeclaredModes(program);
-      if (!reports.ok()) return Fail(reports.status().ToString().c_str());
+      // per bound-free pattern) through the batch engine, so --jobs
+      // parallelizes across modes and shared SCCs are solved once.
+      EngineOptions engine_options;
+      engine_options.jobs = static_cast<int>(jobs);
+      engine_options.use_cache = use_cache;
+      BatchEngine engine(engine_options);
+      std::vector<BatchRequest> requests;
+      for (const ModeDecl& decl : program.mode_decls()) {
+        BatchRequest request;
+        request.name = ModeQueryText(program, decl);
+        request.program = program;
+        request.query = decl.pred;
+        request.adornment = decl.adornment;
+        request.options = options;
+        requests.push_back(std::move(request));
+      }
+      std::vector<BatchItemResult> results = engine.Run(requests);
       bool all_proved = true;
       bool any_limited = false;
       std::string first_trip;
-      for (const auto& [decl, mode_report] : *reports) {
-        std::printf("==== mode %s(%s) ====\n%s\n",
-                    program.symbols().Name(decl.pred.symbol).c_str(),
-                    AdornmentToString(decl.adornment).c_str(),
-                    mode_report.ToString().c_str());
-        all_proved = all_proved && mode_report.proved;
-        if (mode_report.resource_limited && !any_limited) {
-          any_limited = true;
-          first_trip = mode_report.first_resource_trip;
+      for (size_t i = 0; i < results.size(); ++i) {
+        const ModeDecl& decl = program.mode_decls()[i];
+        const BatchItemResult& item = results[i];
+        if (json) {
+          ReportJsonOptions json_options;
+          json_options.include_spend = true;
+          std::printf("%s\n",
+                      ReportToJsonLine(item.name, item.name, item.status,
+                                       item.report, json_options)
+                          .c_str());
+        } else if (!item.status.ok()) {
+          std::printf("==== mode %s(%s) ====\nanalysis failed: %s\n",
+                      program.symbols().Name(decl.pred.symbol).c_str(),
+                      AdornmentToString(decl.adornment).c_str(),
+                      item.status.ToString().c_str());
+        } else {
+          std::printf("==== mode %s(%s) ====\n%s\n",
+                      program.symbols().Name(decl.pred.symbol).c_str(),
+                      AdornmentToString(decl.adornment).c_str(),
+                      item.report.ToString().c_str());
         }
+        if (!item.status.ok()) {
+          all_proved = false;
+          continue;
+        }
+        all_proved = all_proved && item.report.proved;
+        if (item.report.resource_limited && !any_limited) {
+          any_limited = true;
+          first_trip = item.report.first_resource_trip;
+        }
+      }
+      if (json) {
+        std::fprintf(stderr, "%s\n",
+                     EngineStatsToJson(engine.stats(),
+                                       static_cast<int>(jobs))
+                         .c_str());
       }
       return VerdictExit(all_proved, any_limited, first_trip);
     }
-    const ModeDecl& decl = program.mode_decls().front();
-    query = program.symbols().Name(decl.pred.symbol) + "(";
-    for (size_t i = 0; i < decl.adornment.size(); ++i) {
-      if (i > 0) query += ",";
-      query += decl.adornment[i] == Mode::kBound ? "b" : "f";
-    }
-    query += ")";
+    query = ModeQueryText(program, program.mode_decls().front());
   }
 
   TerminationAnalyzer analyzer(options);
@@ -228,6 +476,19 @@ int main(int argc, char** argv) {
   if (explain) {
     Result<std::string> trace = ExplainAnalysis(program, query, options);
     if (trace.ok()) std::printf("%s\n", trace->c_str());
+  }
+  if (json) {
+    // One structured line from the same serializer as --batch, plus the
+    // spend counters (single-run output has no byte-identity constraint).
+    ReportJsonOptions json_options;
+    json_options.include_spend = true;
+    std::printf("%s\n", ReportToJsonLine(positional.empty() ? corpus_name
+                                                            : positional[0],
+                                         query, Status::Ok(), *report,
+                                         json_options)
+                            .c_str());
+    return VerdictExit(report->proved, report->resource_limited,
+                       report->first_resource_trip);
   }
   std::printf("query: %s\n%s", query.c_str(), report->ToString().c_str());
   if (show_constraints) {

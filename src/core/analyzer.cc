@@ -6,6 +6,7 @@
 
 #include "core/delta.h"
 #include "core/dual_builder.h"
+#include "engine/engine.h"
 #include "graph/digraph.h"
 #include "graph/scc.h"
 #include "lp/simplex.h"
@@ -323,17 +324,14 @@ SccReport TerminationAnalyzer::AnalyzeScc(
   return report;
 }
 
-Result<TerminationReport> TerminationAnalyzer::Analyze(
-    const Program& program, const PredId& query,
-    const Adornment& adornment) const {
-  TerminationReport report;
+Result<PreparedAnalysis> TerminationAnalyzer::Prepare(
+    const Program& program, const PredId& query, const Adornment& adornment,
+    const ResourceGovernor* gov) const {
+  PreparedAnalysis prepared;
+  TerminationReport& report = prepared.report;
   report.analyzed_program = program;
   PredId entry = query;
 
-  // One governor per Analyze call: the deadline clock starts here and every
-  // subsystem below charges the same budget.
-  ResourceGovernor governor(options_.limits);
-  const ResourceGovernor* gov = &governor;
   auto note_trip = [&report](const std::string& message) {
     report.resource_limited = true;
     if (report.first_resource_trip.empty()) {
@@ -450,24 +448,48 @@ Result<TerminationReport> TerminationAnalyzer::Analyze(
 
   const std::set<PredId>& conflicted = mode_result.conflicted;
 
-  report.proved = true;
   for (const std::vector<int>& component :
        StronglyConnectedComponents(graph)) {
-    std::vector<PredId> scc_preds;
-    bool has_conflict = false;
+    SccTask task;
     for (int node : component) {
-      scc_preds.push_back(preds[node]);
-      if (conflicted.count(preds[node]) != 0) has_conflict = true;
+      task.preds.push_back(preds[node]);
+      if (conflicted.count(preds[node]) != 0) task.has_conflict = true;
     }
-    if (!IsRecursiveComponent(graph, component)) {
+    task.recursive = IsRecursiveComponent(graph, component);
+    prepared.sccs.push_back(std::move(task));
+  }
+  return prepared;
+}
+
+Result<TerminationReport> TerminationAnalyzer::Analyze(
+    const Program& program, const PredId& query,
+    const Adornment& adornment) const {
+  // One governor per Analyze call: the deadline clock starts here and every
+  // subsystem (prep and per-SCC analysis) charges the same budget.
+  ResourceGovernor governor(options_.limits);
+  Result<PreparedAnalysis> prepared =
+      Prepare(program, query, adornment, &governor);
+  if (!prepared.ok()) return prepared.status();
+  TerminationReport report = std::move(prepared->report);
+  auto note_trip = [&report](const std::string& message) {
+    report.resource_limited = true;
+    if (report.first_resource_trip.empty()) {
+      report.first_resource_trip = message;
+    }
+  };
+
+  report.proved = true;
+  for (const SccTask& task : prepared->sccs) {
+    if (!task.recursive) {
       SccReport scc;
-      scc.preds = scc_preds;
+      scc.preds = task.preds;
       scc.status = SccStatus::kNonRecursive;
       report.sccs.push_back(std::move(scc));
       continue;
     }
-    SccReport scc = AnalyzeScc(analyzed, scc_preds, report.modes,
-                               report.arg_sizes, has_conflict, gov);
+    SccReport scc =
+        AnalyzeScc(report.analyzed_program, task.preds, report.modes,
+                   report.arg_sizes, task.has_conflict, &governor);
     if (scc.status == SccStatus::kResourceLimit) {
       // Attach the spend snapshot so a resource-limited verdict says what
       // was actually consumed, not just that something ran out.
@@ -481,6 +503,7 @@ Result<TerminationReport> TerminationAnalyzer::Analyze(
     }
     report.sccs.push_back(std::move(scc));
   }
+  report.spend = governor.Spend();
   return report;
 }
 
@@ -490,27 +513,47 @@ TerminationAnalyzer::AnalyzeDeclaredModes(const Program& program) const {
     return Status::InvalidArgument(
         "the program declares no :- mode(...) directives");
   }
-  std::vector<std::pair<ModeDecl, TerminationReport>> out;
+  // Routed through the batch engine: one request per declared mode, so
+  // SCCs shared between modes (common callees analyzed under the same
+  // adornment) are solved once. jobs=1 keeps library-level calls
+  // single-threaded; the CLI drives the engine directly when a --jobs
+  // level is requested.
+  BatchEngine engine(EngineOptions{/*jobs=*/1, /*use_cache=*/true});
+  std::vector<BatchRequest> requests;
+  requests.reserve(program.mode_decls().size());
   for (const ModeDecl& decl : program.mode_decls()) {
-    Result<TerminationReport> report =
-        Analyze(program, decl.pred, decl.adornment);
-    if (!report.ok()) {
+    BatchRequest request;
+    request.name = StrCat(program.PredName(decl.pred), " ",
+                          AdornmentToString(decl.adornment));
+    request.program = program;
+    request.query = decl.pred;
+    request.adornment = decl.adornment;
+    request.options = options_;
+    requests.push_back(std::move(request));
+  }
+  std::vector<BatchItemResult> results = engine.Run(requests);
+
+  std::vector<std::pair<ModeDecl, TerminationReport>> out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeDecl& decl = program.mode_decls()[i];
+    BatchItemResult& result = results[i];
+    if (!result.status.ok()) {
       // Isolate the failure to this mode: the other declared modes still
       // deserve real analyses.
       TerminationReport failed;
       failed.analyzed_program = program;
       failed.proved = false;
-      std::string message =
-          StrCat("analysis of this mode failed: ", report.status().ToString());
+      std::string message = StrCat("analysis of this mode failed: ",
+                                   result.status.ToString());
       failed.notes.push_back(message);
-      if (report.status().code() == StatusCode::kResourceExhausted) {
+      if (result.status.code() == StatusCode::kResourceExhausted) {
         failed.resource_limited = true;
         failed.first_resource_trip = message;
       }
       out.emplace_back(decl, std::move(failed));
       continue;
     }
-    out.emplace_back(decl, std::move(report).value());
+    out.emplace_back(decl, std::move(result.report));
   }
   return out;
 }

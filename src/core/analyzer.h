@@ -96,8 +96,34 @@ struct TerminationReport {
   /// The program the verdict refers to (after transformations, if any).
   Program analyzed_program;
   std::vector<std::string> notes;
+  /// Resource spend of the analysis that produced this report. For a serial
+  /// Analyze call this is the shared governor's final snapshot; for the
+  /// batch engine it is the sum over the request's per-task governors.
+  GovernorSpend spend;
 
   std::string ToString() const;
+};
+
+/// One schedulable unit of a prepared analysis: the predicates of one SCC
+/// of the dependency graph, in condensation order (callees first).
+struct SccTask {
+  std::vector<PredId> preds;
+  /// False for non-recursive singleton SCCs, which need no termination
+  /// argument (and no worker time).
+  bool recursive = false;
+  /// True when a predicate of the SCC was reached with conflicting
+  /// adornments even after cloning; the SCC's verdict is kUnsupported.
+  bool has_conflict = false;
+};
+
+/// Everything `Analyze` computes before the per-SCC loop: the transformed
+/// program, modes, inter-argument constraints, and the SCC task list. The
+/// embedded report is a skeleton — `sccs` is empty and `proved` unset —
+/// that the caller (the serial loop or the batch engine) completes by
+/// analyzing each task and merging in condensation order.
+struct PreparedAnalysis {
+  TerminationReport report;
+  std::vector<SccTask> sccs;
 };
 
 /// Parses a query spec like "perm(b,f)" against the program's symbol
@@ -135,13 +161,31 @@ class TerminationAnalyzer {
   Result<std::vector<std::pair<ModeDecl, TerminationReport>>>
   AnalyzeDeclaredModes(const Program& program) const;
 
- private:
+  /// Building blocks of Analyze, exposed for the batch engine
+  /// (src/engine/): most callers want Analyze, which runs Prepare and then
+  /// AnalyzeScc over every recursive task under one shared governor.
+  ///
+  /// Prepare runs everything up to (not including) the per-SCC analysis:
+  /// transformations, mode inference with adornment-conflict cloning,
+  /// supplied constraints, inter-argument constraint inference, and the
+  /// dependency-graph condensation. Prep-phase resource trips are degraded
+  /// into the skeleton report's notes exactly as in Analyze.
+  Result<PreparedAnalysis> Prepare(const Program& program, const PredId& query,
+                                   const Adornment& adornment,
+                                   const ResourceGovernor* governor) const;
+
+  /// Analyzes one SCC (Sections 3-6) against the prepared modes and
+  /// constraint store. Pure with respect to the analyzer: the verdict is a
+  /// deterministic function of (SCC rules, modes, callee constraints,
+  /// options, governor limits) — the property the engine's content-
+  /// addressed cache relies on.
   SccReport AnalyzeScc(const Program& program,
                        const std::vector<PredId>& scc_preds,
                        const std::map<PredId, Adornment>& modes,
                        const ArgSizeDb& db, bool has_conflict,
                        const ResourceGovernor* governor) const;
 
+ private:
   AnalysisOptions options_;
 };
 

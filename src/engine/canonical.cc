@@ -1,0 +1,127 @@
+#include "engine/canonical.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// Canonical display names V0, V1, ... for the rule-local variables. Rule
+// variable indices are deterministic for a given source text, so renaming
+// by index makes the rendering independent of the variable names the
+// author chose while staying a pure function of the parsed rule.
+std::vector<std::string> CanonicalVarNames(const Rule& rule) {
+  std::vector<std::string> names(rule.num_vars());
+  for (int v = 0; v < rule.num_vars(); ++v) names[v] = StrCat("V", v);
+  return names;
+}
+
+void AppendPolyhedron(const Polyhedron& polyhedron, std::string* out) {
+  std::function<std::string(int)> namer = [](int column) {
+    return StrCat("a", column + 1);
+  };
+  *out += polyhedron.ToString(&namer);
+  if (out->empty() || out->back() != '\n') *out += '\n';
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const std::string& text) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::vector<PredId> CanonicalSccOrder(const Program& program,
+                                      std::vector<PredId> preds) {
+  std::sort(preds.begin(), preds.end(),
+            [&program](const PredId& a, const PredId& b) {
+              const std::string& na = program.symbols().Name(a.symbol);
+              const std::string& nb = program.symbols().Name(b.symbol);
+              if (na != nb) return na < nb;
+              return a.arity < b.arity;
+            });
+  return preds;
+}
+
+SccCacheKey CanonicalSccKey(const Program& program,
+                            const std::vector<PredId>& scc_preds,
+                            const std::map<PredId, Adornment>& modes,
+                            const ArgSizeDb& db,
+                            const AnalysisOptions& options) {
+  std::string text;
+  std::set<PredId> scc_set(scc_preds.begin(), scc_preds.end());
+
+  // The SCC's predicates, in the canonical order the analysis will use
+  // (this fixes the theta column layout).
+  text += "scc:";
+  for (const PredId& pred : scc_preds) {
+    text += StrCat(" ", program.PredName(pred));
+    auto mode = modes.find(pred);
+    text += StrCat(":", mode == modes.end()
+                            ? std::string("-")
+                            : AdornmentToString(mode->second));
+  }
+  text += '\n';
+
+  // The SCC's rules, in program order (RuleSystemBuilder::BuildForScc walks
+  // rules in program order, so the order is part of the task's identity),
+  // with canonical variable names. Every predicate mentioned is collected
+  // for the callee section below.
+  std::set<PredId> mentioned;
+  text += "rules:\n";
+  for (const Rule& rule : program.rules()) {
+    if (scc_set.count(rule.head.pred_id()) == 0) continue;
+    std::vector<std::string> vars = CanonicalVarNames(rule);
+    text += StrCat("  ", rule.head.ToString(program.symbols(), vars));
+    mentioned.insert(rule.head.pred_id());
+    for (size_t k = 0; k < rule.body.size(); ++k) {
+      text += k == 0 ? " :- " : ", ";
+      text += rule.body[k].ToString(program.symbols(), vars);
+      mentioned.insert(rule.body[k].atom.pred_id());
+    }
+    text += ".\n";
+  }
+
+  // Adornment and inter-argument constraints of every mentioned predicate
+  // (callees contribute their imported feasibility constraints to Eq. 1;
+  // predicates without a db entry render as the nonnegative orthant, so
+  // "no knowledge" is part of the identity too). Sorted by name for
+  // program-order independence.
+  std::vector<PredId> callees =
+      CanonicalSccOrder(program, {mentioned.begin(), mentioned.end()});
+  text += "callees:\n";
+  for (const PredId& pred : callees) {
+    auto mode = modes.find(pred);
+    text += StrCat("  ", program.PredName(pred), ":",
+                   mode == modes.end() ? std::string("-")
+                                       : AdornmentToString(mode->second),
+                   "\n");
+    AppendPolyhedron(db.Get(pred), &text);
+  }
+
+  // Every AnalysisOptions field the per-SCC analysis reads. Governor limits
+  // are included because a partially exhausted budget can change a result
+  // without tripping (e.g. LP pruning stops early, leaving more rows).
+  const GovernorLimits& limits = options.limits;
+  text += StrCat("options: negdeltas=", options.allow_negative_deltas ? 1 : 0,
+                 " validate=", options.validate_certificates ? 1 : 0,
+                 " fm_row_limit=", options.fm.row_limit,
+                 " lp_prune=", options.fm.lp_prune ? 1 : 0,
+                 " lp_prune_threshold=", options.fm.lp_prune_threshold,
+                 " deadline_ms=", limits.deadline_ms,
+                 " work_budget=", limits.work_budget,
+                 " limb_limit=", limits.bigint_limb_limit, "\n");
+
+  SccCacheKey key;
+  key.digest = Fnv1a64(text);
+  key.text = std::move(text);
+  return key;
+}
+
+}  // namespace termilog

@@ -1,0 +1,305 @@
+#include "engine/engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "engine/canonical.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// Private copy of a request's program with a fresh symbol table. Requests
+// routinely share one Program (declared modes, repeated submissions), but
+// preparation mutates the symbol table (adornment cloning, supplied
+// constraints, transformations intern new names), so each request must own
+// its table. Symbol ids are preserved by the copy, keeping the request's
+// PredIds valid; term structure is immutable and stays shared.
+Program PrivateCopy(const Program& program) {
+  Program copy(std::make_shared<SymbolTable>(program.symbols()));
+  for (const Rule& rule : program.rules()) copy.AddRule(rule);
+  for (const ModeDecl& decl : program.mode_decls()) copy.AddModeDecl(decl);
+  return copy;
+}
+
+// FIFO queue feeding the worker pool. Close() lets workers drain the
+// remaining tasks and then exit.
+class TaskQueue {
+ public:
+  void Push(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TERMILOG_CHECK_MSG(!closed_, "task pushed after queue close");
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  std::optional<std::function<void()>> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+    if (tasks_.empty()) return std::nullopt;
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    return task;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool closed_ = false;
+};
+
+// Mutable per-request state shared between the prep task, the SCC tasks,
+// and the merge.
+struct RequestState {
+  const BatchRequest* request = nullptr;
+  std::unique_ptr<TerminationAnalyzer> analyzer;
+  Program program;  // private copy; stable once prep finishes
+
+  // Placeholder until the prep task runs (Result forbids an OK status
+  // without a value).
+  Result<PreparedAnalysis> prepared =
+      Status::Internal("request not yet prepared");
+  std::vector<SccReport> slots;  // one per SccTask, condensation order
+
+  std::atomic<int> pending_sccs{0};
+  std::atomic<int64_t> work{0};
+  std::atomic<int64_t> limb_high_water{0};
+  std::atomic<int64_t> scc_tasks{0};
+  std::atomic<int64_t> cache_hits{0};
+  std::chrono::steady_clock::time_point started;
+};
+
+void AccumulateSpend(RequestState* state, const GovernorSpend& spend) {
+  state->work.fetch_add(spend.work, std::memory_order_relaxed);
+  int64_t seen = state->limb_high_water.load(std::memory_order_relaxed);
+  while (spend.bigint_limb_high_water > seen &&
+         !state->limb_high_water.compare_exchange_weak(
+             seen, spend.bigint_limb_high_water, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string EngineStats::ToString() const {
+  return StrCat("requests=", requests, " scc_tasks=", scc_tasks,
+                " cache_hits=", cache_hits, " cache_misses=", cache_misses,
+                " single_flight_waits=", single_flight_waits,
+                " unique_sccs=", unique_sccs, " total_work=", total_work,
+                " wall_ms=", wall_ms);
+}
+
+BatchEngine::BatchEngine(EngineOptions options) : options_(options) {
+  if (options_.jobs < 1) options_.jobs = 1;
+}
+
+std::vector<BatchItemResult> BatchEngine::Run(
+    const std::vector<BatchRequest>& requests,
+    const std::function<void(const BatchItemResult&)>& on_result) {
+  const auto run_start = std::chrono::steady_clock::now();
+  const size_t n = requests.size();
+
+  std::vector<std::unique_ptr<RequestState>> states;
+  states.reserve(n);
+  for (const BatchRequest& request : requests) {
+    auto state = std::make_unique<RequestState>();
+    state->request = &request;
+    state->analyzer = std::make_unique<TerminationAnalyzer>(request.options);
+    state->program = PrivateCopy(request.program);
+    states.push_back(std::move(state));
+  }
+
+  // Completion tracking: workers flip done[i] under done_mu; the main
+  // thread drains results strictly in request order.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::vector<bool> done(n, false);
+  auto finish_request = [&](size_t i) {
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      done[i] = true;
+    }
+    done_cv.notify_all();
+  };
+
+  TaskQueue queue;
+
+  // Analyzes SCC task `j` of request `i` (a recursive SCC), through the
+  // content cache unless disabled or the SCC has an adornment conflict
+  // (conflict verdicts are trivial, and conflict-ness is a property of the
+  // request's mode dataflow, not of the SCC's content).
+  auto run_scc_task = [&](size_t i, size_t j) {
+    RequestState& state = *states[i];
+    const SccTask& task = state.prepared->sccs[j];
+    // All SCC work runs over the report skeleton's analyzed_program (the
+    // post-transformation program whose PredIds the SccTasks reference),
+    // exactly as the serial TerminationAnalyzer::Analyze loop does.
+    const TerminationReport& skeleton = state.prepared->report;
+    const Program& program = skeleton.analyzed_program;
+    std::vector<PredId> preds = CanonicalSccOrder(program, task.preds);
+
+    auto compute = [&]() {
+      ResourceGovernor governor(state.request->options.limits);
+      SccReport fresh = state.analyzer->AnalyzeScc(
+          program, preds, skeleton.modes, skeleton.arg_sizes,
+          task.has_conflict, &governor);
+      GovernorSpend spend = governor.Spend();
+      AccumulateSpend(&state, spend);
+      if (fresh.status == SccStatus::kResourceLimit) {
+        // Deterministic spend note: work and limb counts are functions of
+        // the task's inputs; elapsed_ms is deliberately omitted so batch
+        // output stays byte-stable across jobs settings and reruns.
+        fresh.notes.push_back(StrCat("task spend: work=", spend.work,
+                                     " bigint_limbs=",
+                                     spend.bigint_limb_high_water));
+      }
+      return DehydrateSccReport(fresh, program);
+    };
+
+    CachedSccOutcome outcome;
+    if (options_.use_cache && !task.has_conflict) {
+      SccCacheKey key = CanonicalSccKey(program, preds, skeleton.modes,
+                                        skeleton.arg_sizes,
+                                        state.request->options);
+      bool served_from_cache = false;
+      outcome = cache_.GetOrCompute(key.text, compute, &served_from_cache);
+      if (served_from_cache) {
+        state.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      outcome = compute();
+    }
+    state.scc_tasks.fetch_add(1, std::memory_order_relaxed);
+    state.slots[j] = RehydrateSccReport(outcome, program, std::move(preds));
+    if (state.pending_sccs.fetch_sub(1) == 1) finish_request(i);
+  };
+
+  auto run_prep_task = [&](size_t i) {
+    RequestState& state = *states[i];
+    const BatchRequest& request = *state.request;
+    state.started = std::chrono::steady_clock::now();
+    ResourceGovernor governor(request.options.limits);
+    state.prepared = state.analyzer->Prepare(state.program, request.query,
+                                             request.adornment, &governor);
+    AccumulateSpend(&state, governor.Spend());
+    if (!state.prepared.ok()) {
+      finish_request(i);
+      return;
+    }
+    PreparedAnalysis& prepared = *state.prepared;
+    state.slots.resize(prepared.sccs.size());
+    int recursive = 0;
+    for (size_t j = 0; j < prepared.sccs.size(); ++j) {
+      const SccTask& task = prepared.sccs[j];
+      if (task.recursive) {
+        ++recursive;
+        continue;
+      }
+      state.slots[j].preds = task.preds;
+      state.slots[j].status = SccStatus::kNonRecursive;
+    }
+    if (recursive == 0) {
+      finish_request(i);
+      return;
+    }
+    state.pending_sccs.store(recursive);
+    for (size_t j = 0; j < prepared.sccs.size(); ++j) {
+      if (!prepared.sccs[j].recursive) continue;
+      queue.Push([&run_scc_task, i, j] { run_scc_task(i, j); });
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options_.jobs));
+  for (int w = 0; w < options_.jobs; ++w) {
+    workers.emplace_back([&queue] {
+      while (std::optional<std::function<void()>> task = queue.Pop()) {
+        (*task)();
+      }
+    });
+  }
+  for (size_t i = 0; i < n; ++i) {
+    queue.Push([&run_prep_task, i] { run_prep_task(i); });
+  }
+
+  // Merge: deterministic assembly in request order, streaming each result
+  // as soon as it (and everything before it) is complete.
+  std::vector<BatchItemResult> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    {
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [&done, i] { return done[i]; });
+    }
+    RequestState& state = *states[i];
+    BatchItemResult item;
+    item.name = state.request->name;
+    if (!state.prepared.ok()) {
+      item.status = state.prepared.status();
+    } else {
+      TerminationReport report = std::move(state.prepared->report);
+      report.proved = true;
+      for (SccReport& scc : state.slots) {
+        if (scc.status == SccStatus::kResourceLimit) {
+          report.resource_limited = true;
+          if (report.first_resource_trip.empty()) {
+            report.first_resource_trip =
+                scc.notes.empty() ? "resource budget tripped" : scc.notes.front();
+          }
+        }
+        if (scc.status != SccStatus::kProved &&
+            scc.status != SccStatus::kNonRecursive) {
+          report.proved = false;
+        }
+        report.sccs.push_back(std::move(scc));
+      }
+      report.spend.work = state.work.load();
+      report.spend.bigint_limb_high_water = state.limb_high_water.load();
+      report.spend.elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - state.started)
+              .count();
+      item.report = std::move(report);
+    }
+    item.scc_tasks = state.scc_tasks.load();
+    item.cache_hits = state.cache_hits.load();
+    stats_.scc_tasks += item.scc_tasks;
+    stats_.total_work += state.work.load();
+    if (on_result) on_result(item);
+    results.push_back(std::move(item));
+  }
+
+  queue.Close();
+  for (std::thread& worker : workers) worker.join();
+
+  stats_.requests += static_cast<int64_t>(n);
+  SccCache::Stats cache_stats = cache_.stats();
+  stats_.cache_hits = cache_stats.hits + cache_stats.single_flight_waits;
+  stats_.cache_misses = cache_stats.misses;
+  stats_.single_flight_waits = cache_stats.single_flight_waits;
+  stats_.unique_sccs = cache_.size();
+  stats_.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - run_start)
+                       .count();
+  return results;
+}
+
+}  // namespace termilog

@@ -1,0 +1,110 @@
+#ifndef TERMILOG_ENGINE_ENGINE_H_
+#define TERMILOG_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "engine/scc_cache.h"
+#include "program/ast.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// One unit of batch work: analyze `query` (with `adornment`) over
+/// `program` under `options`. The engine deep-copies the program (fresh
+/// symbol table) before any analysis, so many requests may share one
+/// Program — and one symbol table — safely.
+struct BatchRequest {
+  /// Display identity carried through to the result (file name, corpus
+  /// entry, "pred adornment", ...).
+  std::string name;
+  Program program;
+  PredId query;
+  Adornment adornment;
+  AnalysisOptions options;
+};
+
+/// Result of one request, in request order.
+struct BatchItemResult {
+  std::string name;
+  /// Non-OK when preparation failed (bad query, unsupported construct);
+  /// `report` is then empty. Per-SCC resource trips are not errors — they
+  /// degrade inside the report exactly as in TerminationAnalyzer::Analyze.
+  Status status = Status::Ok();
+  TerminationReport report;
+  /// Recursive SCC tasks this request contributed, and how many of them
+  /// were served from the content cache. Scheduling-dependent under
+  /// concurrency (whichever request reaches a shared SCC first pays the
+  /// miss), so these are accounting, not part of the deterministic report.
+  int64_t scc_tasks = 0;
+  int64_t cache_hits = 0;
+};
+
+/// Aggregate counters across every Run of one engine.
+struct EngineStats {
+  int64_t requests = 0;
+  /// Recursive SCC tasks routed through the cache.
+  int64_t scc_tasks = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t single_flight_waits = 0;
+  /// Completed entries retained in the cache.
+  int64_t unique_sccs = 0;
+  /// Summed governor work ticks across all per-task governors.
+  int64_t total_work = 0;
+  /// Wall time of the most recent Run.
+  int64_t wall_ms = 0;
+
+  std::string ToString() const;
+};
+
+struct EngineOptions {
+  /// Worker threads. Clamped to >= 1. Output is byte-identical for every
+  /// value (see docs/engine.md for the determinism argument).
+  int jobs = 1;
+  /// Content-addressed SCC memoization (on by default; off forces every
+  /// task to compute).
+  bool use_cache = true;
+};
+
+/// Parallel batch-analysis engine: expands each request into its analysis
+/// preparation plus one task per recursive SCC of the dependency-graph
+/// condensation, schedules the tasks onto a fixed-size worker pool, and
+/// memoizes SCC outcomes in a content-addressed cache (CanonicalSccKey) so
+/// identical SCCs across requests — repeated corpus entries, declared
+/// modes, re-submitted programs — are solved once. Every task runs under
+/// its own ResourceGovernor built from the request's limits.
+///
+/// The cache persists across Run calls: a second Run over the same
+/// requests is served warm.
+class BatchEngine {
+ public:
+  explicit BatchEngine(EngineOptions options = EngineOptions());
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// Runs every request to completion; results are returned in request
+  /// order. `on_result` (optional) is invoked in request order as results
+  /// become available — with jobs > 1 a completed request may wait for an
+  /// earlier one so the stream stays ordered and deterministic.
+  std::vector<BatchItemResult> Run(
+      const std::vector<BatchRequest>& requests,
+      const std::function<void(const BatchItemResult&)>& on_result = nullptr);
+
+  const EngineOptions& options() const { return options_; }
+  const EngineStats& stats() const { return stats_; }
+  SccCache& cache() { return cache_; }
+
+ private:
+  EngineOptions options_;
+  SccCache cache_;
+  EngineStats stats_;
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_ENGINE_ENGINE_H_

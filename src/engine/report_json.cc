@@ -1,0 +1,173 @@
+#include "engine/report_json.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+void AppendQuoted(std::string_view text, std::string* out) {
+  *out += '"';
+  *out += JsonEscape(text);
+  *out += '"';
+}
+
+void AppendStringArray(const std::vector<std::string>& items,
+                       std::string* out) {
+  *out += '[';
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendQuoted(items[i], out);
+  }
+  *out += ']';
+}
+
+void AppendCertificate(const TerminationCertificate& certificate,
+                       const Program& program, std::string* out) {
+  *out += "{\"level\":{";
+  bool first = true;
+  for (const auto& [pred, coeffs] : certificate.theta) {
+    if (!first) *out += ',';
+    first = false;
+    AppendQuoted(program.PredName(pred), out);
+    *out += ":[";
+    for (size_t i = 0; i < coeffs.size(); ++i) {
+      if (i > 0) *out += ',';
+      AppendQuoted(coeffs[i].ToString(), out);
+    }
+    *out += ']';
+  }
+  *out += "},\"delta\":{";
+  first = true;
+  for (const auto& [edge, value] : certificate.delta) {
+    if (!first) *out += ',';
+    first = false;
+    AppendQuoted(StrCat(program.PredName(edge.first), "->",
+                        program.PredName(edge.second)),
+                 out);
+    *out += ':';
+    AppendQuoted(value.ToString(), out);
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ReportToJsonLine(const std::string& name, const std::string& query,
+                             const Status& status,
+                             const TerminationReport& report,
+                             const ReportJsonOptions& options) {
+  std::string out = "{\"name\":";
+  AppendQuoted(name, &out);
+  out += ",\"query\":";
+  AppendQuoted(query, &out);
+  if (!status.ok()) {
+    out += ",\"ok\":false,\"error\":";
+    AppendQuoted(status.ToString(), &out);
+    out += '}';
+    return out;
+  }
+  const Program& program = report.analyzed_program;
+  out += StrCat(",\"ok\":true,\"proved\":", report.proved ? "true" : "false",
+                ",\"resource_limited\":",
+                report.resource_limited ? "true" : "false");
+  if (report.resource_limited) {
+    out += ",\"first_resource_trip\":";
+    AppendQuoted(report.first_resource_trip, &out);
+  }
+  out += ",\"modes\":{";
+  bool first = true;
+  for (const auto& [pred, adornment] : report.modes) {
+    if (!first) out += ',';
+    first = false;
+    AppendQuoted(program.PredName(pred), &out);
+    out += ':';
+    AppendQuoted(AdornmentToString(adornment), &out);
+  }
+  out += "},\"sccs\":[";
+  for (size_t s = 0; s < report.sccs.size(); ++s) {
+    const SccReport& scc = report.sccs[s];
+    if (s > 0) out += ',';
+    out += "{\"preds\":[";
+    for (size_t i = 0; i < scc.preds.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendQuoted(program.PredName(scc.preds[i]), &out);
+    }
+    out += StrCat("],\"status\":\"", SccStatusName(scc.status),
+                  "\",\"negative_deltas\":",
+                  scc.used_negative_deltas ? "true" : "false");
+    if (scc.status == SccStatus::kProved) {
+      out += ",\"certificate\":";
+      AppendCertificate(scc.certificate, program, &out);
+    }
+    if (!scc.reduced_constraints.empty()) {
+      std::vector<std::string> rows;
+      for (const std::string& row : Split(scc.reduced_constraints, '\n')) {
+        if (!row.empty()) rows.push_back(row);
+      }
+      out += ",\"reduced_constraints\":";
+      AppendStringArray(rows, &out);
+    }
+    out += ",\"notes\":";
+    AppendStringArray(scc.notes, &out);
+    out += '}';
+  }
+  out += "],\"notes\":";
+  AppendStringArray(report.notes, &out);
+  if (options.include_spend) {
+    out += StrCat(",\"spend\":{\"work\":", report.spend.work,
+                  ",\"elapsed_ms\":", report.spend.elapsed_ms,
+                  ",\"bigint_limbs\":", report.spend.bigint_limb_high_water,
+                  "}");
+  }
+  out += '}';
+  return out;
+}
+
+std::string EngineStatsToJson(const EngineStats& stats, int jobs) {
+  return StrCat("{\"jobs\":", jobs, ",\"requests\":", stats.requests,
+                ",\"scc_tasks\":", stats.scc_tasks,
+                ",\"cache_hits\":", stats.cache_hits,
+                ",\"cache_misses\":", stats.cache_misses,
+                ",\"single_flight_waits\":", stats.single_flight_waits,
+                ",\"unique_sccs\":", stats.unique_sccs,
+                ",\"total_work\":", stats.total_work,
+                ",\"wall_ms\":", stats.wall_ms, "}");
+}
+
+}  // namespace termilog

@@ -1,0 +1,42 @@
+#ifndef TERMILOG_ENGINE_REPORT_JSON_H_
+#define TERMILOG_ENGINE_REPORT_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/analyzer.h"
+#include "engine/engine.h"
+#include "util/status.h"
+
+namespace termilog {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+struct ReportJsonOptions {
+  /// Emit the report's spend counters ("spend": {work, elapsed_ms,
+  /// bigint_limbs}). Off by default: elapsed_ms is wall-clock, so batch
+  /// JSONL streams keep it out of the per-request lines to stay
+  /// byte-identical across reruns and jobs settings (spend is reported in
+  /// the run summary instead).
+  bool include_spend = false;
+};
+
+/// One-line JSON rendering of a single analysis outcome — the one
+/// serializer shared by `termilog_cli --json`, `termilog_cli --batch`, and
+/// the engine tests. `status` non-OK produces an error object
+/// ({"name":..,"ok":false,"error":..}); otherwise the full report: verdict,
+/// modes, per-SCC status with certificate and notes, report notes. All
+/// rationals render exactly ("1/2"). Deterministic: equal reports produce
+/// equal lines.
+std::string ReportToJsonLine(const std::string& name, const std::string& query,
+                             const Status& status,
+                             const TerminationReport& report,
+                             const ReportJsonOptions& options = {});
+
+/// JSON object for a batch run's aggregate statistics.
+std::string EngineStatsToJson(const EngineStats& stats, int jobs);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_ENGINE_REPORT_JSON_H_

@@ -1,0 +1,122 @@
+#include "engine/scc_cache.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace termilog {
+
+CachedSccOutcome DehydrateSccReport(const SccReport& report,
+                                    const Program& program) {
+  CachedSccOutcome out;
+  out.status = report.status;
+  out.used_negative_deltas = report.used_negative_deltas;
+  out.reduced_constraints = report.reduced_constraints;
+  out.notes = report.notes;
+  for (const auto& [pred, coeffs] : report.certificate.theta) {
+    out.theta.push_back(
+        {program.symbols().Name(pred.symbol), pred.arity, coeffs});
+  }
+  for (const auto& [edge, value] : report.certificate.delta) {
+    out.delta.push_back({program.symbols().Name(edge.first.symbol),
+                         edge.first.arity,
+                         program.symbols().Name(edge.second.symbol),
+                         edge.second.arity, value});
+  }
+  return out;
+}
+
+namespace {
+
+PredId ResolvePred(const Program& program, const std::string& name,
+                   int arity) {
+  int symbol = program.symbols().Lookup(name);
+  TERMILOG_CHECK_MSG(symbol >= 0,
+                     "cached SCC outcome names a predicate absent from the "
+                     "requesting program");
+  return PredId{symbol, arity};
+}
+
+}  // namespace
+
+SccReport RehydrateSccReport(const CachedSccOutcome& outcome,
+                             const Program& program,
+                             std::vector<PredId> scc_preds) {
+  SccReport report;
+  report.preds = std::move(scc_preds);
+  report.status = outcome.status;
+  report.used_negative_deltas = outcome.used_negative_deltas;
+  report.reduced_constraints = outcome.reduced_constraints;
+  report.notes = outcome.notes;
+  for (const CachedSccOutcome::NamedTheta& theta : outcome.theta) {
+    report.certificate.theta.emplace(
+        ResolvePred(program, theta.name, theta.arity), theta.coeffs);
+  }
+  for (const CachedSccOutcome::NamedDelta& delta : outcome.delta) {
+    report.certificate.delta.emplace(
+        std::make_pair(ResolvePred(program, delta.from_name, delta.from_arity),
+                       ResolvePred(program, delta.to_name, delta.to_arity)),
+        delta.value);
+  }
+  return report;
+}
+
+CachedSccOutcome SccCache::GetOrCompute(
+    const std::string& key, const std::function<CachedSccOutcome()>& compute,
+    bool* served_from_cache) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second;
+      if (entry->ready) {
+        ++stats_.hits;
+      } else {
+        // Another worker is computing this key right now: wait for it
+        // rather than solving the same SCC twice.
+        ++stats_.single_flight_waits;
+        ready_cv_.wait(lock, [&entry] { return entry->ready; });
+      }
+      if (served_from_cache != nullptr) *served_from_cache = true;
+      return entry->outcome;
+    }
+    entry = std::make_shared<Entry>();
+    entries_.emplace(key, entry);
+    ++stats_.misses;
+  }
+
+  // Compute outside the lock: other keys proceed concurrently, and waiters
+  // on this key block on ready_cv_, not on the mutex.
+  CachedSccOutcome outcome = compute();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->outcome = outcome;
+    entry->ready = true;
+    if (outcome.status == SccStatus::kResourceLimit) {
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == entry) entries_.erase(it);
+    }
+  }
+  ready_cv_.notify_all();
+  if (served_from_cache != nullptr) *served_from_cache = false;
+  return outcome;
+}
+
+SccCache::Stats SccCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t SccCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t ready = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    if (entry->ready) ++ready;
+  }
+  return ready;
+}
+
+}  // namespace termilog

@@ -1,0 +1,112 @@
+#ifndef TERMILOG_ENGINE_SCC_CACHE_H_
+#define TERMILOG_ENGINE_SCC_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "program/ast.h"
+#include "rational/rational.h"
+
+namespace termilog {
+
+/// A program-independent SccReport: predicates are stored by (name, arity)
+/// instead of PredId, because symbol ids are an artifact of interning order
+/// and differ between programs that contain the same SCC verbatim. The
+/// cache stores outcomes in this form; Rehydrate maps them back onto the
+/// requesting program's PredIds.
+struct CachedSccOutcome {
+  struct NamedTheta {
+    std::string name;
+    int arity = 0;
+    std::vector<Rational> coeffs;
+  };
+  struct NamedDelta {
+    std::string from_name;
+    int from_arity = 0;
+    std::string to_name;
+    int to_arity = 0;
+    Rational value;
+  };
+
+  SccStatus status = SccStatus::kNotProved;
+  bool used_negative_deltas = false;
+  std::string reduced_constraints;
+  std::vector<std::string> notes;
+  std::vector<NamedTheta> theta;
+  std::vector<NamedDelta> delta;
+};
+
+/// Converts a freshly computed SccReport into cacheable form.
+CachedSccOutcome DehydrateSccReport(const SccReport& report,
+                                    const Program& program);
+
+/// Reconstructs an SccReport for `program` from a cached outcome.
+/// `scc_preds` (canonical order) supplies the report's predicate list;
+/// every name in the outcome must resolve in `program`'s symbol table
+/// (guaranteed when the outcome was keyed on the SCC's rules, which mention
+/// exactly those names) — a failed resolution is a checked failure.
+SccReport RehydrateSccReport(const CachedSccOutcome& outcome,
+                             const Program& program,
+                             std::vector<PredId> scc_preds);
+
+/// Thread-safe content-addressed store of SCC outcomes with single-flight
+/// deduplication: when several workers ask for the same key concurrently,
+/// exactly one runs the compute function and the rest block until its
+/// result is ready — the same SCC is never solved twice, not even
+/// transiently. Keys are full canonical texts (see CanonicalSccKey), so a
+/// lookup hit is a content match, not a hash match.
+///
+/// kResourceLimit outcomes are handed to in-flight waiters but never
+/// retained: a starved verdict says the budget ran out, not what the SCC's
+/// answer is, and external test-only state (failpoints) can force one
+/// without being part of the key.
+class SccCache {
+ public:
+  struct Stats {
+    int64_t lookups = 0;
+    /// Served from a completed entry.
+    int64_t hits = 0;
+    /// This caller ran the compute function.
+    int64_t misses = 0;
+    /// Served by blocking on another worker's in-flight computation.
+    int64_t single_flight_waits = 0;
+  };
+
+  SccCache() = default;
+  SccCache(const SccCache&) = delete;
+  SccCache& operator=(const SccCache&) = delete;
+
+  /// Returns the outcome for `key`, running `compute` at most once across
+  /// all threads per key lifetime. `served_from_cache` (optional) is set to
+  /// true when the caller did not run `compute` itself.
+  CachedSccOutcome GetOrCompute(
+      const std::string& key,
+      const std::function<CachedSccOutcome()>& compute,
+      bool* served_from_cache = nullptr);
+
+  Stats stats() const;
+  /// Number of completed entries currently retained.
+  int64_t size() const;
+
+ private:
+  struct Entry {
+    bool ready = false;
+    CachedSccOutcome outcome;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  Stats stats_;
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_ENGINE_SCC_CACHE_H_

@@ -25,6 +25,10 @@
 #include "core/explain.h"
 #include "core/rule_system.h"
 #include "corpus/corpus.h"
+#include "engine/canonical.h"
+#include "engine/engine.h"
+#include "engine/report_json.h"
+#include "engine/scc_cache.h"
 #include "fm/fourier_motzkin.h"
 #include "fm/polyhedron.h"
 #include "graph/minplus.h"

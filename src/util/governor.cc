@@ -1,6 +1,7 @@
 #include "util/governor.h"
 
 #include "rational/bigint.h"
+#include "util/check.h"
 #include "util/string_util.h"
 
 namespace termilog {
@@ -26,9 +27,24 @@ std::string GovernorSpend::ToString() const {
 
 ResourceGovernor::ResourceGovernor(const GovernorLimits& limits)
     : limits_(limits), start_(std::chrono::steady_clock::now()) {
-  // The limb high-water is a thread-local inside BigInt; reset it so this
-  // governor measures only growth that happens on its watch.
-  if (limits_.bigint_limb_limit > 0) BigInt::ResetLimbHighWater();
+#ifndef NDEBUG
+  owner_thread_ = std::this_thread::get_id();
+#endif
+  // The limb high-water is a thread-local inside BigInt; reset it
+  // unconditionally so this governor measures only growth that happens on
+  // its watch. Resetting only when a limb limit was set (the old behavior)
+  // made Spend() report a stale high-water left over from an earlier
+  // analysis on the same thread — on a pooled worker thread that ran other
+  // tasks, the numbers of unrelated tasks bled into each other.
+  BigInt::ResetLimbHighWater();
+}
+
+void ResourceGovernor::CheckThread() const {
+#ifndef NDEBUG
+  TERMILOG_CHECK_MSG(std::this_thread::get_id() == owner_thread_,
+                     "ResourceGovernor used from a thread other than the one "
+                     "that constructed it (one-thread-per-governor contract)");
+#endif
 }
 
 Status ResourceGovernor::Trip(const char* site, const char* budget,
@@ -56,6 +72,7 @@ Status ResourceGovernor::CheckClockAndLimbs(const char* site) const {
 }
 
 Status ResourceGovernor::Charge(const char* site, int64_t amount) const {
+  CheckThread();
   if (tripped_) return trip_;
   work_ += amount;
   if (limits_.Unlimited()) return Status::Ok();
@@ -71,6 +88,7 @@ Status ResourceGovernor::Charge(const char* site, int64_t amount) const {
 }
 
 Status ResourceGovernor::CheckNow(const char* site) const {
+  CheckThread();
   if (tripped_) return trip_;
   if (limits_.Unlimited()) return Status::Ok();
   if (limits_.work_budget > 0 && work_ > limits_.work_budget) {
@@ -81,6 +99,7 @@ Status ResourceGovernor::CheckNow(const char* site) const {
 }
 
 GovernorSpend ResourceGovernor::Spend() const {
+  CheckThread();
   GovernorSpend spend;
   spend.work = work_;
   spend.elapsed_ms = ElapsedMs(start_);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 
 #include "util/status.h"
 
@@ -50,13 +51,25 @@ struct GovernorSpend {
 /// Charging mutates internal counters through a const reference on purpose
 /// — the governor is threaded as `const ResourceGovernor*` through options
 /// structs, and spending budget is not a logical mutation of the analysis
-/// inputs. A governor must only be used from one thread at a time.
+/// inputs.
+///
+/// Thread contract: **one thread per governor**. A governor must be
+/// constructed, charged, and sampled (Spend) on the same thread — its
+/// counters are unsynchronized and its limb high-water is a thread-local
+/// inside BigInt, so construction on thread A and use on thread B would
+/// silently measure the wrong thread's arithmetic. Concurrent governors on
+/// *different* threads are fine (this is how the batch engine runs one
+/// governor per SCC task); two threads sharing one governor are not. Debug
+/// builds enforce the contract with a thread-id check.
 class ResourceGovernor {
  public:
   /// Unlimited governor; Charge never trips.
   ResourceGovernor() : ResourceGovernor(GovernorLimits()) {}
   /// Starts the deadline clock now and resets the BigInt limb high-water
-  /// mark for this thread.
+  /// mark for this thread, so Spend() and the limb budget measure only
+  /// arithmetic performed while this governor is live — a stale high-water
+  /// from an earlier task on the same (possibly pooled) thread never leaks
+  /// into this governor's accounting.
   explicit ResourceGovernor(const GovernorLimits& limits);
 
   ResourceGovernor(const ResourceGovernor&) = delete;
@@ -87,9 +100,13 @@ class ResourceGovernor {
   Status Trip(const char* site, const char* budget,
               const std::string& detail) const;
   Status CheckClockAndLimbs(const char* site) const;
+  void CheckThread() const;
 
   GovernorLimits limits_;
   std::chrono::steady_clock::time_point start_;
+#ifndef NDEBUG
+  std::thread::id owner_thread_;
+#endif
   mutable int64_t work_ = 0;
   mutable int64_t ticks_since_clock_check_ = 0;
   mutable bool tripped_ = false;
