@@ -5,16 +5,31 @@
 // BENCH_engine.json trajectory point. The interesting columns: wall-clock
 // scaling with jobs, and the warm-run SCC cache hit rate (the fraction of
 // per-SCC tasks served without re-solving).
+//
+// E12 (--phases): per-phase time shares for the paper's worked examples,
+// measured with the span tracer (docs/observability.md). For each example
+// the tracer is reset, the example runs alone through the engine at
+// jobs=1, and the finished spans are aggregated by name; "share" is a
+// phase's self time (its duration minus its children's) as a fraction of
+// the request span. Needs a TERMILOG_OBS=ON build.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "termilog/termilog.h"
 
+#ifndef TERMILOG_BUILD_TYPE
+#define TERMILOG_BUILD_TYPE "unspecified"
+#endif
+
 using namespace termilog;
 
 namespace {
+
+constexpr int kSchemaVersion = 2;
+constexpr int kJobsLevels[] = {1, 2, 4, 8};
 
 std::vector<BatchRequest> CorpusRequests() {
   std::vector<BatchRequest> requests;
@@ -32,6 +47,18 @@ std::vector<BatchRequest> CorpusRequests() {
     requests.push_back(std::move(request));
   }
   return requests;
+}
+
+std::string MetaJson(size_t corpus_requests) {
+  std::string jobs;
+  for (int j : kJobsLevels) {
+    if (!jobs.empty()) jobs += ',';
+    jobs += std::to_string(j);
+  }
+  return StrCat("{\"schema_version\":", kSchemaVersion,
+                ",\"build_type\":\"", JsonEscape(TERMILOG_BUILD_TYPE),
+                "\",\"jobs\":[", jobs,
+                "],\"corpus_requests\":", corpus_requests, "}");
 }
 
 struct RunSample {
@@ -74,15 +101,13 @@ std::string SampleJson(const RunSample& sample, size_t requests) {
   return buffer;
 }
 
-}  // namespace
-
-int main() {
+int RunThroughput() {
   std::vector<BatchRequest> requests = CorpusRequests();
 
-  std::string out = "{\"bench\":\"engine\",\"corpus_requests\":" +
-                    std::to_string(requests.size()) + ",\"runs\":[";
+  std::string out = StrCat("{\"bench\":\"engine\",\"meta\":",
+                           MetaJson(requests.size()), ",\"runs\":[");
   bool first = true;
-  for (int jobs : {1, 2, 4, 8}) {
+  for (int jobs : kJobsLevels) {
     BatchEngine engine(EngineOptions{jobs, /*use_cache=*/true});
 
     engine.Run(requests);
@@ -94,11 +119,90 @@ int main() {
 
     if (!first) out += ',';
     first = false;
-    out += "{\"jobs\":" + std::to_string(jobs) +
-           ",\"cold\":" + SampleJson(cold, requests.size()) +
-           ",\"warm\":" + SampleJson(warm, requests.size()) + "}";
+    out += StrCat("{\"jobs\":", jobs, ",\"cold\":",
+                  SampleJson(cold, requests.size()),
+                  ",\"warm\":", SampleJson(warm, requests.size()), "}");
   }
   out += "]}";
   std::printf("%s\n", out.c_str());
   return 0;
+}
+
+// The paper's four worked examples (Ex 3.1/4.1, Ex 5.1, Ex 6.1, A.1).
+constexpr const char* kPhaseExamples[] = {"perm", "merge", "expr_parser",
+                                          "example_a1"};
+
+int RunPhases() {
+  if (!obs::kCompiledIn) {
+    std::fprintf(stderr,
+                 "bench_engine: --phases needs a TERMILOG_OBS=ON build\n");
+    return 1;
+  }
+  std::vector<BatchRequest> all = CorpusRequests();
+  std::string out = StrCat("{\"bench\":\"engine_phases\",\"meta\":",
+                           MetaJson(all.size()), ",\"examples\":[");
+  bool first_example = true;
+  for (const char* name : kPhaseExamples) {
+    const BatchRequest* request = nullptr;
+    for (const BatchRequest& candidate : all) {
+      if (candidate.name == name) {
+        request = &candidate;
+        break;
+      }
+    }
+    if (request == nullptr) {
+      std::fprintf(stderr, "bench_engine: corpus entry %s not found\n", name);
+      return 1;
+    }
+    // Fresh engine and fresh trace per example: no cache warm-up, no spans
+    // bleeding across examples. jobs=1 keeps self-times additive.
+    obs::Tracer::Global().Enable();
+    {
+      BatchEngine engine(EngineOptions{/*jobs=*/1, /*use_cache=*/false});
+      std::vector<BatchRequest> one;
+      one.push_back(*request);
+      engine.Run(one);
+    }
+    obs::Tracer::Global().Disable();
+    auto aggregate = obs::Tracer::Global().AggregateByName();
+    auto request_it = aggregate.find("request");
+    int64_t request_us =
+        request_it == aggregate.end() ? 0 : request_it->second.total_us;
+
+    if (!first_example) out += ',';
+    first_example = false;
+    out += StrCat("{\"name\":\"", JsonEscape(name),
+                  "\",\"request_us\":", request_us, ",\"phases\":{");
+    bool first_phase = true;
+    for (const auto& [phase, agg] : aggregate) {
+      double share =
+          request_us > 0
+              ? static_cast<double>(agg.self_us) /
+                    static_cast<double>(request_us)
+              : 0.0;
+      char share_text[32];
+      std::snprintf(share_text, sizeof(share_text), "%.4f", share);
+      if (!first_phase) out += ',';
+      first_phase = false;
+      out += StrCat("\"", JsonEscape(phase), "\":{\"count\":", agg.count,
+                    ",\"total_us\":", agg.total_us,
+                    ",\"self_us\":", agg.self_us, ",\"share\":", share_text,
+                    "}");
+    }
+    out += "}}";
+  }
+  out += "]}";
+  std::printf("%s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--phases") == 0) return RunPhases();
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: bench_engine [--phases]\n");
+    return 1;
+  }
+  return RunThroughput();
 }

@@ -65,6 +65,9 @@ AnalysisOptions EntryOptions(const CorpusEntry& entry) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Env-driven observability: TERMILOG_TRACE / TERMILOG_METRICS name output
+  // files; the matrix bytes are unaffected (docs/observability.md).
+  obs::ObsExport obs_export("", "");
   int jobs = 4;
   if (argc > 1) {
     jobs = std::atoi(argv[1]);

@@ -41,6 +41,14 @@
 //   --work-budget N        abstract work-tick budget (FM row combinations,
 //                          simplex pivots, inference sweeps, ...)
 //   --limb-limit N         cap on the largest BigInt (32-bit limbs)
+//   --trace FILE           write a span trace of the run (Chrome
+//                          trace_event JSON; a .jsonl suffix selects one
+//                          object per line). Env: TERMILOG_TRACE=FILE.
+//   --metrics FILE         write the metrics registry (counters and
+//                          histograms) as JSON. Env: TERMILOG_METRICS=FILE.
+//                          Both are side channels: analysis output bytes
+//                          are identical with or without them
+//                          (docs/observability.md).
 //
 // Exit codes: 0 = proved, 2 = not proved, 3 = resource-limited (a budget
 // tripped; the report printed is valid but partial), 1 = usage/parse error.
@@ -281,7 +289,7 @@ int main(int argc, char** argv) {
   bool show_constraints = false, run_baselines = false, reorder = false;
   bool explain = false, json = false, use_cache = true;
   int64_t jobs = 1;
-  std::string corpus_name, batch_path;
+  std::string corpus_name, batch_path, trace_path, metrics_path;
 
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -334,12 +342,20 @@ int main(int argc, char** argv) {
       run_goals.emplace_back(argv[++i]);
     } else if (arg == "--corpus" && i + 1 < argc) {
       corpus_name = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       return Fail(("unknown option " + arg).c_str());
     } else {
       positional.push_back(arg);
     }
   }
+
+  // Lives until main returns: enables tracing/metrics now (flag or env)
+  // and writes the files on destruction, whatever exit path is taken.
+  obs::ObsExport obs_export(trace_path, metrics_path);
 
   if (!batch_path.empty()) {
     return RunBatch(batch_path, options, static_cast<int>(jobs), use_cache);
@@ -451,7 +467,34 @@ int main(int argc, char** argv) {
   }
 
   TerminationAnalyzer analyzer(options);
-  Result<TerminationReport> report = analyzer.Analyze(program, query);
+  // Single-run --json goes through the engine at jobs=1 (same verdicts and
+  // certificates as the serial analyzer) so the JSON line can carry the
+  // per-request scc_tasks / cache_hits accounting.
+  int64_t scc_tasks = -1, cache_hits = -1;
+  Result<TerminationReport> report = Status::Internal("not yet analyzed");
+  if (json) {
+    Result<std::pair<PredId, Adornment>> parsed_query =
+        ParseQuerySpec(program, query);
+    if (!parsed_query.ok()) {
+      return Fail(parsed_query.status().ToString().c_str());
+    }
+    EngineOptions engine_options;
+    engine_options.use_cache = use_cache;
+    BatchEngine engine(engine_options);
+    std::vector<BatchRequest> requests(1);
+    requests[0].name = positional.empty() ? corpus_name : positional[0];
+    requests[0].program = program;
+    requests[0].query = parsed_query->first;
+    requests[0].adornment = parsed_query->second;
+    requests[0].options = options;
+    BatchItemResult item = std::move(engine.Run(requests)[0]);
+    if (!item.status.ok()) return Fail(item.status.ToString().c_str());
+    report = std::move(item.report);
+    scc_tasks = item.scc_tasks;
+    cache_hits = item.cache_hits;
+  } else {
+    report = analyzer.Analyze(program, query);
+  }
   if (!report.ok()) return Fail(report.status().ToString().c_str());
   if (reorder && !report->proved) {
     ReorderOptions reorder_options;
@@ -467,6 +510,9 @@ int main(int argc, char** argv) {
       }
       program = search->program;
       *report = search->report;
+      // The printed report no longer corresponds to the engine run above.
+      scc_tasks = -1;
+      cache_hits = -1;
     } else if (search.ok()) {
       std::printf("reordering search exhausted (%d attempts), no "
                   "terminating order found\n",
@@ -482,6 +528,8 @@ int main(int argc, char** argv) {
     // spend counters (single-run output has no byte-identity constraint).
     ReportJsonOptions json_options;
     json_options.include_spend = true;
+    json_options.scc_tasks = scc_tasks;
+    json_options.cache_hits = cache_hits;
     std::printf("%s\n", ReportToJsonLine(positional.empty() ? corpus_name
                                                             : positional[0],
                                          query, Status::Ok(), *report,

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Repo check driver (docs/robustness.md):
+#   1. tier-1 verify: configure + build + full ctest in build/
+#   2. ASan+UBSan pass of the engine and obs suites in build-asan/
+#   3. TSan pass of the engine and obs suites in build-tsan/
+# The sanitizer trees are configured with TERMILOG_OBS=ON explicitly so the
+# tracing/metrics subsystem is exercised under both sanitizers (the obs
+# suite spawns threads; the engine suite runs the worker pool).
+#
+# Usage: scripts/check.sh [--tier1-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run() {
+  echo "== $*" >&2
+  "$@"
+}
+
+# --- 1. tier-1: full build + full test suite ---------------------------
+run cmake -B build -S . -DTERMILOG_OBS=ON
+run cmake --build build -j "$JOBS"
+run ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  echo "check.sh: tier-1 OK (sanitizer passes skipped)" >&2
+  exit 0
+fi
+
+# --- 2+3. sanitizer passes over the concurrency-heavy suites -----------
+# -L takes a regex: select every test labelled engine or obs.
+for flavor in address thread; do
+  tree="build-asan"
+  [[ "$flavor" == "thread" ]] && tree="build-tsan"
+  run cmake -B "$tree" -S . -DTERMILOG_SANITIZE="$flavor" -DTERMILOG_OBS=ON
+  run cmake --build "$tree" -j "$JOBS" \
+      --target termilog_engine_tests termilog_obs_tests
+  run ctest --test-dir "$tree" --output-on-failure -j "$JOBS" -L 'engine|obs'
+done
+
+echo "check.sh: tier-1 + ASan + TSan passes OK" >&2

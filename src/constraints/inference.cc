@@ -5,6 +5,7 @@
 
 #include "graph/digraph.h"
 #include "graph/scc.h"
+#include "obs/obs.h"
 #include "term/size.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -104,6 +105,7 @@ Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
                                 std::map<PredId, InferenceStats>* stats,
                                 std::vector<std::string>* warnings) {
   TERMILOG_FAILPOINT("inference.run");
+  TERMILOG_TRACE("inference.run", "inference");
   // Dependency graph over defined predicates.
   std::vector<PredId> preds;
   for (const PredId& pred : program.DefinedPredicates()) {
@@ -155,6 +157,7 @@ Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
         if (!scc_status.ok()) break;
       }
       ++scc_stats.sweeps;
+      TERMILOG_COUNTER("inference.sweeps", 1);
       std::map<PredId, Polyhedron> before = current;
       for (int r : rule_indices) {
         const Rule& rule = program.rules()[r];
@@ -186,6 +189,7 @@ Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
         break;
       }
       if (sweep + 1 >= options.widen_delay) {
+        TERMILOG_COUNTER("inference.widenings", 1);
         scc_stats.widened = true;
         for (const PredId& pred : scc_preds) {
           current.at(pred) = before.at(pred).Widen(current.at(pred));

@@ -10,6 +10,7 @@
 #include "graph/digraph.h"
 #include "graph/scc.h"
 #include "lp/simplex.h"
+#include "obs/obs.h"
 #include "program/modes.h"
 #include "transform/adornment.h"
 #include "transform/pipeline.h"
@@ -95,6 +96,10 @@ SccReport TerminationAnalyzer::AnalyzeScc(
     const Program& program, const std::vector<PredId>& scc_preds,
     const std::map<PredId, Adornment>& modes, const ArgSizeDb& db,
     bool has_conflict, const ResourceGovernor* governor) const {
+  TERMILOG_TRACE_SPAN(scc_span, "scc.analyze", "analyzer", 0);
+  if (scc_span.active() && !scc_preds.empty()) {
+    scc_span.AddArg("scc", program.PredName(scc_preds.front()));
+  }
   SccReport report;
   report.preds = scc_preds;
 
@@ -125,8 +130,10 @@ SccReport TerminationAnalyzer::AnalyzeScc(
 
   std::set<PredId> scc_set(scc_preds.begin(), scc_preds.end());
   RuleSystemBuilder builder(program, modes, db);
-  Result<std::vector<RuleSubgoalSystem>> systems =
-      builder.BuildForScc(scc_set);
+  Result<std::vector<RuleSubgoalSystem>> systems = [&] {
+    TERMILOG_TRACE("scc.rule_system", "analyzer");
+    return builder.BuildForScc(scc_set);
+  }();
   if (!systems.ok()) {
     report.status = systems.status().code() == StatusCode::kUnsupported
                         ? SccStatus::kUnsupported
@@ -151,14 +158,17 @@ SccReport TerminationAnalyzer::AnalyzeScc(
   ThetaSpace space(bound_counts);
 
   std::vector<DerivedConstraints> derived;
-  for (const RuleSubgoalSystem& sys : *systems) {
-    Result<DerivedConstraints> d = BuildDerivedConstraints(sys, space, fm);
-    if (!d.ok()) {
-      report.status = SccStatus::kResourceLimit;
-      report.notes.push_back(d.status().ToString());
-      return report;
+  {
+    TERMILOG_TRACE("scc.derive", "analyzer");
+    for (const RuleSubgoalSystem& sys : *systems) {
+      Result<DerivedConstraints> d = BuildDerivedConstraints(sys, space, fm);
+      if (!d.ok()) {
+        report.status = SccStatus::kResourceLimit;
+        report.notes.push_back(d.status().ToString());
+        return report;
+      }
+      derived.push_back(std::move(d).value());
     }
-    derived.push_back(std::move(d).value());
   }
 
   const int T = space.total();
@@ -183,7 +193,10 @@ SccReport TerminationAnalyzer::AnalyzeScc(
     global.Simplify();
     report.reduced_constraints = global.ToString(&namer);
     // theta >= 0
-    LpResult lp = SimplexSolver::FindFeasible(global, {}, governor);
+    LpResult lp = [&] {
+      TERMILOG_TRACE("scc.lp_integral", "analyzer");
+      return SimplexSolver::FindFeasible(global, {}, governor);
+    }();
     if (lp.status == LpStatus::kPivotLimit) {
       report.status = SccStatus::kResourceLimit;
       report.notes.push_back("feasibility LP resource-limited");
@@ -201,8 +214,11 @@ SccReport TerminationAnalyzer::AnalyzeScc(
         report.certificate.delta.emplace(edge, Rational(value));
       }
       if (options_.validate_certificates) {
-        Status valid = ValidateCertificate(*systems, scc_preds,
-                                           report.certificate, governor);
+        Status valid = [&] {
+          TERMILOG_TRACE("scc.validate", "analyzer");
+          return ValidateCertificate(*systems, scc_preds, report.certificate,
+                                     governor);
+        }();
         if (!valid.ok()) {
           report.status = SccStatus::kResourceLimit;
           report.notes.push_back(
@@ -283,7 +299,10 @@ SccReport TerminationAnalyzer::AnalyzeScc(
     }
     std::vector<bool> is_free(width, false);
     for (int col = T; col < width; ++col) is_free[col] = true;  // deltas, sigmas
-    LpResult lp = SimplexSolver::FindFeasible(system, is_free, governor);
+    LpResult lp = [&] {
+      TERMILOG_TRACE("scc.lp_negdelta", "analyzer");
+      return SimplexSolver::FindFeasible(system, is_free, governor);
+    }();
     if (lp.status == LpStatus::kPivotLimit) {
       report.status = SccStatus::kResourceLimit;
       report.notes.push_back("negative-delta feasibility LP resource-limited");
@@ -302,8 +321,11 @@ SccReport TerminationAnalyzer::AnalyzeScc(
       }
       report.used_negative_deltas = true;
       if (options_.validate_certificates) {
-        Status valid = ValidateCertificate(*systems, scc_preds,
-                                           report.certificate, governor);
+        Status valid = [&] {
+          TERMILOG_TRACE("scc.validate", "analyzer");
+          return ValidateCertificate(*systems, scc_preds, report.certificate,
+                                     governor);
+        }();
         if (!valid.ok()) {
           report.status = SccStatus::kResourceLimit;
           report.notes.push_back(
@@ -327,6 +349,7 @@ SccReport TerminationAnalyzer::AnalyzeScc(
 Result<PreparedAnalysis> TerminationAnalyzer::Prepare(
     const Program& program, const PredId& query, const Adornment& adornment,
     const ResourceGovernor* gov) const {
+  TERMILOG_TRACE("prep", "analyzer");
   PreparedAnalysis prepared;
   TerminationReport& report = prepared.report;
   report.analyzed_program = program;
@@ -369,6 +392,7 @@ Result<PreparedAnalysis> TerminationAnalyzer::Prepare(
   if (static_cast<int>(adornment.size()) != entry.arity) {
     return Status::InvalidArgument("query adornment arity mismatch");
   }
+  obs::SpanId modes_span = obs::BeginSpan("prep.modes", "analyzer");
   ModeAnalysisResult mode_result =
       InferModes(report.analyzed_program, entry, adornment);
   for (int round = 0; round < 4 && mode_result.HasConflicts(); ++round) {
@@ -380,6 +404,7 @@ Result<PreparedAnalysis> TerminationAnalyzer::Prepare(
     for (const std::string& line : cloned.log) report.notes.push_back(line);
     mode_result = InferModes(report.analyzed_program, entry, adornment);
   }
+  obs::EndSpan(modes_span);
   const Program& analyzed = report.analyzed_program;
   report.modes = mode_result.adornments;
   for (const std::string& conflict : mode_result.conflicts) {
@@ -435,6 +460,7 @@ Result<PreparedAnalysis> TerminationAnalyzer::Prepare(
 
   // Dependency SCCs over the predicates reachable from the query (those
   // the mode analysis visited).
+  TERMILOG_TRACE("prep.condense", "analyzer");
   std::vector<PredId> preds;
   for (const auto& [pred, pred_adornment] : report.modes) {
     (void)pred_adornment;
@@ -464,6 +490,10 @@ Result<PreparedAnalysis> TerminationAnalyzer::Prepare(
 Result<TerminationReport> TerminationAnalyzer::Analyze(
     const Program& program, const PredId& query,
     const Adornment& adornment) const {
+  TERMILOG_TRACE_SPAN(request_span, "request", "engine", 0);
+  if (request_span.active()) {
+    request_span.AddArg("query", program.PredName(query));
+  }
   // One governor per Analyze call: the deadline clock starts here and every
   // subsystem (prep and per-SCC analysis) charges the same budget.
   ResourceGovernor governor(options_.limits);

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "engine/canonical.h"
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -86,9 +87,18 @@ struct RequestState {
   std::atomic<int64_t> scc_tasks{0};
   std::atomic<int64_t> cache_hits{0};
   std::chrono::steady_clock::time_point started;
+  // Per-request trace span: begun by the prep task, ended by the merge
+  // loop on the main thread; SCC tasks attach to it explicitly.
+  obs::SpanId span = 0;
 };
 
 void AccumulateSpend(RequestState* state, const GovernorSpend& spend) {
+  // Mirror the spend into the metrics registry so metrics totals reconcile
+  // with EngineStats::total_work (every per-task governor passes through
+  // here exactly once).
+  TERMILOG_COUNTER("governor.work", spend.work);
+  TERMILOG_HISTOGRAM("governor.limb_high_water",
+                     spend.bigint_limb_high_water);
   state->work.fetch_add(spend.work, std::memory_order_relaxed);
   int64_t seen = state->limb_high_water.load(std::memory_order_relaxed);
   while (spend.bigint_limb_high_water > seen &&
@@ -104,7 +114,7 @@ std::string EngineStats::ToString() const {
                 " cache_hits=", cache_hits, " cache_misses=", cache_misses,
                 " single_flight_waits=", single_flight_waits,
                 " unique_sccs=", unique_sccs, " total_work=", total_work,
-                " wall_ms=", wall_ms);
+                " wall_ms=", wall_ms, " total_wall_ms=", total_wall_ms);
 }
 
 BatchEngine::BatchEngine(EngineOptions options) : options_(options) {
@@ -116,6 +126,10 @@ std::vector<BatchItemResult> BatchEngine::Run(
     const std::function<void(const BatchItemResult&)>& on_result) {
   const auto run_start = std::chrono::steady_clock::now();
   const size_t n = requests.size();
+  obs::SpanId batch_span = obs::BeginSpan("batch.run", "engine");
+  obs::SpanArg(batch_span, "requests", StrCat(n));
+  obs::SpanArg(batch_span, "jobs", StrCat(options_.jobs));
+  TERMILOG_COUNTER("engine.requests", static_cast<int64_t>(n));
 
   std::vector<std::unique_ptr<RequestState>> states;
   states.reserve(n);
@@ -148,6 +162,9 @@ std::vector<BatchItemResult> BatchEngine::Run(
   // request's mode dataflow, not of the SCC's content).
   auto run_scc_task = [&](size_t i, size_t j) {
     RequestState& state = *states[i];
+    obs::ScopedParent trace_parent(state.span);
+    TERMILOG_TRACE("scc.task", "engine");
+    TERMILOG_COUNTER("engine.scc_tasks", 1);
     const SccTask& task = state.prepared->sccs[j];
     // All SCC work runs over the report skeleton's analyzed_program (the
     // post-transformation program whose PredIds the SccTasks reference),
@@ -196,6 +213,9 @@ std::vector<BatchItemResult> BatchEngine::Run(
     RequestState& state = *states[i];
     const BatchRequest& request = *state.request;
     state.started = std::chrono::steady_clock::now();
+    state.span = obs::BeginSpan("request", "engine", batch_span);
+    obs::SpanArg(state.span, "name", request.name);
+    obs::ScopedParent trace_parent(state.span);
     ResourceGovernor governor(request.options.limits);
     state.prepared = state.analyzer->Prepare(state.program, request.query,
                                              request.adornment, &governor);
@@ -283,6 +303,7 @@ std::vector<BatchItemResult> BatchEngine::Run(
     item.cache_hits = state.cache_hits.load();
     stats_.scc_tasks += item.scc_tasks;
     stats_.total_work += state.work.load();
+    obs::EndSpan(state.span);
     if (on_result) on_result(item);
     results.push_back(std::move(item));
   }
@@ -299,6 +320,8 @@ std::vector<BatchItemResult> BatchEngine::Run(
   stats_.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now() - run_start)
                        .count();
+  stats_.total_wall_ms += stats_.wall_ms;
+  obs::EndSpan(batch_span);
   return results;
 }
 

@@ -55,8 +55,11 @@ struct EngineStats {
   int64_t unique_sccs = 0;
   /// Summed governor work ticks across all per-task governors.
   int64_t total_work = 0;
-  /// Wall time of the most recent Run.
+  /// Wall time of the most recent Run only (overwritten each Run); see
+  /// total_wall_ms for the engine-lifetime figure.
   int64_t wall_ms = 0;
+  /// Wall time summed across every Run of this engine.
+  int64_t total_wall_ms = 0;
 
   std::string ToString() const;
 };

@@ -54,40 +54,6 @@ void AppendCertificate(const TerminationCertificate& certificate,
 
 }  // namespace
 
-std::string JsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned char>(c));
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string ReportToJsonLine(const std::string& name, const std::string& query,
                              const Status& status,
                              const TerminationReport& report,
@@ -155,6 +121,10 @@ std::string ReportToJsonLine(const std::string& name, const std::string& query,
                   ",\"bigint_limbs\":", report.spend.bigint_limb_high_water,
                   "}");
   }
+  if (options.scc_tasks >= 0 && options.cache_hits >= 0) {
+    out += StrCat(",\"engine\":{\"scc_tasks\":", options.scc_tasks,
+                  ",\"cache_hits\":", options.cache_hits, "}");
+  }
   out += '}';
   return out;
 }
@@ -167,7 +137,8 @@ std::string EngineStatsToJson(const EngineStats& stats, int jobs) {
                 ",\"single_flight_waits\":", stats.single_flight_waits,
                 ",\"unique_sccs\":", stats.unique_sccs,
                 ",\"total_work\":", stats.total_work,
-                ",\"wall_ms\":", stats.wall_ms, "}");
+                ",\"wall_ms\":", stats.wall_ms,
+                ",\"total_wall_ms\":", stats.total_wall_ms, "}");
 }
 
 }  // namespace termilog

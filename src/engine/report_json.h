@@ -7,11 +7,9 @@
 #include "core/analyzer.h"
 #include "engine/engine.h"
 #include "util/status.h"
+#include "util/string_util.h"  // JsonEscape lives there (shared with obs/)
 
 namespace termilog {
-
-/// JSON string escaping (quotes, backslashes, control characters).
-std::string JsonEscape(std::string_view text);
 
 struct ReportJsonOptions {
   /// Emit the report's spend counters ("spend": {work, elapsed_ms,
@@ -20,6 +18,13 @@ struct ReportJsonOptions {
   /// byte-identical across reruns and jobs settings (spend is reported in
   /// the run summary instead).
   bool include_spend = false;
+  /// Per-request engine accounting (BatchItemResult::scc_tasks /
+  /// cache_hits), rendered as "engine":{"scc_tasks":..,"cache_hits":..}
+  /// when both are >= 0. Batch JSONL lines leave them out: they are
+  /// scheduling-dependent under concurrency, so including them would break
+  /// byte-identity across --jobs settings.
+  int64_t scc_tasks = -1;
+  int64_t cache_hits = -1;
 };
 
 /// One-line JSON rendering of a single analysis outcome — the one

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace termilog {
@@ -68,15 +69,18 @@ CachedSccOutcome SccCache::GetOrCompute(
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.lookups;
+    TERMILOG_COUNTER("cache.lookups", 1);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       entry = it->second;
       if (entry->ready) {
         ++stats_.hits;
+        TERMILOG_COUNTER("cache.hits", 1);
       } else {
         // Another worker is computing this key right now: wait for it
         // rather than solving the same SCC twice.
         ++stats_.single_flight_waits;
+        TERMILOG_COUNTER("cache.single_flight_waits", 1);
         ready_cv_.wait(lock, [&entry] { return entry->ready; });
       }
       if (served_from_cache != nullptr) *served_from_cache = true;
@@ -85,6 +89,7 @@ CachedSccOutcome SccCache::GetOrCompute(
     entry = std::make_shared<Entry>();
     entries_.emplace(key, entry);
     ++stats_.misses;
+    TERMILOG_COUNTER("cache.misses", 1);
   }
 
   // Compute outside the lock: other keys proceed concurrently, and waiters

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "lp/simplex.h"
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/string_util.h"
@@ -54,6 +55,8 @@ Status FourierMotzkin::EliminateVariable(ConstraintSystem* system, int var,
                                          const FmOptions& options) {
   TERMILOG_CHECK(var >= 0 && var < system->num_vars());
   TERMILOG_FAILPOINT("fm.eliminate");
+  TERMILOG_TRACE("fm.eliminate", "fm");
+  TERMILOG_COUNTER("fm.eliminations", 1);
 
   // Prefer a Gaussian step on an equality row mentioning the variable.
   int pivot_index = -1;
@@ -65,6 +68,7 @@ Status FourierMotzkin::EliminateVariable(ConstraintSystem* system, int var,
     }
   }
   if (pivot_index >= 0) {
+    TERMILOG_COUNTER("fm.gauss_steps", 1);
     if (options.governor != nullptr) {
       Status charged = options.governor->Charge(
           "fm.eliminate", static_cast<int64_t>(system->rows().size()));
@@ -95,6 +99,12 @@ Status FourierMotzkin::EliminateVariable(ConstraintSystem* system, int var,
     }
   }
   size_t projected = zero.size() + pos.size() * neg.size();
+  TERMILOG_COUNTER("fm.rows_generated",
+                   static_cast<std::int64_t>(pos.size() * neg.size()));
+  TERMILOG_COUNTER("fm.rows_eliminated",
+                   static_cast<std::int64_t>(pos.size() + neg.size()));
+  TERMILOG_HISTOGRAM("fm.rows_per_step",
+                     static_cast<std::int64_t>(projected));
   if (projected > options.row_limit) {
     return Status::ResourceExhausted(
         StrCat("FM blowup eliminating x", var, ": ", projected, " rows"));
@@ -123,6 +133,7 @@ Status FourierMotzkin::EliminateVariable(ConstraintSystem* system, int var,
 Result<ConstraintSystem> FourierMotzkin::Project(
     const ConstraintSystem& system, const std::vector<int>& keep,
     const FmOptions& options) {
+  TERMILOG_TRACE("fm.project", "fm");
   std::vector<bool> keep_mask(system.num_vars(), false);
   for (int var : keep) {
     TERMILOG_CHECK(var >= 0 && var < system.num_vars());
@@ -195,6 +206,7 @@ Result<ConstraintSystem> FourierMotzkin::Project(
 
 void FourierMotzkin::LpPruneRedundant(ConstraintSystem* system,
                                       const ResourceGovernor* governor) {
+  TERMILOG_TRACE("fm.lp_prune", "fm");
   std::vector<bool> all_free(system->num_vars(), true);
   // Iterate from the end so erase indices stay valid.
   for (size_t i = system->rows().size(); i-- > 0;) {
@@ -216,6 +228,7 @@ void FourierMotzkin::LpPruneRedundant(ConstraintSystem* system,
       redundant = (lp.objective + row.constant).sign() >= 0;
     }
     if (redundant) {
+      TERMILOG_COUNTER("fm.rows_pruned", 1);
       system->mutable_rows().erase(system->mutable_rows().begin() + i);
     }
   }

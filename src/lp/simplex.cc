@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -185,6 +186,7 @@ LpResult SolveMin(const ConstraintSystem& system,
                   const std::vector<Rational>& objective,
                   const std::vector<bool>& is_free,
                   const ResourceGovernor* governor) {
+  TERMILOG_TRACE("simplex.solve", "lp");
   const int n = system.num_vars();
   TERMILOG_CHECK(objective.empty() ||
                  static_cast<int>(objective.size()) == n);
@@ -222,6 +224,15 @@ LpResult SolveMin(const ConstraintSystem& system,
 
   int first_artificial = tableau.AppendIdentityBasis();
   int pivots = 0;
+  // Records on every exit path; the body compiles away with TERMILOG_OBS.
+  struct PivotRecorder {
+    const int& pivots;
+    ~PivotRecorder() {
+      TERMILOG_COUNTER("simplex.solves", 1);
+      TERMILOG_COUNTER("simplex.pivots", pivots);
+      TERMILOG_HISTOGRAM("simplex.pivots_per_solve", pivots);
+    }
+  } pivot_recorder{pivots};
 
   // Phase 1: minimize the sum of artificials.
   std::vector<Rational> phase1_obj(tableau.num_cols());

@@ -1,0 +1,164 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace termilog {
+namespace obs {
+namespace {
+
+int BucketFor(std::int64_t value) {
+  if (value <= 0) return 0;
+  int bucket = 0;
+  std::uint64_t v = static_cast<std::uint64_t>(value);
+  while (v != 0) {
+    ++bucket;
+    v >>= 1;
+  }
+  return std::min(bucket, kHistogramBuckets - 1);
+}
+
+}  // namespace
+
+std::int64_t HistogramBucketBound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= 63) return INT64_MAX;
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":", value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":{\"count\":", histogram.count,
+                  ",\"sum\":", histogram.sum, ",\"max\":", histogram.max,
+                  ",\"buckets\":[");
+    bool first_bucket = true;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      if (histogram.buckets[i] == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += StrCat("[", HistogramBucketBound(i), ",", histogram.buckets[i],
+                    "]");
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Metrics& Metrics::Global() {
+  static Metrics* metrics = new Metrics();
+  return *metrics;
+}
+
+void Metrics::Enable() {
+  Reset();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Metrics::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Metrics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_ = MetricsSnapshot();
+  for (const std::shared_ptr<Shard>& shard : live_shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->counters.clear();
+    shard->histograms.clear();
+  }
+}
+
+/// Owns one thread's shard registration for the shard's lifetime. The
+/// destructor (thread exit) folds the shard into the registry's retired
+/// totals so no samples are lost when pool workers wind down before the
+/// final Collect().
+class MetricsShardHandle {
+ public:
+  explicit MetricsShardHandle(Metrics* metrics)
+      : metrics_(metrics), shard_(std::make_shared<Metrics::Shard>()) {
+    std::lock_guard<std::mutex> lock(metrics_->mu_);
+    metrics_->live_shards_.push_back(shard_);
+  }
+  ~MetricsShardHandle() { metrics_->RetireShard(shard_); }
+
+  const std::shared_ptr<Metrics::Shard>& shard() const { return shard_; }
+
+ private:
+  Metrics* metrics_;
+  std::shared_ptr<Metrics::Shard> shard_;
+};
+
+std::shared_ptr<Metrics::Shard> Metrics::CurrentShard() {
+  thread_local MetricsShardHandle handle(this);
+  return handle.shard();
+}
+
+void Metrics::RetireShard(const std::shared_ptr<Shard>& shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    MergeShardLocked(*shard, &retired_);
+  }
+  live_shards_.erase(
+      std::remove(live_shards_.begin(), live_shards_.end(), shard),
+      live_shards_.end());
+}
+
+void Metrics::MergeShardLocked(const Shard& shard, MetricsSnapshot* into) {
+  for (const auto& [name, value] : shard.counters) {
+    into->counters[name] += value;
+  }
+  for (const auto& [name, histogram] : shard.histograms) {
+    HistogramSnapshot& merged = into->histograms[name];
+    merged.count += histogram.count;
+    merged.sum += histogram.sum;
+    merged.max = std::max(merged.max, histogram.max);
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      merged.buckets[i] += histogram.buckets[i];
+    }
+  }
+}
+
+void Metrics::Add(const char* name, std::int64_t delta) {
+  if (!enabled()) return;
+  std::shared_ptr<Shard> shard = CurrentShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->counters[name] += delta;
+}
+
+void Metrics::Record(const char* name, std::int64_t value) {
+  if (!enabled()) return;
+  std::shared_ptr<Shard> shard = CurrentShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  HistogramSnapshot& histogram = shard->histograms[name];
+  ++histogram.count;
+  histogram.sum += value;
+  histogram.max = std::max(histogram.max, value);
+  ++histogram.buckets[BucketFor(value)];
+}
+
+MetricsSnapshot Metrics::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out = retired_;
+  for (const std::shared_ptr<Shard>& shard : live_shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    MergeShardLocked(*shard, &out);
+  }
+  return out;
+}
+
+std::string Metrics::ToJson() const { return Collect().ToJson(); }
+
+}  // namespace obs
+}  // namespace termilog

@@ -1,0 +1,110 @@
+#ifndef TERMILOG_OBS_METRICS_H_
+#define TERMILOG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace termilog {
+namespace obs {
+
+/// Bucket layout shared by every histogram: bucket 0 holds values <= 0,
+/// bucket i (1..32) holds values whose bit width is i, i.e. the range
+/// [2^(i-1), 2^i - 1]. Fixed buckets keep merges trivially associative:
+/// the aggregate over any thread interleaving is the same multiset sum.
+inline constexpr int kHistogramBuckets = 33;
+
+/// Upper bound (inclusive) of bucket `i`: 0 for bucket 0, 2^i - 1 above.
+std::int64_t HistogramBucketBound(int bucket);
+
+/// Merged view of one histogram.
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t max = 0;
+  std::array<std::int64_t, kHistogramBuckets> buckets{};
+};
+
+/// Merged view of the whole registry. Maps are name-sorted, so rendering a
+/// snapshot is deterministic; the *values* of scheduling-dependent metrics
+/// (cache hits under contention) carry the same caveat as EngineStats.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// {"counters":{...},"histograms":{name:{count,sum,max,buckets:[[le,n]..]}}}
+  /// with empty histogram buckets omitted.
+  std::string ToJson() const;
+};
+
+/// Process-wide metrics registry: named monotonic counters and fixed-bucket
+/// histograms, sharded per thread so the hot paths never contend. Each
+/// thread writes its own shard under that shard's (uncontended) mutex;
+/// Collect() merges live shards plus the retirements of exited threads.
+/// The per-thread shard design makes `--jobs N` aggregation race-free, and
+/// because merging is commutative addition keyed by name, the aggregate is
+/// deterministic for deterministic workloads regardless of scheduling.
+///
+/// Disabled by default: Add/Record check one relaxed atomic first, so idle
+/// instrumentation costs a load (and nothing at all when the TERMILOG_OBS
+/// CMake option is OFF — the TERMILOG_COUNTER/TERMILOG_HISTOGRAM macros
+/// compile out).
+class Metrics {
+ public:
+  static Metrics& Global();
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Zeros every counter and histogram (live shards included). Test hook;
+  /// also called by Enable().
+  void Reset();
+
+  /// Adds `delta` to the named counter in the calling thread's shard.
+  void Add(const char* name, std::int64_t delta = 1);
+
+  /// Records one histogram observation in the calling thread's shard.
+  void Record(const char* name, std::int64_t value);
+
+  /// Merged totals across all shards. Safe to call while other threads are
+  /// still recording (their in-flight updates land in later snapshots).
+  MetricsSnapshot Collect() const;
+
+  /// Collect().ToJson() convenience.
+  std::string ToJson() const;
+
+ private:
+  friend class MetricsShardHandle;
+
+  struct Shard {
+    std::mutex mu;
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+
+  Metrics() = default;
+  std::shared_ptr<Shard> CurrentShard();
+  void RetireShard(const std::shared_ptr<Shard>& shard);
+  static void MergeShardLocked(const Shard& shard, MetricsSnapshot* into);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Shard>> live_shards_;
+  /// Sum of the shards of threads that have exited, folded in at thread
+  /// teardown so the live list stays bounded by the live thread count.
+  MetricsSnapshot retired_;
+};
+
+}  // namespace obs
+}  // namespace termilog
+
+#endif  // TERMILOG_OBS_METRICS_H_

@@ -1,0 +1,64 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace termilog {
+namespace obs {
+namespace {
+
+std::string ResolvePath(std::string explicit_path, const char* env_var) {
+  if (!explicit_path.empty()) return explicit_path;
+  const char* from_env = std::getenv(env_var);
+  return from_env != nullptr ? std::string(from_env) : std::string();
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void WriteFileOrWarn(const std::string& path, const std::string& content,
+                     const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write %s file '%s'\n", what,
+                 path.c_str());
+    return;
+  }
+  out << content;
+}
+
+}  // namespace
+
+ObsExport::ObsExport(std::string trace_path, std::string metrics_path)
+    : trace_path_(ResolvePath(std::move(trace_path), "TERMILOG_TRACE")),
+      metrics_path_(ResolvePath(std::move(metrics_path), "TERMILOG_METRICS")) {
+  if (!kCompiledIn && (tracing() || metrics())) {
+    std::fprintf(stderr,
+                 "obs: this binary was built with TERMILOG_OBS=OFF; trace/"
+                 "metrics output will be empty\n");
+  }
+  if (tracing()) Tracer::Global().Enable();
+  if (metrics()) Metrics::Global().Enable();
+}
+
+ObsExport::~ObsExport() {
+  if (tracing()) {
+    Tracer& tracer = Tracer::Global();
+    WriteFileOrWarn(trace_path_,
+                    EndsWith(trace_path_, ".jsonl") ? tracer.ToJsonl()
+                                                    : tracer.ToChromeJson(),
+                    "trace");
+    tracer.Disable();
+  }
+  if (metrics()) {
+    WriteFileOrWarn(metrics_path_, Metrics::Global().ToJson() + "\n",
+                    "metrics");
+    Metrics::Global().Disable();
+  }
+}
+
+}  // namespace obs
+}  // namespace termilog

@@ -1,0 +1,152 @@
+#ifndef TERMILOG_OBS_OBS_H_
+#define TERMILOG_OBS_OBS_H_
+
+/// Observability umbrella (docs/observability.md): the span tracer, the
+/// metrics registry, and the instrumentation macros the library is
+/// threaded with.
+///
+/// Two gates stack:
+///   1. Compile time — the TERMILOG_OBS CMake option (ON by default, like
+///      TERMILOG_FAILPOINTS; turn OFF for release builds). When OFF, every
+///      TERMILOG_TRACE / TERMILOG_COUNTER / TERMILOG_HISTOGRAM site
+///      compiles to nothing: zero instructions, zero data.
+///   2. Run time — Tracer/Metrics are disabled by default even when
+///      compiled in; an idle site costs one relaxed atomic load. Enable
+///      via the API, termilog_cli --trace/--metrics, or the TERMILOG_TRACE
+///      / TERMILOG_METRICS environment variables (see ObsExport).
+///
+/// Observability output is a side channel: nothing recorded here ever
+/// feeds back into an analysis result, so batch report streams stay
+/// byte-identical whether tracing is off, on, or compiled out.
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace termilog {
+namespace obs {
+
+/// True when the instrumentation macros are compiled in (TERMILOG_OBS=ON).
+inline constexpr bool kCompiledIn =
+#ifdef TERMILOG_OBS_ENABLED
+    true;
+#else
+    false;
+#endif
+
+/// RAII driver-side enablement: resolves trace/metrics output paths (an
+/// explicit path wins; empty falls back to the TERMILOG_TRACE /
+/// TERMILOG_METRICS environment variables), enables the corresponding
+/// subsystems, and writes the files on destruction. A trace path ending in
+/// ".jsonl" selects the JSONL export; anything else gets Chrome
+/// trace_event JSON (chrome://tracing, Perfetto). Warns on stderr when
+/// output was requested but the build has TERMILOG_OBS=OFF.
+class ObsExport {
+ public:
+  ObsExport(std::string trace_path, std::string metrics_path);
+  ~ObsExport();
+
+  ObsExport(const ObsExport&) = delete;
+  ObsExport& operator=(const ObsExport&) = delete;
+
+  bool tracing() const { return !trace_path_.empty(); }
+  bool metrics() const { return !metrics_path_.empty(); }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+/// No-op stand-in for ScopedSpan, declared by TERMILOG_TRACE_SPAN when the
+/// build has TERMILOG_OBS=OFF so caller code using .id()/.AddArg() still
+/// compiles (to nothing).
+struct NullSpan {
+  static constexpr SpanId id() { return 0; }
+  static constexpr bool active() { return false; }
+  void AddArg(const char*, const std::string&) const {}
+};
+
+/// Manual span management for spans whose begin and end live on different
+/// threads (the engine's per-request spans: begun by the prep task on a
+/// worker, ended by the merge loop on the main thread). These compile to
+/// nothing when TERMILOG_OBS is OFF, exactly like the macros.
+inline SpanId BeginSpan(const char* name, const char* category,
+                        SpanId parent = 0) {
+#ifdef TERMILOG_OBS_ENABLED
+  return Tracer::Global().Begin(name, category, parent);
+#else
+  (void)name;
+  (void)category;
+  (void)parent;
+  return 0;
+#endif
+}
+
+inline void EndSpan(SpanId id) {
+#ifdef TERMILOG_OBS_ENABLED
+  Tracer::Global().End(id);
+#else
+  (void)id;
+#endif
+}
+
+inline void SpanArg(SpanId id, const char* key, std::string value) {
+#ifdef TERMILOG_OBS_ENABLED
+  Tracer::Global().AddArg(id, key, std::move(value));
+#else
+  (void)id;
+  (void)key;
+  (void)value;
+#endif
+}
+
+}  // namespace obs
+}  // namespace termilog
+
+#ifdef TERMILOG_OBS_ENABLED
+
+#define TERMILOG_OBS_CONCAT_INNER(a, b) a##b
+#define TERMILOG_OBS_CONCAT(a, b) TERMILOG_OBS_CONCAT_INNER(a, b)
+
+/// Scope span with implicit (thread-local) parenting.
+#define TERMILOG_TRACE(name, category)                 \
+  ::termilog::obs::ScopedSpan TERMILOG_OBS_CONCAT(    \
+      termilog_obs_span_, __LINE__)(name, category)
+
+/// Scope span with an explicit cross-thread parent handle (SpanId).
+#define TERMILOG_TRACE_UNDER(name, category, parent)   \
+  ::termilog::obs::ScopedSpan TERMILOG_OBS_CONCAT(    \
+      termilog_obs_span_, __LINE__)(name, category, parent)
+
+/// Named scope span, for call sites that attach args to it. `var` is a
+/// ScopedSpan when compiled in, a NullSpan otherwise.
+#define TERMILOG_TRACE_SPAN(var, name, category, parent) \
+  ::termilog::obs::ScopedSpan var(name, category, parent)
+
+#define TERMILOG_COUNTER(name, delta) \
+  ::termilog::obs::Metrics::Global().Add(name, delta)
+
+#define TERMILOG_HISTOGRAM(name, value) \
+  ::termilog::obs::Metrics::Global().Record(name, value)
+
+#else  // !TERMILOG_OBS_ENABLED
+
+#define TERMILOG_TRACE(name, category) \
+  do {                                 \
+  } while (0)
+#define TERMILOG_TRACE_UNDER(name, category, parent) \
+  do {                                               \
+  } while (0)
+#define TERMILOG_TRACE_SPAN(var, name, category, parent) \
+  [[maybe_unused]] ::termilog::obs::NullSpan var
+#define TERMILOG_COUNTER(name, delta) \
+  do {                                \
+  } while (0)
+#define TERMILOG_HISTOGRAM(name, value) \
+  do {                                  \
+  } while (0)
+
+#endif  // TERMILOG_OBS_ENABLED
+
+#endif  // TERMILOG_OBS_OBS_H_

@@ -1,0 +1,171 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace termilog {
+namespace obs {
+namespace {
+
+thread_local SpanId g_current_span = 0;
+thread_local std::uint32_t g_thread_index = 0;
+thread_local bool g_thread_index_assigned = false;
+
+std::int64_t MicrosBetween(std::chrono::steady_clock::time_point from,
+                           std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+void AppendEventJson(const SpanEvent& event, std::string* out) {
+  *out += StrCat("{\"name\":\"", JsonEscape(event.name), "\",\"cat\":\"",
+                 JsonEscape(event.category),
+                 "\",\"ph\":\"X\",\"ts\":", event.start_us,
+                 ",\"dur\":", event.duration_us, ",\"pid\":1,\"tid\":",
+                 event.thread, ",\"args\":{\"id\":\"", event.id,
+                 "\",\"parent\":\"", event.parent, "\"");
+  for (const auto& [key, value] : event.args) {
+    *out += StrCat(",\"", JsonEscape(key), "\":\"", JsonEscape(value), "\"");
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  Reset();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = std::chrono::steady_clock::now();
+  open_.clear();
+  finished_.clear();
+  ++epoch_counter_;
+  // Span ids keep growing across epochs; only the epoch bump is needed to
+  // invalidate stale handles (ids of the old epoch are absent from open_).
+}
+
+std::uint32_t Tracer::ThreadIndexLocked() {
+  if (!g_thread_index_assigned) {
+    g_thread_index = next_thread_index_++;
+    g_thread_index_assigned = true;
+  }
+  return g_thread_index;
+}
+
+SpanId Tracer::Begin(const char* name, const char* category, SpanId parent) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanId id = next_id_++;
+  OpenSpan open;
+  open.started = std::chrono::steady_clock::now();
+  open.event.id = id;
+  open.event.parent = parent != 0 ? parent : g_current_span;
+  open.event.name = name;
+  open.event.category = category;
+  open.event.start_us = MicrosBetween(epoch_, open.started);
+  open.event.thread = ThreadIndexLocked();
+  open_.emplace(id, std::move(open));
+  return id;
+}
+
+void Tracer::AddArg(SpanId id, const char* key, std::string value) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.event.args.emplace_back(key, std::move(value));
+}
+
+void Tracer::End(SpanId id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;  // stale or double End: ignore
+  SpanEvent event = std::move(it->second.event);
+  event.duration_us =
+      MicrosBetween(it->second.started, std::chrono::steady_clock::now());
+  open_.erase(it);
+  finished_.push_back(std::move(event));
+}
+
+SpanId Tracer::Current() { return g_current_span; }
+
+void Tracer::SetCurrent(SpanId id) { g_current_span = id; }
+
+std::vector<SpanEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<SpanEvent> events = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendEventJson(events[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::ToJsonl() const {
+  std::vector<SpanEvent> events = Snapshot();
+  std::string out;
+  for (const SpanEvent& event : events) {
+    AppendEventJson(event, &out);
+    out += '\n';
+  }
+  return out;
+}
+
+std::map<std::string, Tracer::PhaseAggregate> Tracer::AggregateByName()
+    const {
+  std::vector<SpanEvent> events = Snapshot();
+  std::map<SpanId, std::int64_t> child_time;
+  for (const SpanEvent& event : events) {
+    if (event.parent != 0) child_time[event.parent] += event.duration_us;
+  }
+  std::map<std::string, PhaseAggregate> out;
+  for (const SpanEvent& event : events) {
+    PhaseAggregate& agg = out[event.name];
+    ++agg.count;
+    agg.total_us += event.duration_us;
+    auto it = child_time.find(event.id);
+    std::int64_t children = it == child_time.end() ? 0 : it->second;
+    agg.self_us += std::max<std::int64_t>(0, event.duration_us - children);
+  }
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category, SpanId parent) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  id_ = tracer.Begin(name, category, parent);
+  saved_current_ = g_current_span;
+  g_current_span = id_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (id_ == 0) return;
+  g_current_span = saved_current_;
+  Tracer::Global().End(id_);
+}
+
+void ScopedSpan::AddArg(const char* key, std::string value) {
+  if (id_ == 0) return;
+  Tracer::Global().AddArg(id_, key, std::move(value));
+}
+
+}  // namespace obs
+}  // namespace termilog

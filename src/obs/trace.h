@@ -1,0 +1,186 @@
+#ifndef TERMILOG_OBS_TRACE_H_
+#define TERMILOG_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace termilog {
+namespace obs {
+
+/// Identity of one span in a trace. 0 means "no span": it is the parent of
+/// top-level spans and the id of an inactive ScopedSpan.
+using SpanId = std::uint64_t;
+
+/// One finished span. `start_us` is microseconds since the trace epoch
+/// (the last Enable/Reset); `thread` is a dense tracer-assigned index, not
+/// an OS thread id, so traces are comparable across runs.
+struct SpanEvent {
+  SpanId id = 0;
+  SpanId parent = 0;
+  std::string name;
+  std::string category;
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+  std::uint32_t thread = 0;
+  /// Free-form key/value annotations (request names, SCC predicates, ...).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Process-wide span tracer. Disabled by default: every instrumentation
+/// site checks one relaxed atomic and does nothing else, so leaving the
+/// tracer off costs a load per span site (and the TERMILOG_TRACE macros
+/// compile to nothing entirely when the TERMILOG_OBS CMake option is OFF).
+///
+/// Parenting is thread-local by default — a span opened while another span
+/// is open on the same thread becomes its child — and explicit across
+/// threads: code that schedules work onto a pool (the batch engine) passes
+/// the parent SpanId along with the task, so worker-side spans attach to
+/// the request that spawned them instead of to whatever ran last on that
+/// worker. Begin/End may therefore be called from different threads; the
+/// recorded thread index is the Begin thread's.
+///
+/// Tracing is a side channel: nothing here feeds back into analysis
+/// results, so enabling it never perturbs report bytes.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts recording (and resets any previous trace; the epoch is now).
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded spans and restarts the epoch. Test hook.
+  void Reset();
+
+  /// Opens a span. `parent` 0 means "the calling thread's current span".
+  /// Returns 0 (a no-op handle) while disabled.
+  SpanId Begin(const char* name, const char* category, SpanId parent = 0);
+
+  /// Attaches an annotation to an open span. No-op for id 0 or finished
+  /// spans.
+  void AddArg(SpanId id, const char* key, std::string value);
+
+  /// Closes a span; safe from any thread and idempotent (a second End of
+  /// the same id is ignored, as is an id from before the last Reset).
+  void End(SpanId id);
+
+  /// The calling thread's innermost open ScopedSpan (0 if none). This is
+  /// what implicit parenting binds to.
+  static SpanId Current();
+
+  /// Overrides the calling thread's current span (see ScopedParent, which
+  /// is the safe way to use this).
+  static void SetCurrent(SpanId id);
+
+  /// Finished spans in End order. Open spans are not included.
+  std::vector<SpanEvent> Snapshot() const;
+
+  /// Chrome trace_event JSON (one object with a "traceEvents" array of
+  /// "ph":"X" complete events) — loads in chrome://tracing and Perfetto.
+  /// Span ids/parents ride in each event's "args".
+  std::string ToChromeJson() const;
+
+  /// One JSON object per line, one line per span (machine-diffable form).
+  std::string ToJsonl() const;
+
+  /// Wall-time aggregation over finished spans, keyed by span name.
+  /// `self_us` is the span's duration minus its direct children's — with
+  /// children that ran concurrently on other threads clamped so self time
+  /// never goes negative.
+  struct PhaseAggregate {
+    std::int64_t count = 0;
+    std::int64_t total_us = 0;
+    std::int64_t self_us = 0;
+  };
+  std::map<std::string, PhaseAggregate> AggregateByName() const;
+
+ private:
+  Tracer() = default;
+
+  struct OpenSpan {
+    SpanEvent event;
+    std::chrono::steady_clock::time_point started;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t next_id_ = 1;
+  std::uint32_t next_thread_index_ = 0;
+  std::map<SpanId, OpenSpan> open_;
+  std::vector<SpanEvent> finished_;
+  /// Monotonically bumped by Reset so stale SpanIds from a previous trace
+  /// can never close a span of the current one.
+  std::uint64_t epoch_counter_ = 0;
+
+  std::uint32_t ThreadIndexLocked();
+};
+
+/// RAII span bound to the enclosing scope. Inactive (and free beyond one
+/// atomic load) while the tracer is disabled. Prefer the TERMILOG_TRACE
+/// macros, which additionally compile out when TERMILOG_OBS is OFF.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category)
+      : ScopedSpan(name, category, /*parent=*/0) {}
+  /// Explicit cross-thread parent; 0 falls back to the thread-local
+  /// current span.
+  ScopedSpan(const char* name, const char* category, SpanId parent);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// 0 while the tracer is disabled.
+  SpanId id() const { return id_; }
+  bool active() const { return id_ != 0; }
+
+  void AddArg(const char* key, std::string value);
+
+ private:
+  SpanId id_ = 0;
+  SpanId saved_current_ = 0;
+};
+
+/// Makes `parent` the calling thread's current span for the enclosing
+/// scope without opening a span of its own. Pool workers wrap each task in
+/// one of these so library code's implicitly-parented spans attach to the
+/// request that scheduled the task, not to whatever ran last on the
+/// worker.
+class ScopedParent {
+ public:
+  explicit ScopedParent(SpanId parent) {
+#ifdef TERMILOG_OBS_ENABLED
+    saved_ = Tracer::Current();
+    Tracer::SetCurrent(parent);
+#else
+    (void)parent;
+#endif
+  }
+  ~ScopedParent() {
+#ifdef TERMILOG_OBS_ENABLED
+    Tracer::SetCurrent(saved_);
+#endif
+  }
+
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+
+ private:
+  SpanId saved_ = 0;
+};
+
+}  // namespace obs
+}  // namespace termilog
+
+#endif  // TERMILOG_OBS_TRACE_H_

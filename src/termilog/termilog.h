@@ -36,6 +36,7 @@
 #include "interp/bottom_up.h"
 #include "interp/sld.h"
 #include "lp/simplex.h"
+#include "obs/obs.h"
 #include "program/ast.h"
 #include "program/modes.h"
 #include "program/parser.h"

@@ -3,6 +3,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/obs.h"
 #include "transform/equality.h"
 #include "transform/splitting.h"
 #include "transform/unfolding.h"
@@ -14,6 +15,7 @@ Result<Program> RunTransformPipeline(
     const Program& program, const std::vector<PredId>& protected_preds,
     const TransformOptions& options, std::vector<std::string>* log) {
   TERMILOG_FAILPOINT("transform.pipeline");
+  TERMILOG_TRACE("transform.pipeline", "transform");
   std::set<PredId> protect(protected_preds.begin(), protected_preds.end());
   Program current = EliminatePositiveEquality(program);
   auto append_log = [log](const std::vector<std::string>& lines) {
@@ -22,6 +24,8 @@ Result<Program> RunTransformPipeline(
   };
   for (int phase = 0; phase < options.phases; ++phase) {
     TERMILOG_FAILPOINT("transform.phase");
+    TERMILOG_TRACE("transform.phase", "transform");
+    TERMILOG_COUNTER("transform.phases", 1);
     if (options.governor != nullptr) {
       Status charged = options.governor->Charge("transform.phase");
       if (!charged.ok()) return charged;

@@ -1,5 +1,6 @@
 #include "util/governor.h"
 
+#include "obs/obs.h"
 #include "rational/bigint.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -51,6 +52,10 @@ Status ResourceGovernor::Trip(const char* site, const char* budget,
                               const std::string& detail) const {
   if (!tripped_) {
     tripped_ = true;
+    // The StrCat argument is evaluated inside the macro, so it compiles
+    // away with TERMILOG_OBS — trips are rare, so the allocation is fine.
+    TERMILOG_COUNTER("governor.trips", 1);
+    TERMILOG_COUNTER(StrCat("governor.trips.", budget).c_str(), 1);
     trip_ = Status::ResourceExhausted(
         StrCat("governor: ", budget, " budget exhausted at ", site, " (",
                detail, "; spent ", Spend().ToString(), ")"));

@@ -17,6 +17,9 @@ std::vector<std::string> Split(std::string_view text, char sep);
 /// Removes leading and trailing ASCII whitespace.
 std::string_view StripWhitespace(std::string_view text);
 
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
 /// Streams all arguments into one string (replacement for std::format,
 /// which libstdc++ 12 does not ship).
 template <typename... Args>

@@ -1,0 +1,403 @@
+// Tests for the observability subsystem (src/obs/): span tracer nesting
+// and cross-thread parenting, the metrics registry's per-thread shard
+// merge, export formats, and the two load-bearing guarantees — batch
+// output stays byte-identical with tracing enabled, and metrics totals
+// reconcile with the engine's own accounting.
+
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "corpus/corpus.h"
+#include "engine/engine.h"
+#include "engine/report_json.h"
+#include "program/parser.h"
+#include "util/governor.h"
+
+namespace termilog {
+namespace obs {
+namespace {
+
+// Every test runs against the global Tracer/Metrics singletons, so each
+// starts and ends from a clean disabled state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Reset();
+    Metrics::Global().Disable();
+    Metrics::Global().Reset();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Reset();
+    Metrics::Global().Disable();
+    Metrics::Global().Reset();
+  }
+};
+
+std::vector<SpanEvent> FindByName(const std::vector<SpanEvent>& events,
+                                  const std::string& name) {
+  std::vector<SpanEvent> out;
+  for (const SpanEvent& event : events) {
+    if (event.name == name) out.push_back(event);
+  }
+  return out;
+}
+
+TEST_F(ObsTest, DisabledTracerRecordsNothing) {
+  {
+    ScopedSpan outer("outer", "test");
+    EXPECT_FALSE(outer.active());
+    EXPECT_EQ(outer.id(), 0u);
+  }
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(ObsTest, ImplicitNestingParentsToEnclosingSpan) {
+  Tracer::Global().Enable();
+  {
+    ScopedSpan outer("outer", "test");
+    ASSERT_TRUE(outer.active());
+    EXPECT_EQ(Tracer::Current(), outer.id());
+    {
+      ScopedSpan inner("inner", "test");
+      EXPECT_EQ(Tracer::Current(), inner.id());
+    }
+    EXPECT_EQ(Tracer::Current(), outer.id());
+  }
+  EXPECT_EQ(Tracer::Current(), 0u);
+
+  std::vector<SpanEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // End order: inner first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].parent, events[1].id);
+  EXPECT_EQ(events[1].parent, 0u);
+  EXPECT_GE(events[1].duration_us, events[0].duration_us);
+}
+
+TEST_F(ObsTest, ExplicitParentCrossesThreads) {
+  // ScopedParent's body is compiled out with TERMILOG_OBS=OFF.
+  if (!kCompiledIn) GTEST_SKIP() << "build has TERMILOG_OBS=OFF";
+  Tracer::Global().Enable();
+  SpanId request = Tracer::Global().Begin("request", "test");
+  std::thread worker([request] {
+    // The pool-worker pattern: adopt the request as ambient parent, then
+    // open implicitly-parented spans as library code would.
+    ScopedParent ambient(request);
+    ScopedSpan task("task", "test");
+    EXPECT_TRUE(task.active());
+    ScopedSpan leaf("leaf", "test");
+    (void)leaf;
+  });
+  worker.join();
+  Tracer::Global().End(request);
+
+  std::vector<SpanEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  std::vector<SpanEvent> tasks = FindByName(events, "task");
+  std::vector<SpanEvent> leaves = FindByName(events, "leaf");
+  std::vector<SpanEvent> requests = FindByName(events, "request");
+  ASSERT_EQ(tasks.size(), 1u);
+  ASSERT_EQ(leaves.size(), 1u);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(tasks[0].parent, requests[0].id);
+  EXPECT_EQ(leaves[0].parent, tasks[0].id);
+  // Distinct tracer-assigned thread indexes.
+  EXPECT_NE(tasks[0].thread, requests[0].thread);
+}
+
+TEST_F(ObsTest, EndIsIdempotentAndStaleIdsAreIgnored) {
+  Tracer::Global().Enable();
+  SpanId id = Tracer::Global().Begin("span", "test");
+  Tracer::Global().End(id);
+  Tracer::Global().End(id);  // double End: ignored
+  EXPECT_EQ(Tracer::Global().Snapshot().size(), 1u);
+
+  Tracer::Global().Reset();
+  Tracer::Global().End(id);  // stale id from before the Reset: ignored
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(ObsTest, ChromeJsonAndJsonlExportShapes) {
+  Tracer::Global().Enable();
+  {
+    ScopedSpan span("phase \"a\"", "test");
+    span.AddArg("key", "value\n");
+  }
+  std::string chrome = Tracer::Global().ToChromeJson();
+  EXPECT_NE(chrome.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("phase \\\"a\\\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"key\":\"value\\n\""), std::string::npos);
+
+  std::string jsonl = Tracer::Global().ToJsonl();
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+  EXPECT_EQ(jsonl.find('\n'), jsonl.size() - 1);  // one span, one line
+}
+
+TEST_F(ObsTest, AggregateByNameComputesSelfTime) {
+  Tracer::Global().Enable();
+  {
+    ScopedSpan outer("outer", "test");
+    ScopedSpan inner("inner", "test");
+    (void)inner;
+  }
+  auto aggregate = Tracer::Global().AggregateByName();
+  ASSERT_EQ(aggregate.count("outer"), 1u);
+  ASSERT_EQ(aggregate.count("inner"), 1u);
+  EXPECT_EQ(aggregate["outer"].count, 1);
+  // Self time excludes the child and never goes negative.
+  EXPECT_LE(aggregate["outer"].self_us, aggregate["outer"].total_us);
+  EXPECT_GE(aggregate["outer"].self_us, 0);
+  EXPECT_EQ(aggregate["inner"].self_us, aggregate["inner"].total_us);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundsArePowersOfTwo) {
+  EXPECT_EQ(HistogramBucketBound(0), 0);
+  EXPECT_EQ(HistogramBucketBound(1), 1);
+  EXPECT_EQ(HistogramBucketBound(2), 3);
+  EXPECT_EQ(HistogramBucketBound(3), 7);
+  EXPECT_EQ(HistogramBucketBound(10), 1023);
+}
+
+TEST_F(ObsTest, MetricsDisabledRecordNothing) {
+  Metrics::Global().Add("counter", 5);
+  Metrics::Global().Record("histogram", 5);
+  MetricsSnapshot snapshot = Metrics::Global().Collect();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST_F(ObsTest, CountersAndHistogramsRecord) {
+  Metrics::Global().Enable();
+  Metrics::Global().Add("solves", 1);
+  Metrics::Global().Add("solves", 2);
+  Metrics::Global().Record("pivots", 5);
+  Metrics::Global().Record("pivots", 9);
+  MetricsSnapshot snapshot = Metrics::Global().Collect();
+  EXPECT_EQ(snapshot.counters.at("solves"), 3);
+  const HistogramSnapshot& pivots = snapshot.histograms.at("pivots");
+  EXPECT_EQ(pivots.count, 2);
+  EXPECT_EQ(pivots.sum, 14);
+  EXPECT_EQ(pivots.max, 9);
+  // 5 has bit width 3 (bucket le=7), 9 has bit width 4 (le=15).
+  EXPECT_EQ(pivots.buckets[3], 1);
+  EXPECT_EQ(pivots.buckets[4], 1);
+}
+
+TEST_F(ObsTest, ShardsMergeDeterministicallyAcrossThreads) {
+  Metrics::Global().Enable();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIncrements; ++i) {
+        Metrics::Global().Add("shared", 1);
+        Metrics::Global().Record("values", i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Threads have exited; their shards were retired and merged. The
+  // aggregate is exact regardless of interleaving.
+  MetricsSnapshot snapshot = Metrics::Global().Collect();
+  EXPECT_EQ(snapshot.counters.at("shared"), kThreads * kIncrements);
+  EXPECT_EQ(snapshot.histograms.at("values").count, kThreads * kIncrements);
+}
+
+TEST_F(ObsTest, MetricsJsonIsSorted) {
+  Metrics::Global().Enable();
+  Metrics::Global().Add("zeta", 1);
+  Metrics::Global().Add("alpha", 1);
+  std::string json = Metrics::Global().ToJson();
+  EXPECT_LT(json.find("alpha"), json.find("zeta"));
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+}
+
+TEST_F(ObsTest, ObsExportWritesTraceAndMetricsFiles) {
+  if (!kCompiledIn) GTEST_SKIP() << "build has TERMILOG_OBS=OFF";
+  std::string trace_path = ::testing::TempDir() + "/obs_test_trace.jsonl";
+  std::string metrics_path = ::testing::TempDir() + "/obs_test_metrics.json";
+  {
+    ObsExport exporter(trace_path, metrics_path);
+    EXPECT_TRUE(exporter.tracing());
+    EXPECT_TRUE(exporter.metrics());
+    TERMILOG_TRACE("exported.span", "test");
+    TERMILOG_COUNTER("exported.counter", 7);
+  }
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  EXPECT_NE(trace_text.str().find("exported.span"), std::string::npos);
+
+  std::ifstream metrics_in(metrics_path);
+  ASSERT_TRUE(metrics_in.good());
+  std::stringstream metrics_text;
+  metrics_text << metrics_in.rdbuf();
+  EXPECT_NE(metrics_text.str().find("\"exported.counter\":7"),
+            std::string::npos);
+}
+
+// --- Engine integration -------------------------------------------------
+
+std::vector<BatchRequest> SmallCorpusBatch() {
+  std::vector<BatchRequest> requests;
+  for (const char* name : {"perm", "merge", "perm"}) {
+    const CorpusEntry* entry = FindCorpusEntry(name);
+    EXPECT_NE(entry, nullptr) << name;
+    Result<Program> program = ParseProgram(entry->source);
+    EXPECT_TRUE(program.ok());
+    Result<std::pair<PredId, Adornment>> query =
+        ParseQuerySpec(*program, entry->query);
+    EXPECT_TRUE(query.ok());
+    BatchRequest request;
+    request.name = name;
+    request.program = std::move(*program);
+    request.query = query->first;
+    request.adornment = query->second;
+    request.options.apply_transformations = entry->needs_transformations;
+    request.options.allow_negative_deltas = entry->needs_negative_deltas;
+    request.options.supplied_constraints = entry->supplied_constraints;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::vector<std::string> Lines(const std::vector<BatchItemResult>& results) {
+  std::vector<std::string> lines;
+  for (const BatchItemResult& item : results) {
+    lines.push_back(
+        ReportToJsonLine(item.name, item.name, item.status, item.report));
+  }
+  return lines;
+}
+
+TEST_F(ObsTest, BatchOutputByteIdenticalWithTracingEnabled) {
+  std::vector<BatchRequest> requests = SmallCorpusBatch();
+
+  // Baseline with observability fully off.
+  BatchEngine off_engine(EngineOptions{/*jobs=*/1, /*use_cache=*/true});
+  std::vector<std::string> off_lines = Lines(off_engine.Run(requests));
+
+  // Tracing and metrics on, serial and parallel.
+  Tracer::Global().Enable();
+  Metrics::Global().Enable();
+  BatchEngine serial(EngineOptions{/*jobs=*/1, /*use_cache=*/true});
+  std::vector<std::string> serial_lines = Lines(serial.Run(requests));
+  BatchEngine parallel(EngineOptions{/*jobs=*/4, /*use_cache=*/true});
+  std::vector<std::string> parallel_lines = Lines(parallel.Run(requests));
+
+  ASSERT_EQ(off_lines.size(), serial_lines.size());
+  ASSERT_EQ(off_lines.size(), parallel_lines.size());
+  for (size_t i = 0; i < off_lines.size(); ++i) {
+    EXPECT_EQ(off_lines[i], serial_lines[i]) << "request " << i;
+    EXPECT_EQ(off_lines[i], parallel_lines[i]) << "request " << i;
+  }
+}
+
+TEST_F(ObsTest, EngineSpanTreeNestsRequestPrepAndSccTasks) {
+  if (!kCompiledIn) GTEST_SKIP() << "build has TERMILOG_OBS=OFF";
+  std::vector<BatchRequest> requests = SmallCorpusBatch();
+  Tracer::Global().Enable();
+  BatchEngine engine(EngineOptions{/*jobs=*/4, /*use_cache=*/true});
+  engine.Run(requests);
+  Tracer::Global().Disable();
+
+  std::vector<SpanEvent> events = Tracer::Global().Snapshot();
+  std::vector<SpanEvent> batches = FindByName(events, "batch.run");
+  std::vector<SpanEvent> reqs = FindByName(events, "request");
+  std::vector<SpanEvent> preps = FindByName(events, "prep");
+  std::vector<SpanEvent> tasks = FindByName(events, "scc.task");
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(reqs.size(), requests.size());
+  ASSERT_EQ(preps.size(), requests.size());
+  EXPECT_GE(tasks.size(), reqs.size());  // at least one recursive SCC each
+
+  std::set<SpanId> request_ids;
+  for (const SpanEvent& request : reqs) {
+    EXPECT_EQ(request.parent, batches[0].id);
+    request_ids.insert(request.id);
+  }
+  for (const SpanEvent& prep : preps) {
+    EXPECT_TRUE(request_ids.count(prep.parent)) << "prep outside a request";
+  }
+  for (const SpanEvent& task : tasks) {
+    EXPECT_TRUE(request_ids.count(task.parent))
+        << "scc.task outside a request";
+  }
+}
+
+TEST_F(ObsTest, MetricsReconcileWithEngineStatsAndGovernorSpend) {
+  if (!kCompiledIn) GTEST_SKIP() << "build has TERMILOG_OBS=OFF";
+  std::vector<BatchRequest> requests = SmallCorpusBatch();
+  Metrics::Global().Enable();
+  BatchEngine engine(EngineOptions{/*jobs=*/2, /*use_cache=*/true});
+  std::vector<BatchItemResult> results = engine.Run(requests);
+  MetricsSnapshot snapshot = Metrics::Global().Collect();
+
+  // Every per-task governor's spend flows through AccumulateSpend, which
+  // mirrors it into governor.work — so the metric equals the engine's sum.
+  EXPECT_EQ(snapshot.counters.at("governor.work"),
+            engine.stats().total_work);
+  EXPECT_EQ(snapshot.counters.at("engine.scc_tasks"),
+            engine.stats().scc_tasks);
+  EXPECT_EQ(snapshot.counters.at("engine.requests"),
+            engine.stats().requests);
+  EXPECT_EQ(snapshot.counters.at("cache.misses"),
+            engine.stats().cache_misses);
+  EXPECT_EQ(snapshot.counters.at("cache.lookups"), engine.stats().scc_tasks);
+
+  // And the per-item accounting sums to the same totals.
+  int64_t item_tasks = 0;
+  for (const BatchItemResult& item : results) item_tasks += item.scc_tasks;
+  EXPECT_EQ(item_tasks, engine.stats().scc_tasks);
+}
+
+TEST_F(ObsTest, GovernorTripCountsPerBudget) {
+  if (!kCompiledIn) GTEST_SKIP() << "build has TERMILOG_OBS=OFF";
+  Metrics::Global().Enable();
+  GovernorLimits limits;
+  limits.work_budget = 10;
+  ResourceGovernor governor(limits);
+  Status status = Status::Ok();
+  for (int i = 0; i < 100 && status.ok(); ++i) {
+    status = governor.Charge("obs_test.site");
+  }
+  EXPECT_FALSE(status.ok());
+  MetricsSnapshot snapshot = Metrics::Global().Collect();
+  EXPECT_EQ(snapshot.counters.at("governor.trips"), 1);
+  EXPECT_EQ(snapshot.counters.at("governor.trips.work"), 1);
+}
+
+TEST_F(ObsTest, EngineStatsTotalWallAccumulatesAcrossRuns) {
+  std::vector<BatchRequest> requests = SmallCorpusBatch();
+  BatchEngine engine(EngineOptions{/*jobs=*/1, /*use_cache=*/true});
+  engine.Run(requests);
+  int64_t first_total = engine.stats().total_wall_ms;
+  EXPECT_EQ(first_total, engine.stats().wall_ms);
+  engine.Run(requests);
+  // wall_ms is per-Run; total_wall_ms keeps growing.
+  EXPECT_EQ(engine.stats().total_wall_ms,
+            first_total + engine.stats().wall_ms);
+  EXPECT_NE(engine.stats().ToString().find("total_wall_ms="),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace termilog

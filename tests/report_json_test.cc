@@ -1,0 +1,432 @@
+// Tests for the batch/CLI JSON serializer (src/engine/report_json.*):
+// string escaping through JsonEscape, and a full serialize -> parse round
+// trip of a resource-limited report — the richest shape the serializer
+// emits (degraded SCC verdicts, spend notes, engine accounting) — through
+// a minimal JSON parser defined here, so the emitted bytes are checked
+// against the JSON grammar rather than against themselves.
+
+#include "engine/report_json.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "corpus/corpus.h"
+#include "program/parser.h"
+
+namespace termilog {
+namespace {
+
+// --- Minimal JSON parser (test-local) -----------------------------------
+//
+// Supports exactly what ReportToJsonLine emits: objects, arrays, strings
+// with \" \\ \/ \b \f \n \r \t \uXXXX escapes, integer/decimal numbers,
+// true/false/null. Keys keep insertion order irrelevant (std::map).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool Has(const std::string& key) const { return fields.count(key) > 0; }
+  const JsonValue& At(const std::string& key) const {
+    static const JsonValue kNullValue;
+    auto it = fields.find(key);
+    return it == fields.end() ? kNullValue : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& input) : input_(input) {}
+
+  // Returns nullptr (and sets error()) on malformed input or trailing
+  // garbage.
+  std::unique_ptr<JsonValue> Parse() {
+    auto value = std::make_unique<JsonValue>();
+    if (!ParseValue(value.get())) return nullptr;
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      error_ = "trailing characters at offset " + std::to_string(pos_);
+      return nullptr;
+    }
+    return value;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           (input_[pos_] == ' ' || input_[pos_] == '\t' ||
+            input_[pos_] == '\n' || input_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    SkipSpace();
+    if (pos_ >= input_.size() || input_[pos_] != expected) {
+      return Fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Fail("unexpected end of input");
+    char c = input_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->text);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    return Fail("unexpected character");
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      if (!out->fields.emplace(std::move(key), std::move(value)).second) {
+        return Fail("duplicate object key");
+      }
+      SkipSpace();
+      if (pos_ >= input_.size()) return Fail("unterminated object");
+      if (input_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (input_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->items.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= input_.size()) return Fail("unterminated array");
+      if (input_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (input_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= input_.size() || input_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= input_.size()) return Fail("dangling escape");
+      char escape = input_[pos_++];
+      switch (escape) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > input_.size()) return Fail("truncated \\u escape");
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = input_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += h - '0';
+            else if (h >= 'a' && h <= 'f') code += h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code += h - 'A' + 10;
+            else return Fail("bad \\u escape digit");
+          }
+          // The serializer only \u-escapes control characters (< 0x20),
+          // which encode as a single byte.
+          if (code > 0x7f) return Fail("unexpected non-ASCII \\u escape");
+          *out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < input_.size() && input_[pos_] == '-') ++pos_;
+    while (pos_ < input_.size() &&
+           ((input_[pos_] >= '0' && input_[pos_] <= '9') ||
+            input_[pos_] == '.' || input_[pos_] == 'e' ||
+            input_[pos_] == 'E' || input_[pos_] == '+' ||
+            input_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::stod(input_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool ParseKeyword(JsonValue* out) {
+    auto match = [&](const char* word) {
+      size_t n = std::string(word).size();
+      if (input_.compare(pos_, n, word) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (match("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return Fail("expected keyword");
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+std::unique_ptr<JsonValue> MustParseJson(const std::string& text) {
+  JsonParser parser(text);
+  std::unique_ptr<JsonValue> value = parser.Parse();
+  EXPECT_NE(value, nullptr) << parser.error() << "\ninput: " << text;
+  return value;
+}
+
+// --- Escaping -----------------------------------------------------------
+
+TEST(ReportJsonTest, EscapesSpecialCharactersInStrings) {
+  TerminationReport report;
+  std::string name = "we\"ird\\name\twith\nnewline and \x01 control";
+  std::string line = ReportToJsonLine(name, "q(b)", Status::Ok(), report);
+
+  // Raw bytes: the dangerous characters never appear unescaped.
+  EXPECT_EQ(line.find('\t'), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\\\""), std::string::npos);
+  EXPECT_NE(line.find("\\\\"), std::string::npos);
+  EXPECT_NE(line.find("\\t"), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+  EXPECT_NE(line.find("\\u0001"), std::string::npos);
+
+  // And the parsed value restores the original string exactly.
+  std::unique_ptr<JsonValue> parsed = MustParseJson(line);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->At("name").text, name);
+  EXPECT_EQ(parsed->At("query").text, "q(b)");
+}
+
+TEST(ReportJsonTest, ErrorStatusProducesErrorObject) {
+  TerminationReport report;
+  Status status = Status::InvalidArgument("bad \"query\" spec");
+  std::string line = ReportToJsonLine("prog", "q(b)", status, report);
+  std::unique_ptr<JsonValue> parsed = MustParseJson(line);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_FALSE(parsed->At("ok").boolean);
+  EXPECT_NE(parsed->At("error").text.find("bad \"query\" spec"),
+            std::string::npos);
+  EXPECT_FALSE(parsed->Has("sccs"));
+}
+
+// --- Resource-limited round trip ----------------------------------------
+
+TEST(ReportJsonTest, ResourceLimitedReportRoundTrips) {
+  const CorpusEntry* entry = FindCorpusEntry("perm");
+  ASSERT_NE(entry, nullptr);
+  Result<Program> program = ParseProgram(entry->source);
+  ASSERT_TRUE(program.ok());
+
+  // A tiny work budget guarantees the analysis degrades: the report stays
+  // valid but carries RESOURCE_LIMIT verdicts and spend notes.
+  AnalysisOptions options;
+  options.limits.work_budget = 3;
+  TerminationAnalyzer analyzer(options);
+  Result<TerminationReport> report = analyzer.Analyze(*program, entry->query);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->resource_limited);
+  ASSERT_FALSE(report->first_resource_trip.empty());
+
+  ReportJsonOptions json_options;
+  json_options.include_spend = true;
+  json_options.scc_tasks = 2;
+  json_options.cache_hits = 1;
+  std::string line = ReportToJsonLine(entry->name, entry->query,
+                                      Status::Ok(), *report, json_options);
+  std::unique_ptr<JsonValue> parsed = MustParseJson(line);
+  ASSERT_NE(parsed, nullptr);
+
+  // Top-level flags.
+  EXPECT_TRUE(parsed->At("ok").boolean);
+  EXPECT_EQ(parsed->At("proved").boolean, report->proved);
+  EXPECT_TRUE(parsed->At("resource_limited").boolean);
+  EXPECT_EQ(parsed->At("first_resource_trip").text,
+            report->first_resource_trip);
+
+  // Every SCC row survives with its status name; at least one is
+  // RESOURCE_LIMIT and its notes carry the governor's spend line.
+  const JsonValue& sccs = parsed->At("sccs");
+  ASSERT_EQ(sccs.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(sccs.items.size(), report->sccs.size());
+  bool saw_resource_limit = false;
+  for (size_t i = 0; i < sccs.items.size(); ++i) {
+    const JsonValue& scc = sccs.items[i];
+    EXPECT_EQ(scc.At("status").text, SccStatusName(report->sccs[i].status));
+    ASSERT_EQ(scc.At("notes").items.size(), report->sccs[i].notes.size());
+    for (size_t n = 0; n < report->sccs[i].notes.size(); ++n) {
+      EXPECT_EQ(scc.At("notes").items[n].text, report->sccs[i].notes[n]);
+    }
+    if (report->sccs[i].status == SccStatus::kResourceLimit) {
+      saw_resource_limit = true;
+      bool spend_note = false;
+      for (const JsonValue& note : scc.At("notes").items) {
+        if (note.text.find("work=") != std::string::npos) spend_note = true;
+      }
+      EXPECT_TRUE(spend_note) << "RESOURCE_LIMIT SCC without a spend note";
+    }
+  }
+  EXPECT_TRUE(saw_resource_limit);
+
+  // Spend block mirrors the report's governor snapshot.
+  const JsonValue& spend = parsed->At("spend");
+  ASSERT_TRUE(spend.IsObject());
+  EXPECT_EQ(static_cast<int64_t>(spend.At("work").number),
+            report->spend.work);
+  EXPECT_EQ(static_cast<int64_t>(spend.At("bigint_limbs").number),
+            report->spend.bigint_limb_high_water);
+
+  // Engine accounting block (satellite of termilog_cli --json).
+  const JsonValue& engine = parsed->At("engine");
+  ASSERT_TRUE(engine.IsObject());
+  EXPECT_EQ(static_cast<int64_t>(engine.At("scc_tasks").number), 2);
+  EXPECT_EQ(static_cast<int64_t>(engine.At("cache_hits").number), 1);
+}
+
+TEST(ReportJsonTest, EngineAccountingOmittedByDefault) {
+  TerminationReport report;
+  std::string line = ReportToJsonLine("p", "q(b)", Status::Ok(), report);
+  std::unique_ptr<JsonValue> parsed = MustParseJson(line);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_FALSE(parsed->Has("engine"));
+  EXPECT_FALSE(parsed->Has("spend"));
+}
+
+TEST(ReportJsonTest, ProvedReportRoundTripsCertificate) {
+  const CorpusEntry* entry = FindCorpusEntry("perm");
+  ASSERT_NE(entry, nullptr);
+  Result<Program> program = ParseProgram(entry->source);
+  ASSERT_TRUE(program.ok());
+  TerminationAnalyzer analyzer;
+  Result<TerminationReport> report = analyzer.Analyze(*program, entry->query);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->proved);
+
+  std::string line = ReportToJsonLine(entry->name, entry->query,
+                                      Status::Ok(), *report);
+  std::unique_ptr<JsonValue> parsed = MustParseJson(line);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_TRUE(parsed->At("proved").boolean);
+  EXPECT_FALSE(parsed->At("resource_limited").boolean);
+  EXPECT_FALSE(parsed->Has("first_resource_trip"));
+
+  bool saw_certificate = false;
+  for (const JsonValue& scc : parsed->At("sccs").items) {
+    if (scc.At("status").text == std::string("PROVED")) {
+      ASSERT_TRUE(scc.At("certificate").IsObject());
+      EXPECT_TRUE(scc.At("certificate").At("level").IsObject());
+      EXPECT_TRUE(scc.At("certificate").At("delta").IsObject());
+      saw_certificate = true;
+    }
+  }
+  EXPECT_TRUE(saw_certificate);
+}
+
+TEST(ReportJsonTest, EngineStatsJsonParses) {
+  EngineStats stats;
+  stats.requests = 3;
+  stats.scc_tasks = 7;
+  stats.cache_hits = 2;
+  stats.wall_ms = 5;
+  stats.total_wall_ms = 11;
+  std::unique_ptr<JsonValue> parsed =
+      MustParseJson(EngineStatsToJson(stats, /*jobs=*/4));
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(parsed->At("jobs").number), 4);
+  EXPECT_EQ(static_cast<int64_t>(parsed->At("requests").number), 3);
+  EXPECT_EQ(static_cast<int64_t>(parsed->At("scc_tasks").number), 7);
+  EXPECT_EQ(static_cast<int64_t>(parsed->At("total_wall_ms").number), 11);
+}
+
+}  // namespace
+}  // namespace termilog
