@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo check driver (docs/robustness.md):
 #   1. tier-1 verify: configure + build + full ctest in build/
-#   2. ASan+UBSan pass of the engine and obs suites in build-asan/
-#   3. TSan pass of the engine and obs suites in build-tsan/
+#   2. UBSan pass of the unit and engine suites in build-ubsan/ (the
+#      arithmetic kernel lives in the unit suite; docs/arithmetic.md)
+#   3. ASan+UBSan pass of the engine and obs suites in build-asan/
+#   4. TSan pass of the engine and obs suites in build-tsan/
 # The sanitizer trees are configured with TERMILOG_OBS=ON explicitly so the
 # tracing/metrics subsystem is exercised under both sanitizers (the obs
 # suite spawns threads; the engine suite runs the worker pool).
@@ -28,7 +30,15 @@ if [[ "${1:-}" == "--tier1-only" ]]; then
   exit 0
 fi
 
-# --- 2+3. sanitizer passes over the concurrency-heavy suites -----------
+# --- 2. UBSan over the arithmetic-heavy suites -------------------------
+# UBSan findings are fatal in sanitizer trees (-fno-sanitize-recover), so
+# e.g. a signed overflow at the int64 boundary fails its unit test here.
+run cmake -B build-ubsan -S . -DTERMILOG_SANITIZE=undefined -DTERMILOG_OBS=ON
+run cmake --build build-ubsan -j "$JOBS" \
+    --target termilog_tests termilog_engine_tests
+run ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L 'unit|engine'
+
+# --- 3+4. sanitizer passes over the concurrency-heavy suites -----------
 # -L takes a regex: select every test labelled engine or obs.
 for flavor in address thread; do
   tree="build-asan"
@@ -39,4 +49,4 @@ for flavor in address thread; do
   run ctest --test-dir "$tree" --output-on-failure -j "$JOBS" -L 'engine|obs'
 done
 
-echo "check.sh: tier-1 + ASan + TSan passes OK" >&2
+echo "check.sh: tier-1 + UBSan + ASan + TSan passes OK" >&2

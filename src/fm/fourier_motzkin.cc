@@ -22,8 +22,25 @@ Constraint CombineGe(const Constraint& pos, const Constraint& neg, int var) {
   Constraint out;
   out.rel = Relation::kGe;
   out.coeffs.resize(pos.coeffs.size());
-  Rational mp = -q;  // > 0, multiplier for pos
-  const Rational& mq = p;  // > 0, multiplier for neg
+  // Multipliers (-q, p) cancel the eliminated column; dividing both by
+  // their gcd (legal: any common positive factor) keeps the combined row's
+  // coefficients as small as possible before Simplify renormalizes, which
+  // is what keeps deep eliminations inside the Rational int64 fast path.
+  // Rows are integer after Simplify, so the integer case is the hot one.
+  Rational mp, mq;
+  if (p.is_integer() && q.is_integer()) {
+    BigInt g = BigInt::Gcd(p.num(), q.num());
+    if (g.is_one()) {
+      mp = Rational(-q.num());
+      mq = Rational(p.num());
+    } else {
+      mp = Rational(-(q.num() / g));
+      mq = Rational(p.num() / g);
+    }
+  } else {
+    mp = -q;
+    mq = p;
+  }
   for (size_t i = 0; i < out.coeffs.size(); ++i) {
     out.coeffs[i] = pos.coeffs[i] * mp + neg.coeffs[i] * mq;
   }
@@ -207,17 +224,23 @@ Result<ConstraintSystem> FourierMotzkin::Project(
 void FourierMotzkin::LpPruneRedundant(ConstraintSystem* system,
                                       const ResourceGovernor* governor) {
   TERMILOG_TRACE("fm.lp_prune", "fm");
+  std::vector<Constraint>& rows = system->mutable_rows();
   std::vector<bool> all_free(system->num_vars(), true);
-  // Iterate from the end so erase indices stay valid.
-  for (size_t i = system->rows().size(); i-- > 0;) {
+  // Rows are tested from the end (matching the historical erase order, so
+  // the surviving set and its order are unchanged) but removal is deferred:
+  // pruned rows are only flagged here and dropped in one stable compaction
+  // pass below, instead of an O(rows) vector::erase per pruned row.
+  std::vector<bool> alive(rows.size(), true);
+  size_t pruned = 0;
+  for (size_t i = rows.size(); i-- > 0;) {
     // A system left unpruned is still correct, so an exhausted budget just
     // stops the optimization.
-    if (governor != nullptr && governor->exhausted()) return;
-    const Constraint row = system->rows()[i];
+    if (governor != nullptr && governor->exhausted()) break;
+    const Constraint& row = rows[i];
     if (row.rel == Relation::kEq) continue;
     ConstraintSystem rest(system->num_vars());
-    for (size_t j = 0; j < system->rows().size(); ++j) {
-      if (j != i) rest.Add(system->rows()[j]);
+    for (size_t j = 0; j < rows.size(); ++j) {
+      if (j != i && alive[j]) rest.Add(rows[j]);
     }
     // Redundant iff min(coeffs.x) over `rest` satisfies min + constant >= 0.
     LpResult lp = SimplexSolver::Minimize(rest, row.coeffs, all_free, governor);
@@ -229,9 +252,19 @@ void FourierMotzkin::LpPruneRedundant(ConstraintSystem* system,
     }
     if (redundant) {
       TERMILOG_COUNTER("fm.rows_pruned", 1);
-      system->mutable_rows().erase(system->mutable_rows().begin() + i);
+      alive[i] = false;
+      ++pruned;
     }
   }
+  if (pruned == 0) return;
+  size_t write = 0;
+  for (size_t read = 0; read < rows.size(); ++read) {
+    if (!alive[read]) continue;
+    if (write != read) rows[write] = std::move(rows[read]);
+    ++write;
+  }
+  TERMILOG_DCHECK(write + pruned == rows.size());
+  rows.resize(write);
 }
 
 }  // namespace termilog

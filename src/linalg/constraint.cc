@@ -9,6 +9,84 @@
 
 namespace termilog {
 
+namespace {
+
+uint64_t Gcd64(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    uint64_t r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+// Magnitude of an int64 in unsigned space (INT64_MIN-safe).
+uint64_t Mag64(int64_t v) {
+  return v < 0 ? 0u - static_cast<uint64_t>(v) : static_cast<uint64_t>(v);
+}
+
+// Machine-word path of NormalizeRowGcd: succeeds when every entry is an
+// integer fitting int64, the common steady state once a row has been
+// normalized before. Returns false when the row needs the BigInt path.
+bool TrySmallRowGcd(std::vector<Rational>* coeffs, Rational* constant) {
+  uint64_t g = 0;
+  auto scan = [&g](const Rational& v) {
+    if (v.is_zero()) return true;
+    if (!v.is_integer() || !v.num().FitsInt64()) return false;
+    g = Gcd64(g, Mag64(v.num().ToInt64()));
+    return true;
+  };
+  for (const Rational& c : *coeffs) {
+    if (!scan(c)) return false;
+  }
+  if (!scan(*constant)) return false;
+  // g == 0: all-zero row. g == 1: already coprime integers. Either way the
+  // row is normalized and no arithmetic runs at all.
+  if (g <= 1) return true;
+  if (g > static_cast<uint64_t>(INT64_MAX)) return false;  // |entry| == 2^63
+  int64_t divisor = static_cast<int64_t>(g);
+  for (Rational& c : *coeffs) {
+    if (!c.is_zero()) c = Rational(c.num().ToInt64() / divisor);
+  }
+  if (!constant->is_zero()) {
+    *constant = Rational(constant->num().ToInt64() / divisor);
+  }
+  return true;
+}
+
+}  // namespace
+
+void NormalizeRowGcd(std::vector<Rational>* coeffs, Rational* constant) {
+  if (TrySmallRowGcd(coeffs, constant)) return;
+  // Scale by the lcm of denominators, then divide by the gcd of numerators.
+  BigInt denom_lcm(1);
+  for (const Rational& c : *coeffs) {
+    if (!c.is_zero()) {
+      BigInt g = BigInt::Gcd(denom_lcm, c.den());
+      denom_lcm = denom_lcm / g * c.den();
+    }
+  }
+  if (!constant->is_zero()) {
+    BigInt g = BigInt::Gcd(denom_lcm, constant->den());
+    denom_lcm = denom_lcm / g * constant->den();
+  }
+  BigInt num_gcd(0);
+  auto accumulate = [&num_gcd, &denom_lcm](const Rational& c) {
+    if (c.is_zero()) return;
+    BigInt scaled = c.num() * (denom_lcm / c.den());
+    num_gcd = BigInt::Gcd(num_gcd, scaled);
+  };
+  for (const Rational& c : *coeffs) accumulate(c);
+  accumulate(*constant);
+  if (num_gcd.is_zero()) {
+    // All-zero row apart from possibly constant==0; nothing to scale.
+    return;
+  }
+  Rational scale{denom_lcm, num_gcd};
+  for (Rational& c : *coeffs) c *= scale;
+  *constant *= scale;
+}
+
 Constraint Constraint::FromExpr(const LinearExpr& expr, int num_vars,
                                 Relation rel) {
   TERMILOG_CHECK_MSG(expr.MaxVar() < num_vars,
@@ -50,43 +128,26 @@ bool Constraint::SatisfiedBy(const std::vector<Rational>& point) const {
 }
 
 void Constraint::Normalize() {
-  // Scale by the lcm of denominators, then divide by the gcd of numerators.
-  BigInt denom_lcm(1);
+  NormalizeRowGcd(&coeffs, &constant);
+  if (rel != Relation::kEq) return;
+  // Sign convention for equalities: first nonzero coefficient positive (or
+  // a nonnegative constant on constant-only rows) so syntactic duplicates
+  // collide in Simplify's dedup maps. Negation is an in-place sign flip, so
+  // the convention costs no arithmetic.
+  bool flip = false;
+  bool saw_coeff = false;
   for (const Rational& c : coeffs) {
     if (!c.is_zero()) {
-      BigInt g = BigInt::Gcd(denom_lcm, c.den());
-      denom_lcm = denom_lcm / g * c.den();
+      saw_coeff = true;
+      flip = c.sign() < 0;
+      break;
     }
   }
-  if (!constant.is_zero()) {
-    BigInt g = BigInt::Gcd(denom_lcm, constant.den());
-    denom_lcm = denom_lcm / g * constant.den();
+  if (!saw_coeff) flip = constant.sign() < 0;
+  if (flip) {
+    for (Rational& c : coeffs) c.Negate();
+    constant.Negate();
   }
-  BigInt num_gcd(0);
-  auto accumulate = [&num_gcd, &denom_lcm](const Rational& c) {
-    if (c.is_zero()) return;
-    BigInt scaled = c.num() * (denom_lcm / c.den());
-    num_gcd = BigInt::Gcd(num_gcd, scaled);
-  };
-  for (const Rational& c : coeffs) accumulate(c);
-  accumulate(constant);
-  if (num_gcd.is_zero()) {
-    // All-zero row apart from possibly constant==0; nothing to scale.
-    return;
-  }
-  Rational scale{denom_lcm, num_gcd};
-  if (rel == Relation::kEq) {
-    // Sign convention: first nonzero coefficient positive.
-    for (const Rational& c : coeffs) {
-      if (!c.is_zero()) {
-        if (c.sign() < 0) scale = -scale;
-        break;
-      }
-    }
-    if (IsConstantRow() && constant.sign() < 0) scale = -scale;
-  }
-  for (Rational& c : coeffs) c *= scale;
-  constant *= scale;
 }
 
 Constraint Constraint::Scaled(const Rational& scale) const {

@@ -17,6 +17,17 @@ enum class Relation {
   kGe,  // coeffs . x + constant >= 0
 };
 
+/// Scales `coeffs` and `constant` in place by the unique positive rational
+/// that makes every entry an integer with overall gcd 1 (no-op on an
+/// all-zero row). A positive scale preserves any row relation, so this is
+/// shared by Constraint::Normalize and the simplex tableau's row setup; it
+/// is the row-GCD normalization contract of docs/arithmetic.md that keeps
+/// coefficient magnitudes inside the Rational fast path deep into
+/// elimination and pivoting. Rows whose entries are already coprime
+/// machine-word integers (the steady state) early-out without any BigInt
+/// arithmetic.
+void NormalizeRowGcd(std::vector<Rational>* coeffs, Rational* constant);
+
 /// One dense constraint row over variables x_0..x_{n-1}:
 ///   coeffs . x + constant  REL  0.
 /// This matches the paper's "0 = c + C phi" orientation: the constant term

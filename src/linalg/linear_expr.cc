@@ -61,7 +61,12 @@ LinearExpr LinearExpr::operator*(const Rational& scale) const {
   return out;
 }
 
-LinearExpr LinearExpr::operator-() const { return *this * Rational(-1); }
+LinearExpr LinearExpr::operator-() const {
+  LinearExpr out = *this;
+  out.constant_.Negate();
+  for (auto& [var, coeff] : out.coeffs_) coeff.Negate();
+  return out;
+}
 
 LinearExpr LinearExpr::Substitute(int var, const LinearExpr& replacement) const {
   auto it = coeffs_.find(var);

@@ -22,9 +22,15 @@ class Tableau {
   void AddRow(std::vector<Rational> coeffs, Rational rhs) {
     TERMILOG_CHECK(static_cast<int>(coeffs.size()) == num_cols_);
     if (rhs.sign() < 0) {
-      for (Rational& c : coeffs) c = -c;
-      rhs = -rhs;
+      for (Rational& c : coeffs) c.Negate();
+      rhs.Negate();
     }
+    // Row-GCD normalization (docs/arithmetic.md): scaling an equality row
+    // by a positive rational preserves the feasible set, the reduced-cost
+    // signs, and every ratio-test comparison, so pivot sequences and
+    // results are unchanged while entering coefficient magnitudes shrink
+    // to coprime integers — keeping pivot arithmetic on the fast path.
+    NormalizeRowGcd(&coeffs, &rhs);
     rows_.push_back(std::move(coeffs));
     rhs_.push_back(std::move(rhs));
   }
@@ -290,9 +296,9 @@ LpResult SimplexSolver::Maximize(const ConstraintSystem& system,
                                  const std::vector<bool>& is_free,
                                  const ResourceGovernor* governor) {
   std::vector<Rational> negated = objective;
-  for (Rational& c : negated) c = -c;
+  for (Rational& c : negated) c.Negate();
   LpResult result = SolveMin(system, negated, is_free, governor);
-  result.objective = -result.objective;
+  result.objective.Negate();
   return result;
 }
 

@@ -153,6 +153,96 @@ LimbVector BigInt::MulMagnitude(const LimbVector& a,
   return out;
 }
 
+void BigInt::AddMagnitudeInPlace(LimbVector* a, const LimbVector& b) {
+  // Self-aliasing (&b == a) is safe: each element is read before it is
+  // written and resize() is a no-op when the sizes already match.
+  size_t n = std::max(a->size(), b.size());
+  size_t b_size = b.size();
+  a->resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry + (*a)[i];
+    if (i < b_size) sum += b[i];
+    (*a)[i] = static_cast<uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  if (carry) a->push_back(static_cast<uint32_t>(carry));
+}
+
+void BigInt::SubMagnitudeInPlace(LimbVector* a, const LimbVector& b) {
+  TERMILOG_CHECK(CompareMagnitude(*a, b) >= 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    int64_t diff = static_cast<int64_t>((*a)[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    (*a)[i] = static_cast<uint32_t>(diff);
+  }
+  while (!a->empty() && a->back() == 0) a->pop_back();
+}
+
+void BigInt::RSubMagnitudeInPlace(LimbVector* a, const LimbVector& b) {
+  TERMILOG_CHECK(CompareMagnitude(b, *a) >= 0);
+  size_t a_size = a->size();
+  a->resize(b.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(b[i]) - borrow -
+                   (i < a_size ? static_cast<int64_t>((*a)[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    (*a)[i] = static_cast<uint32_t>(diff);
+  }
+  while (!a->empty() && a->back() == 0) a->pop_back();
+}
+
+BigInt& BigInt::AddSignedInPlace(const BigInt& other, bool flip_other_sign) {
+  bool other_negative =
+      other.limbs_.empty() ? false
+                           : (flip_other_sign ? !other.negative_
+                                              : other.negative_);
+  if (negative_ == other_negative) {
+    AddMagnitudeInPlace(&limbs_, other.limbs_);
+  } else if (CompareMagnitude(limbs_, other.limbs_) >= 0) {
+    SubMagnitudeInPlace(&limbs_, other.limbs_);
+  } else {
+    RSubMagnitudeInPlace(&limbs_, other.limbs_);
+    negative_ = other_negative;
+  }
+  Trim();
+  NoteLimbs(limbs_.size());
+  return *this;
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) {
+  return AddSignedInPlace(other, /*flip_other_sign=*/false);
+}
+
+BigInt& BigInt::operator-=(const BigInt& other) {
+  return AddSignedInPlace(other, /*flip_other_sign=*/true);
+}
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+  // Schoolbook multiplication cannot reuse its input storage, so the
+  // product is built out of line and moved in; this still avoids the full
+  // temporary BigInt of `*this = *this * other`. Reading other.negative_
+  // before the move keeps `x *= x` correct.
+  bool product_negative = negative_ != other.negative_;
+  limbs_ = MulMagnitude(limbs_, other.limbs_);
+  negative_ = !limbs_.empty() && product_negative;
+  NoteLimbs(limbs_.size());
+  return *this;
+}
+
 BigInt BigInt::operator-() const {
   BigInt out = *this;
   if (!out.is_zero()) out.negative_ = !out.negative_;
@@ -303,7 +393,13 @@ int64_t BigInt::ToInt64() const {
   uint64_t mag = 0;
   if (!limbs_.empty()) mag = limbs_[0];
   if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
-  return negative_ ? -static_cast<int64_t>(mag) : static_cast<int64_t>(mag);
+  if (negative_) {
+    // |INT64_MIN| == 2^63 passes FitsInt64 but negating it in signed space
+    // is signed overflow (UB); return the boundary value explicitly.
+    if (mag == (uint64_t{1} << 63)) return INT64_MIN;
+    return -static_cast<int64_t>(mag);
+  }
+  return static_cast<int64_t>(mag);
 }
 
 std::string BigInt::ToString() const {
@@ -332,6 +428,15 @@ std::string BigInt::ToString() const {
 
 size_t BigInt::Hash() const {
   size_t h = negative_ ? 0x9e3779b97f4a7c15u : 0;
+  // Fast path for the <= 2-limb values that dominate polyhedral workloads:
+  // the loop below unrolled by hand, producing bit-identical hashes (the
+  // differential fuzz suite asserts this).
+  size_t n = limbs_.size();
+  if (n <= 2) {
+    if (n >= 1) h ^= limbs_[0] + 0x9e3779b97f4a7c15u + (h << 6) + (h >> 2);
+    if (n == 2) h ^= limbs_[1] + 0x9e3779b97f4a7c15u + (h << 6) + (h >> 2);
+    return h;
+  }
   for (uint32_t limb : limbs_) {
     h ^= limb + 0x9e3779b97f4a7c15u + (h << 6) + (h >> 2);
   }

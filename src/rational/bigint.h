@@ -41,15 +41,27 @@ class LimbVector {
 
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
-  uint32_t operator[](size_t i) const { return data()[i]; }
-  uint32_t& operator[](size_t i) { return data()[i]; }
-  uint32_t back() const { return data()[size_ - 1]; }
+  uint32_t operator[](size_t i) const {
+    TERMILOG_DCHECK(i < size_);
+    return data()[i];
+  }
+  uint32_t& operator[](size_t i) {
+    TERMILOG_DCHECK(i < size_);
+    return data()[i];
+  }
+  uint32_t back() const {
+    TERMILOG_DCHECK(size_ > 0);
+    return data()[size_ - 1];
+  }
 
   void push_back(uint32_t value) {
     if (size_ == capacity_) Grow(capacity_ * 2);
     data()[size_++] = value;
   }
-  void pop_back() { --size_; }
+  void pop_back() {
+    TERMILOG_DCHECK(size_ > 0);
+    --size_;
+  }
   void clear() { size_ = 0; }
 
   void resize(size_t count, uint32_t value = 0) {
@@ -143,6 +155,10 @@ class BigInt {
   bool is_zero() const { return limbs_.empty(); }
   bool is_negative() const { return negative_; }
   bool is_positive() const { return !negative_ && !limbs_.empty(); }
+  /// True iff the value is exactly 1 (cheaper than Compare(BigInt(1))).
+  bool is_one() const {
+    return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
+  }
 
   /// Returns -1, 0, or +1.
   int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
@@ -151,6 +167,12 @@ class BigInt {
   int Compare(const BigInt& other) const;
 
   BigInt operator-() const;
+  /// Flips the sign in place (no-op on zero); the allocation-free form of
+  /// unary negation for expression temporaries.
+  BigInt& Negate() {
+    if (!limbs_.empty()) negative_ = !negative_;
+    return *this;
+  }
   BigInt operator+(const BigInt& other) const;
   BigInt operator-(const BigInt& other) const;
   BigInt operator*(const BigInt& other) const;
@@ -160,9 +182,12 @@ class BigInt {
   /// Remainder with the sign of the dividend (C semantics).
   BigInt operator%(const BigInt& other) const;
 
-  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
-  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
-  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  /// In-place compound ops: accumulate directly into this value's limb
+  /// storage (no temporary BigInt, no allocation while the result fits the
+  /// current capacity). Self-aliasing (`x += x`, `x *= x`) is supported.
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
 
   bool operator==(const BigInt& other) const { return Compare(other) == 0; }
   bool operator!=(const BigInt& other) const { return Compare(other) != 0; }
@@ -210,6 +235,16 @@ class BigInt {
                                             const LimbVector& b);
   static LimbVector MulMagnitude(const LimbVector& a,
                                             const LimbVector& b);
+  // In-place magnitude ops reusing a's (small-buffer) storage.
+  // a += b; safe when &b == a.
+  static void AddMagnitudeInPlace(LimbVector* a, const LimbVector& b);
+  // a -= b; requires |a| >= |b| (checked); safe when &b == a.
+  static void SubMagnitudeInPlace(LimbVector* a, const LimbVector& b);
+  // a = b - a; requires |b| >= |a| (checked).
+  static void RSubMagnitudeInPlace(LimbVector* a, const LimbVector& b);
+  // Shared body of operator+= / operator-=: adds other with its sign
+  // optionally flipped.
+  BigInt& AddSignedInPlace(const BigInt& other, bool flip_other_sign);
   void Trim();
 
   bool negative_ = false;

@@ -16,15 +16,15 @@ Rational::Rational(BigInt num, BigInt den)
 
 void Rational::Normalize() {
   if (den_.is_negative()) {
-    num_ = -num_;
-    den_ = -den_;
+    num_.Negate();
+    den_.Negate();
   }
   if (num_.is_zero()) {
     den_ = BigInt(1);
     return;
   }
   BigInt g = BigInt::Gcd(num_, den_);
-  if (g != BigInt(1)) {
+  if (!g.is_one()) {
     num_ = num_ / g;
     den_ = den_ / g;
   }
@@ -61,8 +61,24 @@ inline unsigned __int128 UAbs128(__int128 v) {
                : static_cast<unsigned __int128>(v);
 }
 
-inline unsigned __int128 Gcd128(unsigned __int128 a, unsigned __int128 b) {
+inline uint64_t Gcd64(uint64_t a, uint64_t b) {
   while (b != 0) {
+    uint64_t r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+inline unsigned __int128 Gcd128(unsigned __int128 a, unsigned __int128 b) {
+  // 128-bit division is a library call (~10x a native divide), so drop to
+  // the 64-bit loop as soon as both operands fit a machine word. Euclid
+  // shrinks the larger operand below the smaller each step, so at most a
+  // couple of wide iterations ever run.
+  while (b != 0) {
+    if ((a >> 64) == 0 && (b >> 64) == 0) {
+      return Gcd64(static_cast<uint64_t>(a), static_cast<uint64_t>(b));
+    }
     unsigned __int128 r = a % b;
     a = b;
     b = r;
@@ -75,16 +91,21 @@ inline unsigned __int128 Gcd128(unsigned __int128 a, unsigned __int128 b) {
 Rational Rational::FromInt128(__int128 num, __int128 den) {
   // Callers guarantee den > 0 (it is a product of positive denominators).
   if (num == 0) return Rational();
-  unsigned __int128 g = Gcd128(UAbs128(num), static_cast<unsigned __int128>(den));
-  num /= static_cast<__int128>(g);
-  den /= static_cast<__int128>(g);
+  if (den != 1) {
+    unsigned __int128 g =
+        Gcd128(UAbs128(num), static_cast<unsigned __int128>(den));
+    if (g != 1) {
+      num /= static_cast<__int128>(g);
+      den /= static_cast<__int128>(g);
+    }
+  }
   return Rational(BigInt::FromInt128(num), BigInt::FromInt128(den),
                   AlreadyNormalizedTag{});
 }
 
 Rational Rational::operator-() const {
   Rational out = *this;
-  out.num_ = -out.num_;
+  out.num_.Negate();
   return out;
 }
 
@@ -131,6 +152,12 @@ Rational Rational::operator/(const Rational& other) const {
 }
 
 int Rational::Compare(const Rational& other) const {
+  // Sign-only shortcut: denominators are positive, so differing numerator
+  // signs settle the comparison without touching any product.
+  int sa = num_.sign();
+  int sb = other.num_.sign();
+  if (sa != sb) return sa < sb ? -1 : 1;
+  if (sa == 0) return 0;
   if (BothSmall(*this, other)) {
     __int128 lhs = static_cast<__int128>(num_.ToInt64()) * other.den_.ToInt64();
     __int128 rhs = static_cast<__int128>(other.num_.ToInt64()) * den_.ToInt64();

@@ -33,10 +33,17 @@ class Rational {
   const BigInt& den() const { return den_; }
 
   bool is_zero() const { return num_.is_zero(); }
-  bool is_integer() const { return den_ == BigInt(1); }
+  /// Sign-only query on the normalized denominator (no BigInt compare).
+  bool is_integer() const { return den_.is_one(); }
   int sign() const { return num_.sign(); }
 
   Rational operator-() const;
+  /// Flips the sign in place (no-op on zero); normalization is preserved
+  /// because only the numerator's sign bit changes.
+  Rational& Negate() {
+    num_.Negate();
+    return *this;
+  }
   Rational operator+(const Rational& other) const;
   Rational operator-(const Rational& other) const;
   Rational operator*(const Rational& other) const;

@@ -25,4 +25,16 @@
     }                                                                         \
   } while (0)
 
+// Debug-only invariant check for hot paths (limb indexing, pivot loops)
+// where an always-on branch would be measurable. Active in Debug builds
+// (!NDEBUG) and in sanitizer trees (TERMILOG_DEBUG_CHECKS, set by CMake for
+// any TERMILOG_SANITIZE flavor); compiles to nothing elsewhere.
+#if !defined(NDEBUG) || defined(TERMILOG_DEBUG_CHECKS)
+#define TERMILOG_DCHECK(cond) TERMILOG_CHECK(cond)
+#else
+#define TERMILOG_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#endif
+
 #endif  // TERMILOG_UTIL_CHECK_H_

@@ -171,5 +171,145 @@ TEST(BigIntTest, HashDistinguishesSign) {
   EXPECT_NE(BigInt(5).Hash(), BigInt(-5).Hash());
 }
 
+TEST(BigIntTest, Int64BoundaryRoundTrip) {
+  // INT64_MIN has magnitude 2^63: it fits, and converting back must not
+  // negate in signed space (that negation was signed-overflow UB).
+  BigInt min_value(INT64_MIN);
+  ASSERT_TRUE(min_value.FitsInt64());
+  EXPECT_EQ(min_value.ToInt64(), INT64_MIN);
+  EXPECT_EQ(min_value.ToString(), "-9223372036854775808");
+  EXPECT_EQ(BigInt::FromString("-9223372036854775808").value().ToInt64(),
+            INT64_MIN);
+
+  BigInt max_value(INT64_MAX);
+  ASSERT_TRUE(max_value.FitsInt64());
+  EXPECT_EQ(max_value.ToInt64(), INT64_MAX);
+  BigInt neg_max(-INT64_MAX);
+  ASSERT_TRUE(neg_max.FitsInt64());
+  EXPECT_EQ(neg_max.ToInt64(), -INT64_MAX);
+
+  // +2^63 is the first positive value that does not fit.
+  BigInt two63 = BigInt::FromString("9223372036854775808").value();
+  EXPECT_FALSE(two63.FitsInt64());
+  EXPECT_DEATH(two63.ToInt64(), "out of int64_t range");
+  // ...and -(2^63 + 1) the first negative one.
+  BigInt below_min = BigInt::FromString("-9223372036854775809").value();
+  EXPECT_FALSE(below_min.FitsInt64());
+}
+
+TEST(BigIntTest, InPlaceOpsMatchOutOfLine) {
+  const char* values[] = {"0",
+                          "1",
+                          "-1",
+                          "42",
+                          "-99999",
+                          "4294967296",
+                          "-9223372036854775808",
+                          "9223372036854775807",
+                          "340282366920938463463374607431768211456",
+                          "-340282366920938463463374607431768211455"};
+  for (const char* sa : values) {
+    for (const char* sb : values) {
+      BigInt a = BigInt::FromString(sa).value();
+      BigInt b = BigInt::FromString(sb).value();
+      BigInt sum = a, diff = a, prod = a;
+      sum += b;
+      diff -= b;
+      prod *= b;
+      EXPECT_EQ(sum, a + b) << sa << " += " << sb;
+      EXPECT_EQ(diff, a - b) << sa << " -= " << sb;
+      EXPECT_EQ(prod, a * b) << sa << " *= " << sb;
+    }
+  }
+}
+
+TEST(BigIntTest, InPlaceOpsSelfAliasing) {
+  // `x += x` and friends must read their operand before overwriting it,
+  // including across the multi-limb carry/borrow loops.
+  const char* values[] = {"0", "7", "-7", "4294967295",
+                          "18446744073709551616",
+                          "-340282366920938463463374607431768211455"};
+  for (const char* s : values) {
+    BigInt reference = BigInt::FromString(s).value();
+    BigInt doubled = reference;
+    doubled += doubled;
+    EXPECT_EQ(doubled, reference + reference) << s;
+    BigInt zeroed = reference;
+    zeroed -= zeroed;
+    EXPECT_TRUE(zeroed.is_zero()) << s;
+    EXPECT_FALSE(zeroed.is_negative()) << s;
+    BigInt squared = reference;
+    squared *= squared;
+    EXPECT_EQ(squared, reference * reference) << s;
+  }
+}
+
+TEST(BigIntTest, InPlaceOpsRandomDifferential) {
+  unsigned seed = 4242;
+  auto next = [&seed]() {
+    seed = seed * 1103515245 + 12345;
+    return static_cast<int64_t>(seed % 2000001) - 1000000;
+  };
+  BigInt accum_in_place;
+  BigInt accum_copy;
+  for (int i = 0; i < 500; ++i) {
+    BigInt step(next());
+    switch (i % 3) {
+      case 0:
+        accum_in_place += step;
+        accum_copy = accum_copy + step;
+        break;
+      case 1:
+        accum_in_place -= step;
+        accum_copy = accum_copy - step;
+        break;
+      default:
+        accum_in_place *= step;
+        accum_copy = accum_copy * step;
+        break;
+    }
+    ASSERT_EQ(accum_in_place, accum_copy) << "step " << i;
+    ASSERT_EQ(accum_in_place.ToString(), accum_copy.ToString()) << "step " << i;
+  }
+}
+
+TEST(BigIntTest, NegateInPlace) {
+  BigInt v(17);
+  EXPECT_EQ(v.Negate(), BigInt(-17));
+  EXPECT_EQ(v.Negate(), BigInt(17));
+  BigInt zero;
+  zero.Negate();
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_negative());
+}
+
+TEST(BigIntTest, IsOne) {
+  EXPECT_TRUE(BigInt(1).is_one());
+  EXPECT_FALSE(BigInt(-1).is_one());
+  EXPECT_FALSE(BigInt(0).is_one());
+  EXPECT_FALSE(BigInt(2).is_one());
+  EXPECT_FALSE(BigInt::FromString("4294967297").value().is_one());
+}
+
+TEST(BigIntTest, HashUnrolledSmallPathMatchesLoop) {
+  // The <= 2-limb hash fast path must be bit-identical to the generic
+  // loop. Recompute the loop by hand for representative values.
+  for (const char* s : {"1", "-1", "4294967295", "4294967296",
+                        "9223372036854775807", "-9223372036854775808"}) {
+    BigInt v = BigInt::FromString(s).value();
+    size_t h = v.is_negative() ? 0x9e3779b97f4a7c15u : 0;
+    BigInt mag = v.Abs();
+    // Extract limbs via ToString-independent arithmetic: low 32 bits first.
+    while (!mag.is_zero()) {
+      BigInt q, r;
+      BigInt::DivMod(mag, BigInt(int64_t{1} << 32), &q, &r);
+      h ^= static_cast<size_t>(r.ToInt64()) + 0x9e3779b97f4a7c15u + (h << 6) +
+           (h >> 2);
+      mag = q;
+    }
+    EXPECT_EQ(v.Hash(), h) << s;
+  }
+}
+
 }  // namespace
 }  // namespace termilog

@@ -1,5 +1,7 @@
 #include "linalg/constraint.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace termilog {
@@ -109,6 +111,99 @@ TEST(ConstraintSystemTest, ResizePadsRows) {
   EXPECT_EQ(sys.num_vars(), 3);
   EXPECT_EQ(sys.rows()[0].coeffs.size(), 3u);
   EXPECT_EQ(sys.rows()[0].coeffs[2], Rational(0));
+}
+
+TEST(NormalizeRowGcdTest, IntegerRowsReduceToCoprime) {
+  std::vector<Rational> coeffs = {Rational(6), Rational(-9), Rational(0)};
+  Rational constant(12);
+  NormalizeRowGcd(&coeffs, &constant);
+  EXPECT_EQ(coeffs[0], Rational(2));
+  EXPECT_EQ(coeffs[1], Rational(-3));
+  EXPECT_EQ(coeffs[2], Rational(0));
+  EXPECT_EQ(constant, Rational(4));
+}
+
+TEST(NormalizeRowGcdTest, CoprimeRowIsUntouched) {
+  // The steady state: already-coprime machine-word integers. The fast path
+  // must recognize this and leave the row bit-for-bit alone.
+  std::vector<Rational> coeffs = {Rational(3), Rational(-5)};
+  Rational constant(7);
+  NormalizeRowGcd(&coeffs, &constant);
+  EXPECT_EQ(coeffs[0], Rational(3));
+  EXPECT_EQ(coeffs[1], Rational(-5));
+  EXPECT_EQ(constant, Rational(7));
+}
+
+TEST(NormalizeRowGcdTest, FractionalRowClearsDenominators) {
+  std::vector<Rational> coeffs = {Rational(1, 6), Rational(-1, 4)};
+  Rational constant(5, 3);
+  NormalizeRowGcd(&coeffs, &constant);
+  // lcm of denominators is 12; scaled row (2, -3, 20) is already coprime.
+  EXPECT_EQ(coeffs[0], Rational(2));
+  EXPECT_EQ(coeffs[1], Rational(-3));
+  EXPECT_EQ(constant, Rational(20));
+}
+
+TEST(NormalizeRowGcdTest, WideIntegersTakeSlowPath) {
+  // Coefficients beyond int64: the fast path bails and the BigInt slow
+  // path must still find the common factor.
+  BigInt big = BigInt::FromString("36893488147419103232").value();  // 2^65
+  std::vector<Rational> coeffs = {Rational(big, BigInt(1)),
+                                  Rational(big * BigInt(3), BigInt(1))};
+  Rational constant(Rational(big * BigInt(5), BigInt(1)));
+  NormalizeRowGcd(&coeffs, &constant);
+  EXPECT_EQ(coeffs[0], Rational(1));
+  EXPECT_EQ(coeffs[1], Rational(3));
+  EXPECT_EQ(constant, Rational(5));
+}
+
+TEST(NormalizeRowGcdTest, Int64MinCoefficientHandled) {
+  // |INT64_MIN| = 2^63 doesn't fit int64, so the fast path's gcd could
+  // exceed INT64_MAX; the implementation must fall back rather than
+  // overflow. gcd(2^63, 2^62) = 2^62.
+  std::vector<Rational> coeffs = {
+      Rational(std::numeric_limits<int64_t>::min()),
+      Rational(int64_t{1} << 62)};
+  Rational constant(0);
+  NormalizeRowGcd(&coeffs, &constant);
+  EXPECT_EQ(coeffs[0], Rational(-2));
+  EXPECT_EQ(coeffs[1], Rational(1));
+  EXPECT_EQ(constant, Rational(0));
+  // Both entries INT64_MIN: gcd is 2^63 itself.
+  std::vector<Rational> pair = {
+      Rational(std::numeric_limits<int64_t>::min()),
+      Rational(std::numeric_limits<int64_t>::min())};
+  Rational zero(0);
+  NormalizeRowGcd(&pair, &zero);
+  EXPECT_EQ(pair[0], Rational(-1));
+  EXPECT_EQ(pair[1], Rational(-1));
+}
+
+TEST(NormalizeRowGcdTest, ZeroRowAndEmptyRowAreNoOps) {
+  std::vector<Rational> coeffs = {Rational(0), Rational(0)};
+  Rational constant(0);
+  NormalizeRowGcd(&coeffs, &constant);
+  EXPECT_EQ(coeffs[0], Rational(0));
+  EXPECT_EQ(constant, Rational(0));
+  std::vector<Rational> empty;
+  Rational lone(4);
+  NormalizeRowGcd(&empty, &lone);
+  EXPECT_EQ(lone, Rational(1));  // constant-only row still reduces
+}
+
+TEST(ConstraintTest, NormalizeAppliesEqSignConvention) {
+  // For kEq rows the first nonzero coefficient is made positive.
+  Constraint eq = MakeEq({-4, 6}, -2);
+  eq.Normalize();
+  EXPECT_EQ(eq.coeffs[0], Rational(2));
+  EXPECT_EQ(eq.coeffs[1], Rational(-3));
+  EXPECT_EQ(eq.constant, Rational(1));
+  // Ge rows must NOT be flipped (that would change their meaning).
+  Constraint ge = MakeGe({-4, 6}, -2);
+  ge.Normalize();
+  EXPECT_EQ(ge.coeffs[0], Rational(-2));
+  EXPECT_EQ(ge.coeffs[1], Rational(3));
+  EXPECT_EQ(ge.constant, Rational(-1));
 }
 
 TEST(ConstraintSystemTest, ToStringRendersRelations) {

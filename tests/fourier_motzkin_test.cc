@@ -139,6 +139,88 @@ TEST(FourierMotzkinTest, LpPruneKeepsBindingRows) {
   EXPECT_EQ(sys.size(), before);
 }
 
+// Reference implementation of LpPruneRedundant as it was historically
+// written: per-row vector::erase, iterating from the end. The production
+// version defers removal to one stable compaction pass; the surviving rows
+// and their order must be identical.
+void ReferenceLpPrune(ConstraintSystem* system) {
+  std::vector<bool> all_free(system->num_vars(), true);
+  for (size_t i = system->rows().size(); i-- > 0;) {
+    const Constraint row = system->rows()[i];
+    if (row.rel == Relation::kEq) continue;
+    ConstraintSystem rest(system->num_vars());
+    for (size_t j = 0; j < system->rows().size(); ++j) {
+      if (j != i) rest.Add(system->rows()[j]);
+    }
+    LpResult lp = SimplexSolver::Minimize(rest, row.coeffs, all_free);
+    bool redundant = false;
+    if (lp.status == LpStatus::kInfeasible) {
+      redundant = true;
+    } else if (lp.status == LpStatus::kOptimal) {
+      redundant = (lp.objective + row.constant).sign() >= 0;
+    }
+    if (redundant) {
+      system->mutable_rows().erase(system->mutable_rows().begin() + i);
+    }
+  }
+}
+
+TEST(FourierMotzkinTest, LpPruneMatchesEraseReferenceAndKeepsOrder) {
+  // Deterministic pseudo-random systems with deliberately redundant rows
+  // (weakened copies and positive combinations of earlier rows).
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 8; ++round) {
+    ConstraintSystem sys(3);
+    for (int r = 0; r < 5; ++r) {
+      Constraint row;
+      row.rel = Relation::kGe;
+      for (int v = 0; v < 3; ++v) {
+        row.coeffs.emplace_back(static_cast<int64_t>(next() % 7) - 3);
+      }
+      row.constant = Rational(static_cast<int64_t>(next() % 9) - 2);
+      sys.Add(std::move(row));
+    }
+    // Weakened duplicate of row 0 and the sum of rows 1 and 2: redundant.
+    Constraint weak = sys.rows()[0];
+    weak.constant += Rational(static_cast<int64_t>(next() % 4) + 1);
+    sys.Add(std::move(weak));
+    Constraint combo = sys.rows()[1];
+    for (int v = 0; v < 3; ++v) combo.coeffs[v] += sys.rows()[2].coeffs[v];
+    combo.constant += sys.rows()[2].constant;
+    sys.Add(std::move(combo));
+
+    ConstraintSystem expected = sys;
+    ReferenceLpPrune(&expected);
+    FourierMotzkin::LpPruneRedundant(&sys);
+    ASSERT_EQ(sys.size(), expected.size()) << "round " << round;
+    for (size_t i = 0; i < sys.size(); ++i) {
+      EXPECT_TRUE(sys.rows()[i] == expected.rows()[i])
+          << "round " << round << " row " << i;
+    }
+  }
+}
+
+TEST(FourierMotzkinTest, CombineMultipliersAreGcdReduced) {
+  // Eliminating x0 from 4*x0 - x1 >= 0 and -6*x0 + x2 >= 0: the raw FM
+  // multipliers (6, 4) reduce by gcd 2 to (3, 2), so before Simplify the
+  // combined row is -3*x1 + 2*x2 >= 0 (not -6*x1 + 4*x2).
+  ConstraintSystem sys(3);
+  sys.Add(Ge({4, -1, 0}, 0));
+  sys.Add(Ge({-6, 0, 1}, 0));
+  ASSERT_TRUE(FourierMotzkin::EliminateVariable(&sys, 0).ok());
+  ASSERT_EQ(sys.size(), 1u);
+  EXPECT_EQ(sys.rows()[0].coeffs[0], Rational(0));
+  EXPECT_EQ(sys.rows()[0].coeffs[1], Rational(-3));
+  EXPECT_EQ(sys.rows()[0].coeffs[2], Rational(2));
+  EXPECT_EQ(sys.rows()[0].constant, Rational(0));
+}
+
 TEST(FourierMotzkinTest, PaperExample41Elimination) {
   // The w1/w2 elimination of Example 4.1: columns (w1, w2, theta, eta).
   //   -w1            + theta          >= 0     (P)

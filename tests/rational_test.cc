@@ -1,5 +1,7 @@
 #include "rational/rational.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace termilog {
@@ -88,6 +90,93 @@ TEST(RationalTest, NoPrecisionLossOnLongChains) {
   Rational sum;
   for (int i = 0; i < 3000; ++i) sum += Rational(1, 3);
   EXPECT_EQ(sum, Rational(1000));
+}
+
+TEST(RationalTest, NegateInPlace) {
+  Rational r(3, 7);
+  EXPECT_EQ(r.Negate(), Rational(-3, 7));
+  EXPECT_EQ(r.Negate(), Rational(3, 7));
+  Rational zero;
+  zero.Negate();
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero, Rational());
+}
+
+// Reference implementations over plain BigInt cross-multiplication: the
+// __int128 fast path must agree with these on every input, in particular
+// around the int64 boundary where BothSmall flips between true and false.
+Rational RefAdd(const Rational& a, const Rational& b) {
+  return Rational(a.num() * b.den() + b.num() * a.den(), a.den() * b.den());
+}
+Rational RefSub(const Rational& a, const Rational& b) {
+  return Rational(a.num() * b.den() - b.num() * a.den(), a.den() * b.den());
+}
+Rational RefMul(const Rational& a, const Rational& b) {
+  return Rational(a.num() * b.num(), a.den() * b.den());
+}
+Rational RefDiv(const Rational& a, const Rational& b) {
+  return Rational(a.num() * b.den(), a.den() * b.num());
+}
+int RefCompare(const Rational& a, const Rational& b) {
+  return (a.num() * b.den()).Compare(b.num() * a.den());
+}
+
+void CheckWellFormed(const Rational& r) {
+  ASSERT_TRUE(r.den().is_positive());
+  EXPECT_TRUE(BigInt::Gcd(r.num(), r.den()).is_one() || r.is_zero());
+  if (r.is_zero()) {
+    EXPECT_TRUE(r.den().is_one());
+  }
+}
+
+TEST(RationalTest, FastPathMatchesSlowPathAtInt64Boundary) {
+  // Numerators straddling ±2^63 and ±2^31; denominators straddling the
+  // same bands. Pairs where every component fits int64 take the __int128
+  // fast path, the rest the BigInt slow path — results must be identical.
+  std::vector<BigInt> nums;
+  for (const char* s :
+       {"0", "1", "-1", "3", "2147483647", "2147483648", "-2147483648",
+        "-2147483649", "9223372036854775806", "9223372036854775807",
+        "9223372036854775808", "9223372036854775809",
+        "-9223372036854775807", "-9223372036854775808",
+        "-9223372036854775809"}) {
+    nums.push_back(BigInt::FromString(s).value());
+  }
+  std::vector<BigInt> dens;
+  for (const char* s : {"1", "2", "3", "2147483647", "4294967295",
+                        "9223372036854775807", "9223372036854775808"}) {
+    dens.push_back(BigInt::FromString(s).value());
+  }
+  std::vector<Rational> values;
+  for (const BigInt& n : nums) {
+    for (const BigInt& d : dens) {
+      values.emplace_back(n, d);
+    }
+  }
+  // Quadratic over the full set is too slow; stride through pairs.
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = i % 7; j < values.size(); j += 7) {
+      const Rational& a = values[i];
+      const Rational& b = values[j];
+      Rational sum = a + b;
+      ASSERT_EQ(sum, RefAdd(a, b)) << a << " + " << b;
+      CheckWellFormed(sum);
+      Rational diff = a - b;
+      ASSERT_EQ(diff, RefSub(a, b)) << a << " - " << b;
+      CheckWellFormed(diff);
+      Rational prod = a * b;
+      ASSERT_EQ(prod, RefMul(a, b)) << a << " * " << b;
+      CheckWellFormed(prod);
+      ASSERT_EQ(a.Compare(b), RefCompare(a, b)) << a << " <=> " << b;
+      if (!b.is_zero()) {
+        Rational quot = a / b;
+        ASSERT_EQ(quot, RefDiv(a, b)) << a << " / " << b;
+        CheckWellFormed(quot);
+      }
+      // Equal values must hash equally regardless of which path built them.
+      EXPECT_EQ(sum.Hash(), RefAdd(a, b).Hash());
+    }
+  }
 }
 
 }  // namespace

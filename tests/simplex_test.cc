@@ -169,6 +169,47 @@ TEST(SimplexTest, PivotFailpointForcesPivotLimit) {
 }
 #endif
 
+TEST(SimplexTest, RowGcdScalingLeavesResultsUnchanged) {
+  // Scaling input rows by large positive factors does not change the
+  // feasible set; AddRow's gcd normalization must collapse the scaled rows
+  // so the objective AND the solution point come out identical.
+  auto scale = [](Constraint row, int64_t factor) {
+    for (Rational& c : row.coeffs) c = c * Rational(factor);
+    row.constant = row.constant * Rational(factor);
+    return row;
+  };
+  ConstraintSystem plain(2);
+  plain.Add(Ge({-1, -2}, 4));
+  plain.Add(Ge({-3, -1}, 6));
+  plain.Add(Eq({1, -1}, 0));
+  ConstraintSystem scaled(2);
+  scaled.Add(scale(Ge({-1, -2}, 4), 1000003));
+  scaled.Add(scale(Ge({-3, -1}, 6), 999999999989));
+  scaled.Add(scale(Eq({1, -1}, 0), 77));
+  LpResult a = SimplexSolver::Maximize(plain, Obj({1, 1}));
+  LpResult b = SimplexSolver::Maximize(scaled, Obj({1, 1}));
+  ASSERT_EQ(a.status, LpStatus::kOptimal);
+  ASSERT_EQ(b.status, LpStatus::kOptimal);
+  EXPECT_EQ(a.objective, b.objective);
+  ASSERT_EQ(a.point.size(), b.point.size());
+  for (size_t i = 0; i < a.point.size(); ++i) {
+    EXPECT_EQ(a.point[i], b.point[i]) << "x" << i;
+  }
+  // Fractional rows normalize too: 1/6 x0 + 1/3 x1 <= 2/3 is the same row
+  // as x0 + 2 x1 <= 4.
+  ConstraintSystem fractional(2);
+  Constraint frac;
+  frac.rel = Relation::kGe;
+  frac.coeffs = {Rational(-1, 6), Rational(-1, 3)};
+  frac.constant = Rational(2, 3);
+  fractional.Add(std::move(frac));
+  fractional.Add(Ge({-3, -1}, 6));
+  fractional.Add(Eq({1, -1}, 0));
+  LpResult c = SimplexSolver::Maximize(fractional, Obj({1, 1}));
+  ASSERT_EQ(c.status, LpStatus::kOptimal);
+  EXPECT_EQ(a.objective, c.objective);
+}
+
 TEST(SimplexTest, DualityGapIsZero) {
   // Primal: min c.x st Ax >= b, x >= 0; dual: max b.y st A^T y <= c, y>=0.
   // A = [[1,2],[3,1]], b = (4,6), c = (5,4).
