@@ -1,10 +1,25 @@
 // E11: batch-engine throughput and cache effectiveness. Runs the full
 // corpus through the parallel batch engine (docs/engine.md) at jobs =
-// 1/2/4/8, cold cache and warm (an immediate rerun on the same engine),
-// and emits one machine-readable JSON object on stdout — the repo's
-// BENCH_engine.json trajectory point. The interesting columns: wall-clock
-// scaling with jobs, and the warm-run SCC cache hit rate (the fraction of
-// per-SCC tasks served without re-solving).
+// 1/2/4/8, cold cache and warm, and emits one machine-readable JSON
+// object on stdout — the repo's BENCH_engine.json trajectory point.
+//
+// Schema v3 measures each (jobs, cold|warm) cell as the median of
+// --repeats timed runs (cold on a fresh engine every repeat; warm on one
+// engine after a discarded warm-up run) and reports the min alongside.
+// Schema v2 took single samples, and on a corpus-sized workload the
+// run-to-run noise exceeded the cold/warm gap — the seed trajectory point
+// recorded warm (7913 ms) *slower* than cold (7522 ms) at jobs=1, which
+// is physically backwards: a warm run does strictly less SCC solving.
+// (The gap is small in the first place because per-request preparation —
+// parsing is already done, but deep-copying, condensation, and the
+// transform pipeline are not cached — dominates corpus wall time.)
+//
+// v3 also adds a "stress" section: a generated workload (src/gen) of
+// --stress-requests mixed-verdict requests per jobs level, reporting
+// saturation requests/s and the p50/p95/p99/max of per-request service
+// latency (BatchItemResult::latency_us — prep start to last SCC task,
+// excluding queue wait, so the distribution measures service time, not
+// batch position).
 //
 // E12 (--phases): per-phase time shares for the paper's worked examples,
 // measured with the span tracer (docs/observability.md). For each example
@@ -12,8 +27,21 @@
 // jobs=1, and the finished spans are aggregated by name; "share" is a
 // phase's self time (its duration minus its children's) as a fraction of
 // the request span. Needs a TERMILOG_OBS=ON build.
+//
+// E14 (--chaos [SEED]): robustness replay. A generated all-provable
+// workload runs repeatedly at jobs=4 on one engine while each round
+// enables a seeded random failpoint spec (the TERMILOG_FAILPOINTS
+// syntax, driven through FailpointRegistry::EnableFromSpec — the same
+// parser the env var feeds). Asserted per round: no request errors (a
+// forced trip must degrade along the governor ladder, never fail the
+// run), and SccCache::SelfCheck passes (no abandoned single-flight
+// slots, no retained RESOURCE_LIMIT outcome). A final clean round must
+// prove every request — a cached poisoned verdict would surface here.
+// Needs a TERMILOG_FAILPOINTS=ON build (the default).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -28,8 +56,11 @@ using namespace termilog;
 
 namespace {
 
-constexpr int kSchemaVersion = 2;
+constexpr int kSchemaVersion = 3;
 constexpr int kJobsLevels[] = {1, 2, 4, 8};
+
+int g_repeats = 3;
+int g_stress_requests = 10000;
 
 std::vector<BatchRequest> CorpusRequests() {
   std::vector<BatchRequest> requests;
@@ -58,25 +89,22 @@ std::string MetaJson(size_t corpus_requests) {
   return StrCat("{\"schema_version\":", kSchemaVersion,
                 ",\"build_type\":\"", JsonEscape(TERMILOG_BUILD_TYPE),
                 "\",\"jobs\":[", jobs,
-                "],\"corpus_requests\":", corpus_requests, "}");
+                "],\"corpus_requests\":", corpus_requests,
+                ",\"repeats\":", g_repeats,
+                ",\"stress_requests\":", g_stress_requests, "}");
 }
 
 struct RunSample {
-  int64_t wall_ms = 0;
+  int64_t wall_ms = 0;      // median across repeats
+  int64_t min_wall_ms = 0;  // best repeat
   int64_t scc_tasks = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
 };
 
-// EngineStats accumulate across Run calls; the warm sample is the delta
-// between the post-warm and post-cold snapshots.
-RunSample Delta(const EngineStats& after, const EngineStats& before) {
-  RunSample sample;
-  sample.wall_ms = after.wall_ms;  // wall_ms is per-Run, not cumulative
-  sample.scc_tasks = after.scc_tasks - before.scc_tasks;
-  sample.cache_hits = after.cache_hits - before.cache_hits;
-  sample.cache_misses = after.cache_misses - before.cache_misses;
-  return sample;
+int64_t MedianOf(std::vector<int64_t> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
 }
 
 std::string SampleJson(const RunSample& sample, size_t requests) {
@@ -88,12 +116,13 @@ std::string SampleJson(const RunSample& sample, size_t requests) {
           ? static_cast<double>(sample.cache_hits) /
                 static_cast<double>(sample.scc_tasks)
           : 0.0;
-  char buffer[256];
+  char buffer[320];
   std::snprintf(buffer, sizeof(buffer),
-                "{\"wall_ms\":%lld,\"scc_tasks\":%lld,\"cache_hits\":%lld,"
-                "\"cache_misses\":%lld,\"requests_per_s\":%.2f,"
-                "\"scc_hit_rate\":%.4f}",
+                "{\"wall_ms\":%lld,\"min_wall_ms\":%lld,\"scc_tasks\":%lld,"
+                "\"cache_hits\":%lld,\"cache_misses\":%lld,"
+                "\"requests_per_s\":%.2f,\"scc_hit_rate\":%.4f}",
                 static_cast<long long>(sample.wall_ms),
+                static_cast<long long>(sample.min_wall_ms),
                 static_cast<long long>(sample.scc_tasks),
                 static_cast<long long>(sample.cache_hits),
                 static_cast<long long>(sample.cache_misses), throughput,
@@ -101,29 +130,134 @@ std::string SampleJson(const RunSample& sample, size_t requests) {
   return buffer;
 }
 
+// One (jobs) row of the corpus-throughput section. Cold: a fresh engine
+// per repeat, so every repeat pays the full miss cost. Warm: one engine,
+// one cold run to populate the cache, one *discarded* warm-up run (page
+// the cache and thread pool in), then the timed repeats.
+std::string ThroughputRow(int jobs, const std::vector<BatchRequest>& requests) {
+  RunSample cold;
+  {
+    std::vector<int64_t> walls;
+    for (int r = 0; r < g_repeats; ++r) {
+      BatchEngine engine(EngineOptions{jobs, /*use_cache=*/true});
+      engine.Run(requests);
+      walls.push_back(engine.stats().wall_ms);
+      if (r == 0) {
+        cold.scc_tasks = engine.stats().scc_tasks;
+        cold.cache_hits = engine.stats().cache_hits;
+        cold.cache_misses = engine.stats().cache_misses;
+      }
+    }
+    cold.wall_ms = MedianOf(walls);
+    cold.min_wall_ms = *std::min_element(walls.begin(), walls.end());
+  }
+
+  RunSample warm;
+  {
+    BatchEngine engine(EngineOptions{jobs, /*use_cache=*/true});
+    engine.Run(requests);  // populate the cache
+    engine.Run(requests);  // warm-up, discarded
+    std::vector<int64_t> walls;
+    for (int r = 0; r < g_repeats; ++r) {
+      EngineStats before = engine.stats();
+      engine.Run(requests);
+      walls.push_back(engine.stats().wall_ms);
+      if (r == 0) {
+        warm.scc_tasks = engine.stats().scc_tasks - before.scc_tasks;
+        warm.cache_hits = engine.stats().cache_hits - before.cache_hits;
+        warm.cache_misses = engine.stats().cache_misses - before.cache_misses;
+      }
+    }
+    warm.wall_ms = MedianOf(walls);
+    warm.min_wall_ms = *std::min_element(walls.begin(), walls.end());
+  }
+
+  return StrCat("{\"jobs\":", jobs,
+                ",\"cold\":", SampleJson(cold, requests.size()),
+                ",\"warm\":", SampleJson(warm, requests.size()), "}");
+}
+
+// Mixed-verdict generated workload for the stress section: unique
+// programs (dup=0), so the cache cannot shortcut the work and the row
+// measures saturation throughput of *distinct* requests.
+gen::GenParams StressParams() {
+  gen::GenParams params;
+  params.seed = 2026;
+  params.count = g_stress_requests;
+  params.min_sccs = 1;
+  params.max_sccs = 3;
+  params.min_scc_size = 1;
+  params.max_scc_size = 3;
+  params.mix_proved = 70;
+  params.mix_not_proved = 25;
+  params.mix_resource_limit = 5;
+  params.name_prefix = "stress";
+  return params;
+}
+
+std::string StressRow(int jobs, const std::vector<BatchRequest>& requests) {
+  BatchEngine engine(EngineOptions{jobs, /*use_cache=*/true});
+  std::vector<BatchItemResult> results = engine.Run(requests);
+  std::vector<int64_t> latencies;
+  latencies.reserve(results.size());
+  int64_t proved = 0, limited = 0, errors = 0;
+  for (const BatchItemResult& item : results) {
+    latencies.push_back(item.latency_us);
+    if (!item.status.ok()) {
+      ++errors;
+    } else if (item.report.resource_limited) {
+      ++limited;
+    } else if (item.report.proved) {
+      ++proved;
+    }
+  }
+  gen::LatencySummary latency = gen::SummarizeLatencies(std::move(latencies));
+  int64_t wall_ms = engine.stats().wall_ms;
+  double seconds = static_cast<double>(wall_ms) / 1000.0;
+  double throughput =
+      seconds > 0 ? static_cast<double>(requests.size()) / seconds : 0.0;
+  char buffer[448];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"jobs\":%d,\"requests\":%zu,\"wall_ms\":%lld,"
+      "\"requests_per_s\":%.1f,\"proved\":%lld,\"resource_limited\":%lld,"
+      "\"errors\":%lld,\"latency_us\":{\"p50\":%lld,\"p95\":%lld,"
+      "\"p99\":%lld,\"max\":%lld}}",
+      jobs, requests.size(), static_cast<long long>(wall_ms), throughput,
+      static_cast<long long>(proved), static_cast<long long>(limited),
+      static_cast<long long>(errors), static_cast<long long>(latency.p50_us),
+      static_cast<long long>(latency.p95_us),
+      static_cast<long long>(latency.p99_us),
+      static_cast<long long>(latency.max_us));
+  return buffer;
+}
+
 int RunThroughput() {
-  std::vector<BatchRequest> requests = CorpusRequests();
+  std::vector<BatchRequest> corpus = CorpusRequests();
 
   std::string out = StrCat("{\"bench\":\"engine\",\"meta\":",
-                           MetaJson(requests.size()), ",\"runs\":[");
+                           MetaJson(corpus.size()), ",\"runs\":[");
   bool first = true;
   for (int jobs : kJobsLevels) {
-    BatchEngine engine(EngineOptions{jobs, /*use_cache=*/true});
-
-    engine.Run(requests);
-    EngineStats cold_stats = engine.stats();
-    RunSample cold = Delta(cold_stats, EngineStats());
-
-    engine.Run(requests);
-    RunSample warm = Delta(engine.stats(), cold_stats);
-
     if (!first) out += ',';
     first = false;
-    out += StrCat("{\"jobs\":", jobs, ",\"cold\":",
-                  SampleJson(cold, requests.size()),
-                  ",\"warm\":", SampleJson(warm, requests.size()), "}");
+    out += ThroughputRow(jobs, corpus);
   }
-  out += "]}";
+  out += "],\"stress\":{\"spec\":\"";
+
+  gen::GenParams params = StressParams();
+  out += JsonEscape(gen::GenSpecToString(params));
+  out += "\",\"rows\":[";
+  gen::GeneratedWorkload workload = gen::Generate(params);
+  std::vector<BatchRequest> requests =
+      gen::WorkloadToBatchRequests(workload).value();
+  first = true;
+  for (int jobs : kJobsLevels) {
+    if (!first) out += ',';
+    first = false;
+    out += StressRow(jobs, requests);
+  }
+  out += "]}}";
   std::printf("%s\n", out.c_str());
   return 0;
 }
@@ -196,13 +330,152 @@ int RunPhases() {
   return 0;
 }
 
+// Every failpoint site in the library (grep TERMILOG_FAILPOINT under
+// src/). A chaos round draws a subset of these.
+constexpr const char* kChaosSites[] = {
+    "analyzer.scc",   "dual.build",         "fm.eliminate",
+    "inference.run",  "inference.sweep",    "interp.bottom_up",
+    "lp.pivot",       "sld.step",           "transform.phase",
+    "transform.pipeline", "transform.unfold"};
+constexpr int kChaosSiteCount =
+    static_cast<int>(sizeof(kChaosSites) / sizeof(kChaosSites[0]));
+
+// Builds a seeded TERMILOG_FAILPOINTS spec ("a=3,b") for one round: one
+// to three distinct sites, each failing either the first 1..64 hits or
+// every hit.
+std::string ChaosSpec(gen::Rng& rng) {
+  int count = rng.NextInt(1, 3);
+  std::vector<int> picked;
+  while (static_cast<int>(picked.size()) < count) {
+    int site = rng.NextInt(0, kChaosSiteCount - 1);
+    bool seen = false;
+    for (int p : picked) seen = seen || p == site;
+    if (!seen) picked.push_back(site);
+  }
+  std::string spec;
+  for (int site : picked) {
+    if (!spec.empty()) spec += ',';
+    spec += kChaosSites[site];
+    if (rng.Chance(75)) {
+      spec += '=';
+      spec += std::to_string(rng.NextInt(1, 64));
+    }
+  }
+  return spec;
+}
+
+int RunChaos(uint64_t seed) {
+  constexpr int kRounds = 8;
+  constexpr int kChaosJobs = 4;
+
+  // All-provable workload with unlimited budgets: every RESOURCE_LIMIT or
+  // NOT_PROVED outcome below is *caused by an injected fault*, and the
+  // final clean round must prove everything or the engine retained
+  // poisoned state.
+  gen::GenParams params;
+  params.seed = seed;
+  params.count = 200;
+  params.mix_proved = 100;
+  params.mix_not_proved = 0;
+  params.mix_resource_limit = 0;
+  params.name_prefix = "chaos";
+  gen::GeneratedWorkload workload = gen::Generate(params);
+  std::vector<BatchRequest> requests =
+      gen::WorkloadToBatchRequests(workload).value();
+
+  BatchEngine engine(EngineOptions{kChaosJobs, /*use_cache=*/true});
+  gen::Rng rng = gen::Rng::Stream(seed, /*stream=*/0xC4A05ULL);
+
+  std::string out =
+      StrCat("{\"bench\":\"engine_chaos\",\"meta\":", MetaJson(0),
+             ",\"seed\":", seed, ",\"jobs\":", kChaosJobs,
+             ",\"requests_per_round\":", requests.size(), ",\"rounds\":[");
+  bool failed = false;
+  for (int round = 0; round < kRounds; ++round) {
+    std::string spec = ChaosSpec(rng);
+    FailpointRegistry::Global().EnableFromSpec(spec);
+    std::vector<BatchItemResult> results = engine.Run(requests);
+    FailpointRegistry::Global().Clear();
+
+    int64_t proved = 0, limited = 0, not_proved = 0, errors = 0;
+    for (const BatchItemResult& item : results) {
+      if (!item.status.ok()) {
+        ++errors;
+      } else if (item.report.resource_limited) {
+        ++limited;
+      } else if (item.report.proved) {
+        ++proved;
+      } else {
+        ++not_proved;
+      }
+    }
+    Status cache_check = engine.cache().SelfCheck();
+    bool round_ok = errors == 0 && cache_check.ok();
+    failed = failed || !round_ok;
+
+    if (round > 0) out += ',';
+    out += StrCat("{\"spec\":\"", JsonEscape(spec), "\",\"proved\":", proved,
+                  ",\"resource_limited\":", limited,
+                  ",\"not_proved\":", not_proved, ",\"errors\":", errors,
+                  ",\"cache_self_check\":\"",
+                  cache_check.ok() ? "ok" : JsonEscape(cache_check.ToString()),
+                  "\",\"ok\":", round_ok ? "true" : "false", "}");
+  }
+
+  // Clean verification round: no failpoints. Every request must prove —
+  // an injected RESOURCE_LIMIT verdict that leaked into the cache, or an
+  // abandoned single-flight slot, would break this.
+  std::vector<BatchItemResult> clean = engine.Run(requests);
+  int64_t clean_proved = 0;
+  for (const BatchItemResult& item : clean) {
+    if (item.status.ok() && item.report.proved) ++clean_proved;
+  }
+  Status final_check = engine.cache().SelfCheck();
+  bool clean_ok = clean_proved == static_cast<int64_t>(clean.size()) &&
+                  final_check.ok();
+  failed = failed || !clean_ok;
+
+  out += StrCat("],\"clean_round\":{\"proved\":", clean_proved,
+                ",\"requests\":", clean.size(), ",\"cache_self_check\":\"",
+                final_check.ok() ? "ok" : JsonEscape(final_check.ToString()),
+                "\",\"ok\":", clean_ok ? "true" : "false",
+                "},\"ok\":", failed ? "false" : "true", "}");
+  std::printf("%s\n", out.c_str());
+  if (failed) {
+    std::fprintf(stderr, "bench_engine: chaos run FAILED (see JSON)\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--phases") == 0) return RunPhases();
-  if (argc > 1) {
-    std::fprintf(stderr, "usage: bench_engine [--phases]\n");
-    return 1;
+  bool phases = false, chaos = false;
+  uint64_t chaos_seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--phases") {
+      phases = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+      }
+    } else if (arg == "--repeats" && i + 1 < argc) {
+      g_repeats = std::atoi(argv[++i]);
+      if (g_repeats < 1) g_repeats = 1;
+    } else if (arg == "--stress-requests" && i + 1 < argc) {
+      g_stress_requests = std::atoi(argv[++i]);
+      if (g_stress_requests < 1) g_stress_requests = 1;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_engine [--phases | --chaos [SEED]] "
+                   "[--repeats N] [--stress-requests N]\n");
+      return 1;
+    }
   }
+  if (phases) return RunPhases();
+  if (chaos) return RunChaos(chaos_seed);
   return RunThroughput();
 }

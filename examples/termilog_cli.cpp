@@ -6,6 +6,7 @@
 //   termilog_cli FILE QUERY [options]
 //   termilog_cli --corpus NAME [options]
 //   termilog_cli --batch DIR|MANIFEST [--jobs N] [options]
+//   termilog_cli --gen SEED[:PARAMS] [--out FILE]
 //
 //   FILE    program file (Prolog subset; see README)
 //   QUERY   entry pattern, e.g. "perm(b,f)" (b = bound, f = free).
@@ -13,19 +14,34 @@
 //
 // Batch mode analyzes many requests through the parallel engine
 // (docs/engine.md): DIR expands to every *.pl file in sorted order, one
-// request per `:- mode(...)` directive; MANIFEST is a text file of lines
+// request per `:- mode(...)` directive; MANIFEST is either a text file of
+// lines
 //   corpus:NAME          a built-in corpus entry
 //   FILE [QUERY]         a program file (QUERY optional as above)
-// (# comments and blank lines ignored). Output is one JSON line per
-// request, streamed to stdout in request order — byte-identical for every
-// --jobs value — with an aggregate stats object (cache hits/misses, work
-// spend) on stderr.
+// (# comments and blank lines ignored), or — when its first byte is '{' —
+// a JSONL manifest (docs/generator.md): one JSON object per line with
+// "source" (inline program) or "file", plus optional "query", "name",
+// "expect" and per-request "limits". Output is one JSON line per request,
+// streamed to stdout in request order — byte-identical for every --jobs
+// value — with an aggregate stats object (cache hits/misses, work spend)
+// on stderr.
+//
+// Generator mode (--gen, docs/generator.md) emits a JSONL manifest of
+// synthetic programs with declared expected verdicts to --out (default
+// stdout); the spec is "SEED:count=10000,sccs=1-3,preds=1-3,arity=2,
+// depth=2,fanout=2,mix=70/25/5,dup=0,budget=1,prefix=gen" (every key
+// optional). Feed the manifest back through --batch; --check-expect then
+// verifies every verdict against the generator's declaration (exit 4 on
+// mismatch) — the stress harness in scripts/check.sh --stress.
 //
 // Options:
 //   --json                 structured JSON output instead of text (single
 //                          run and multi-mode; --batch is always JSON)
 //   --jobs N               worker threads for --batch / multi-mode (default 1)
 //   --no-cache             disable the engine's content-addressed SCC cache
+//   --check-expect         with --batch over a JSONL manifest: compare each
+//                          verdict against the manifest's "expect" field
+//   --out FILE             with --gen: write the manifest here
 //   --transform            run the Appendix A pipeline first
 //   --negative-deltas      enable the Appendix C free-delta mode
 //   --no-inference         skip inter-argument inference (manual mode)
@@ -51,7 +67,11 @@
 //                          (docs/observability.md).
 //
 // Exit codes: 0 = proved, 2 = not proved, 3 = resource-limited (a budget
-// tripped; the report printed is valid but partial), 1 = usage/parse error.
+// tripped; the report printed is valid but partial), 4 = --check-expect
+// found verdict mismatches, 1 = usage/parse error. When --check-expect
+// verified at least one declared verdict and all matched, the exit is 0
+// regardless of the verdict mix: the assertion being made is "engine
+// agrees with the manifest", not "everything proved".
 
 #include <algorithm>
 #include <cstdio>
@@ -77,6 +97,7 @@ int Fail(const char* message) {
 
 constexpr int kExitNotProved = 2;
 constexpr int kExitResourceLimited = 3;
+constexpr int kExitExpectMismatch = 4;
 
 // 0 proved / 2 not proved / 3 resource-limited, with the tripped budget on
 // stderr so scripts can tell a weak verdict from an underfunded one.
@@ -117,7 +138,11 @@ struct BatchPlan {
   std::vector<BatchRequest> requests;
   std::vector<size_t> request_slot;   // request index -> output slot
   std::vector<std::string> request_query;  // query text for the JSON line
+  std::vector<std::string> request_expect;  // declared verdict ("" = none)
   bool any_error = false;
+  // Expectation attached to the entry currently being expanded (JSONL
+  // manifests only); AddProgram stamps it onto every request it creates.
+  std::string pending_expect;
 
   void AddErrorLine(const std::string& name, const Status& status) {
     any_error = true;
@@ -158,9 +183,39 @@ struct BatchPlan {
       request.options = options;
       request_slot.push_back(lines.size());
       request_query.push_back(q);
+      request_expect.push_back(pending_expect);
       lines.emplace_back(std::nullopt);
       requests.push_back(std::move(request));
     }
+  }
+
+  // One JSONL manifest entry (inline source or program file), with its
+  // per-request limits and declared expectation.
+  void AddManifestEntry(const gen::ManifestEntry& entry,
+                        const AnalysisOptions& base) {
+    AnalysisOptions options = base;
+    if (entry.has_limits) options.limits = entry.limits;
+    pending_expect = entry.expect;
+    std::string source = entry.source;
+    if (source.empty()) {
+      std::ifstream in(entry.file);
+      if (!in) {
+        AddErrorLine(entry.name,
+                     Status::InvalidArgument("cannot open program file"));
+        pending_expect.clear();
+        return;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    }
+    Result<Program> parsed = ParseProgram(source);
+    if (!parsed.ok()) {
+      AddErrorLine(entry.name, parsed.status());
+    } else {
+      AddProgram(entry.name, *parsed, entry.query, options);
+    }
+    pending_expect.clear();
   }
 
   void AddFile(const std::string& path, const std::string& query,
@@ -205,7 +260,7 @@ struct BatchPlan {
 // Expands DIR|MANIFEST into a BatchPlan, runs it through the engine, and
 // streams the JSONL report. Returns the process exit code.
 int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
-             int jobs, bool use_cache) {
+             int jobs, bool use_cache, bool check_expect) {
   namespace fs = std::filesystem;
   BatchPlan plan;
   std::error_code ec;
@@ -222,23 +277,39 @@ int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
   } else {
     std::ifstream in(batch_path);
     if (!in) return Fail("cannot open --batch manifest");
-    std::string line;
-    while (std::getline(in, line)) {
-      size_t start = line.find_first_not_of(" \t");
-      if (start == std::string::npos || line[start] == '#') continue;
-      size_t end = line.find_last_not_of(" \t\r");
-      line = line.substr(start, end - start + 1);
-      if (line.rfind("corpus:", 0) == 0) {
-        plan.AddCorpusEntry(line.substr(7), options);
-        continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    size_t first = text.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos && text[first] == '{') {
+      // JSONL manifest (generator output or hand-written; see
+      // docs/generator.md for the line schema).
+      Result<std::vector<gen::ManifestEntry>> entries =
+          gen::ParseManifestJsonl(text);
+      if (!entries.ok()) return Fail(entries.status().ToString().c_str());
+      for (const gen::ManifestEntry& entry : *entries) {
+        plan.AddManifestEntry(entry, options);
       }
-      size_t space = line.find(' ');
-      std::string file = line.substr(0, space);
-      std::string query =
-          space == std::string::npos ? "" : line.substr(space + 1);
-      size_t qstart = query.find_first_not_of(" \t");
-      query = qstart == std::string::npos ? "" : query.substr(qstart);
-      plan.AddFile(file, query, options);
+    } else {
+      std::istringstream lines_in(text);
+      std::string line;
+      while (std::getline(lines_in, line)) {
+        size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#') continue;
+        size_t end = line.find_last_not_of(" \t\r");
+        line = line.substr(start, end - start + 1);
+        if (line.rfind("corpus:", 0) == 0) {
+          plan.AddCorpusEntry(line.substr(7), options);
+          continue;
+        }
+        size_t space = line.find(' ');
+        std::string file = line.substr(0, space);
+        std::string query =
+            space == std::string::npos ? "" : line.substr(space + 1);
+        size_t qstart = query.find_first_not_of(" \t");
+        query = qstart == std::string::npos ? "" : query.substr(qstart);
+        plan.AddFile(file, query, options);
+      }
     }
     if (plan.lines.empty()) return Fail("--batch manifest names no requests");
   }
@@ -250,6 +321,8 @@ int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
 
   bool all_proved = !plan.any_error;
   bool any_limited = false;
+  int64_t expect_checked = 0;
+  int64_t expect_mismatches = 0;
   size_t next_request = 0;
   size_t next_to_print = 0;
   auto flush = [&] {
@@ -270,12 +343,43 @@ int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
       all_proved = all_proved && item.report.proved;
       any_limited = any_limited || item.report.resource_limited;
     }
+    if (check_expect && !plan.request_expect[index].empty()) {
+      gen::ExpectedVerdict expect;
+      if (gen::ParseExpectedVerdict(plan.request_expect[index], &expect)) {
+        ++expect_checked;
+        bool matches =
+            item.status.ok() &&
+            gen::OutcomeMatchesExpect(expect, item.report.proved,
+                                      item.report.resource_limited);
+        if (!matches) {
+          ++expect_mismatches;
+          if (expect_mismatches <= 10) {
+            std::fprintf(stderr,
+                         "termilog_cli: expect mismatch: %s declared %s\n",
+                         item.name.c_str(),
+                         plan.request_expect[index].c_str());
+          }
+        }
+      }
+    }
     flush();
   });
   flush();
 
   std::fprintf(stderr, "%s\n",
                EngineStatsToJson(engine.stats(), jobs).c_str());
+  if (check_expect) {
+    std::fprintf(stderr,
+                 "termilog_cli: expect check: %lld/%lld verdicts match\n",
+                 static_cast<long long>(expect_checked - expect_mismatches),
+                 static_cast<long long>(expect_checked));
+    if (expect_mismatches > 0) return kExitExpectMismatch;
+    // In verification mode the contract is "verdicts match declarations",
+    // not "everything proved": a generated workload deliberately mixes
+    // not-proved and resource-limited requests, and all of them matching
+    // is the success being asserted.
+    if (expect_checked > 0) return EXIT_SUCCESS;
+  }
   if (all_proved) return EXIT_SUCCESS;
   return any_limited ? kExitResourceLimited : kExitNotProved;
 }
@@ -288,8 +392,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> run_goals;
   bool show_constraints = false, run_baselines = false, reorder = false;
   bool explain = false, json = false, use_cache = true;
+  bool check_expect = false;
   int64_t jobs = 1;
   std::string corpus_name, batch_path, trace_path, metrics_path;
+  std::string gen_spec, out_path;
 
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -304,6 +410,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--batch" && i + 1 < argc) {
       batch_path = argv[++i];
+    } else if (arg == "--gen" && i + 1 < argc) {
+      gen_spec = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check-expect") {
+      check_expect = true;
     } else if (arg == "--transform") {
       options.apply_transformations = true;
     } else if (arg == "--negative-deltas") {
@@ -357,8 +469,28 @@ int main(int argc, char** argv) {
   // and writes the files on destruction, whatever exit path is taken.
   obs::ObsExport obs_export(trace_path, metrics_path);
 
+  if (!gen_spec.empty()) {
+    Result<gen::GenParams> params = gen::ParseGenSpec(gen_spec);
+    if (!params.ok()) return Fail(params.status().ToString().c_str());
+    gen::GeneratedWorkload workload = gen::Generate(*params);
+    std::string manifest = gen::WorkloadToManifestJsonl(workload);
+    if (out_path.empty()) {
+      std::fwrite(manifest.data(), 1, manifest.size(), stdout);
+      return EXIT_SUCCESS;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) return Fail("cannot open --out file");
+    out << manifest;
+    out.close();
+    if (!out) return Fail("write to --out file failed");
+    std::fprintf(stderr, "termilog_cli: wrote %zu-request manifest to %s\n",
+                 workload.requests.size(), out_path.c_str());
+    return EXIT_SUCCESS;
+  }
+
   if (!batch_path.empty()) {
-    return RunBatch(batch_path, options, static_cast<int>(jobs), use_cache);
+    return RunBatch(batch_path, options, static_cast<int>(jobs), use_cache,
+                    check_expect);
   }
 
   if (!corpus_name.empty()) {

@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
 # Repo check driver (docs/robustness.md):
-#   1. tier-1 verify: configure + build + full ctest in build/
+#   1. tier-1 verify: configure + build + full ctest in build/ (includes
+#      the stress-labelled smoke at its default 200-request size)
 #   2. UBSan pass of the unit and engine suites in build-ubsan/ (the
 #      arithmetic kernel lives in the unit suite; docs/arithmetic.md)
-#   3. ASan+UBSan pass of the engine and obs suites in build-asan/
+#   3. ASan+UBSan pass of the engine and obs suites in build-asan/ (the
+#      engine suite includes the seeded-failpoint chaos regression)
 #   4. TSan pass of the engine and obs suites in build-tsan/
 # The sanitizer trees are configured with TERMILOG_OBS=ON explicitly so the
 # tracing/metrics subsystem is exercised under both sanitizers (the obs
 # suite spawns threads; the engine suite runs the worker pool).
 #
-# Usage: scripts/check.sh [--tier1-only]
+# --stress additionally runs the full-size generated-workload harness
+# (docs/generator.md):
+#   a. the stress-labelled suite at 2000 requests per test
+#   b. the 10k-request CLI round trip: termilog --gen writes a manifest,
+#      --batch replays it at jobs=1 and jobs=8 with --check-expect, and
+#      the two output streams must be byte-identical
+#   c. bench_engine --chaos: seeded failpoint replay (ladder degradation,
+#      cache self-check, clean-round recovery)
+#
+# Usage: scripts/check.sh [--tier1-only | --stress]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +38,31 @@ run ctest --test-dir build --output-on-failure -j "$JOBS"
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "check.sh: tier-1 OK (sanitizer passes skipped)" >&2
+  exit 0
+fi
+
+if [[ "${1:-}" == "--stress" ]]; then
+  # --- a. stress suite at full size ------------------------------------
+  run env TERMILOG_STRESS_REQUESTS=2000 \
+      ctest --test-dir build --output-on-failure -L stress
+
+  # --- b. 10k-request CLI round trip -----------------------------------
+  workdir="$(mktemp -d)"
+  trap 'rm -rf "$workdir"' EXIT
+  manifest="$workdir/stress10k.jsonl"
+  run ./build/examples/termilog_cli \
+      --gen "2026:count=10000,sccs=1-3,preds=1-3,mix=70/25/5" \
+      --out "$manifest"
+  run ./build/examples/termilog_cli --batch "$manifest" --jobs 1 \
+      --check-expect >"$workdir/out.j1.jsonl"
+  run ./build/examples/termilog_cli --batch "$manifest" --jobs 8 \
+      --check-expect >"$workdir/out.j8.jsonl"
+  run cmp "$workdir/out.j1.jsonl" "$workdir/out.j8.jsonl"
+
+  # --- c. seeded chaos replay ------------------------------------------
+  run ./build/bench/bench_engine --chaos 7 >"$workdir/chaos.json"
+
+  echo "check.sh: stress harness OK (10k round trip byte-identical)" >&2
   exit 0
 fi
 

@@ -86,7 +86,16 @@ struct RequestState {
   std::atomic<int64_t> limb_high_water{0};
   std::atomic<int64_t> scc_tasks{0};
   std::atomic<int64_t> cache_hits{0};
+  /// Worker microseconds spent on this request: its preparation plus each
+  /// of its SCC tasks (cache lookups and single-flight waits included).
+  /// Queue time between tasks is not billed, so over a large batch the
+  /// distribution measures per-request service cost, not batch position.
+  std::atomic<int64_t> busy_us{0};
   std::chrono::steady_clock::time_point started;
+  // Set by finish_request (single writer: the worker that completes the
+  // request), read by the merge loop after done[i] — the done_mu handoff
+  // orders the accesses.
+  std::chrono::steady_clock::time_point finished;
   // Per-request trace span: begun by the prep task, ended by the merge
   // loop on the main thread; SCC tasks attach to it explicitly.
   obs::SpanId span = 0;
@@ -147,6 +156,7 @@ std::vector<BatchItemResult> BatchEngine::Run(
   std::condition_variable done_cv;
   std::vector<bool> done(n, false);
   auto finish_request = [&](size_t i) {
+    states[i]->finished = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lock(done_mu);
       done[i] = true;
@@ -162,6 +172,7 @@ std::vector<BatchItemResult> BatchEngine::Run(
   // request's mode dataflow, not of the SCC's content).
   auto run_scc_task = [&](size_t i, size_t j) {
     RequestState& state = *states[i];
+    const auto task_start = std::chrono::steady_clock::now();
     obs::ScopedParent trace_parent(state.span);
     TERMILOG_TRACE("scc.task", "engine");
     TERMILOG_COUNTER("engine.scc_tasks", 1);
@@ -206,6 +217,11 @@ std::vector<BatchItemResult> BatchEngine::Run(
     }
     state.scc_tasks.fetch_add(1, std::memory_order_relaxed);
     state.slots[j] = RehydrateSccReport(outcome, program, std::move(preds));
+    state.busy_us.fetch_add(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - task_start)
+            .count(),
+        std::memory_order_relaxed);
     if (state.pending_sccs.fetch_sub(1) == 1) finish_request(i);
   };
 
@@ -220,7 +236,18 @@ std::vector<BatchItemResult> BatchEngine::Run(
     state.prepared = state.analyzer->Prepare(state.program, request.query,
                                              request.adornment, &governor);
     AccumulateSpend(&state, governor.Spend());
+    // Billed before any SCC task can finish the request, so the merge
+    // loop's read (ordered by the done_mu handoff) always sees the prep
+    // share.
+    auto bill_prep = [&state] {
+      state.busy_us.fetch_add(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - state.started)
+              .count(),
+          std::memory_order_relaxed);
+    };
     if (!state.prepared.ok()) {
+      bill_prep();
       finish_request(i);
       return;
     }
@@ -237,10 +264,12 @@ std::vector<BatchItemResult> BatchEngine::Run(
       state.slots[j].status = SccStatus::kNonRecursive;
     }
     if (recursive == 0) {
+      bill_prep();
       finish_request(i);
       return;
     }
     state.pending_sccs.store(recursive);
+    bill_prep();
     for (size_t j = 0; j < prepared.sccs.size(); ++j) {
       if (!prepared.sccs[j].recursive) continue;
       queue.Push([&run_scc_task, i, j] { run_scc_task(i, j); });
@@ -293,14 +322,17 @@ std::vector<BatchItemResult> BatchEngine::Run(
       }
       report.spend.work = state.work.load();
       report.spend.bigint_limb_high_water = state.limb_high_water.load();
+      // Completion time, not merge time: an early request that finished
+      // fast should not bill the wait for its slot in the ordered stream.
       report.spend.elapsed_ms =
           std::chrono::duration_cast<std::chrono::milliseconds>(
-              std::chrono::steady_clock::now() - state.started)
+              state.finished - state.started)
               .count();
       item.report = std::move(report);
     }
     item.scc_tasks = state.scc_tasks.load();
     item.cache_hits = state.cache_hits.load();
+    item.latency_us = state.busy_us.load(std::memory_order_relaxed);
     stats_.scc_tasks += item.scc_tasks;
     stats_.total_work += state.work.load();
     obs::EndSpan(state.span);

@@ -41,6 +41,15 @@ struct BatchItemResult {
   /// miss), so these are accounting, not part of the deterministic report.
   int64_t scc_tasks = 0;
   int64_t cache_hits = 0;
+  /// Service latency: worker microseconds spent on this request — its
+  /// preparation plus each of its SCC tasks (cache lookups and
+  /// single-flight waits included). Queue time between tasks is not
+  /// billed: the scheduler runs all preparations before the trailing SCC
+  /// tasks, so an end-to-end interval would measure batch position, not
+  /// the request (at 10k requests it approaches the whole run's wall
+  /// time). Wall-clock accounting — never part of the deterministic
+  /// report bytes (bench_engine's p50/p95/p99 columns).
+  int64_t latency_us = 0;
 };
 
 /// Aggregate counters across every Run of one engine.

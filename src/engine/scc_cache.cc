@@ -124,4 +124,32 @@ int64_t SccCache::size() const {
   return ready;
 }
 
+Status SccCache::SelfCheck() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    if (key.empty()) {
+      return Status::Internal("cache self-check: empty key retained");
+    }
+    if (entry == nullptr) {
+      return Status::Internal("cache self-check: null entry retained");
+    }
+    if (!entry->ready) {
+      return Status::Internal(
+          "cache self-check: in-flight entry retained after run "
+          "(abandoned single-flight slot)");
+    }
+    if (entry->outcome.status == SccStatus::kResourceLimit) {
+      return Status::Internal(
+          "cache self-check: kResourceLimit outcome retained (starved "
+          "verdicts must never be served from cache)");
+    }
+  }
+  if (stats_.lookups !=
+      stats_.hits + stats_.misses + stats_.single_flight_waits) {
+    return Status::Internal(
+        "cache self-check: lookup accounting does not reconcile");
+  }
+  return Status::Ok();
+}
+
 }  // namespace termilog

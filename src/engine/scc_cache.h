@@ -95,6 +95,16 @@ class SccCache {
   /// Number of completed entries currently retained.
   int64_t size() const;
 
+  /// Post-run invariant audit, for the chaos/stress harness
+  /// (docs/generator.md): with no computation in flight, every retained
+  /// entry must be ready (no abandoned single-flight slots), no
+  /// kResourceLimit outcome may be retained (a starved verdict is not an
+  /// answer), every retained key must be non-empty, and the stats must
+  /// reconcile (lookups == hits + misses + single_flight_waits). Returns
+  /// the first violation as kInternal; OK means the cache survived the
+  /// run — including injected faults — structurally intact.
+  Status SelfCheck() const;
+
  private:
   struct Entry {
     bool ready = false;

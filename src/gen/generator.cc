@@ -1,0 +1,358 @@
+#include "gen/gen.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace termilog {
+namespace gen {
+namespace {
+
+// Weighted verdict draw; weights validated positive-sum by ParseGenSpec /
+// Generate.
+ExpectedVerdict DrawVerdict(const GenParams& params, Rng* rng) {
+  int total = params.mix_proved + params.mix_not_proved +
+              params.mix_resource_limit;
+  int x = static_cast<int>(rng->NextBelow(static_cast<uint64_t>(total)));
+  if (x < params.mix_proved) return ExpectedVerdict::kProved;
+  if (x < params.mix_proved + params.mix_not_proved) {
+    return ExpectedVerdict::kNotProved;
+  }
+  return ExpectedVerdict::kResourceLimit;
+}
+
+std::string PredName(int request, int scc, int pred) {
+  return StrCat("g", request, "s", scc, "p", pred);
+}
+
+// "[X0,X1|T]" — the peel pattern binding k list cells and the tail.
+std::string PeelPattern(int k) {
+  std::string out = "[";
+  for (int e = 0; e < k; ++e) {
+    if (e > 0) out += ',';
+    out += StrCat("X", e);
+  }
+  out += "|T]";
+  return out;
+}
+
+std::string ArgsText(const std::vector<std::string>& args) {
+  return StrCat("(", Join(args, ", "), ")");
+}
+
+// One program. The shape (docs/generator.md):
+//  - S recursive SCCs in a chain; SCC 0 holds the entry predicate.
+//  - every predicate has one base fact and `fanout` recursive rules;
+//    rule 0 calls the next predicate of the SCC cycle, later rules call a
+//    random member.
+//  - every recursive edge peels 1..term_depth list cells off the first
+//    (bound) argument, so the analyzer finds a strict-decrease
+//    certificate — except in a kNotProved program, where one designated
+//    cycle edge grows the argument instead (the program then genuinely
+//    diverges under its declared mode, and no argument-size proof exists).
+//  - SCC s's entry rule also calls SCC s+1's entry with the peeled tail,
+//    making every SCC reachable and the condensation a chain.
+GeneratedRequest GenerateOne(const GenParams& params, int index,
+                             const std::vector<GeneratedRequest>& earlier) {
+  Rng rng = Rng::Stream(params.seed, static_cast<uint64_t>(index));
+
+  GeneratedRequest request;
+  request.name = StrCat(params.name_prefix, ":s", params.seed, ":r", index);
+
+  if (params.dup_percent > 0 && !earlier.empty() &&
+      rng.Chance(params.dup_percent)) {
+    // Verbatim replay of an earlier program (same predicate names, same
+    // source) under a fresh request name: the content-addressed SCC cache
+    // sees exact repeats, as a production queue would.
+    const GeneratedRequest& original =
+        earlier[rng.NextBelow(earlier.size())];
+    request.source = original.source;
+    request.query = original.query;
+    request.expect = original.expect;
+    request.limits = original.limits;
+    request.scc_sizes = original.scc_sizes;
+    return request;
+  }
+
+  request.expect = DrawVerdict(params, &rng);
+  if (request.expect == ExpectedVerdict::kResourceLimit) {
+    request.limits.work_budget = params.resource_work_budget;
+  }
+
+  const int num_sccs = rng.NextInt(params.min_sccs, params.max_sccs);
+  std::vector<int> sizes(num_sccs);
+  std::vector<std::vector<int>> arity(num_sccs);
+  for (int s = 0; s < num_sccs; ++s) {
+    sizes[s] = rng.NextInt(params.min_scc_size, params.max_scc_size);
+    arity[s].resize(sizes[s]);
+    for (int i = 0; i < sizes[s]; ++i) {
+      arity[s][i] = rng.NextInt(1, params.max_arity);
+    }
+  }
+  request.scc_sizes = sizes;
+  // A kNotProved program grows the cycle edge leaving predicate 0 of one
+  // SCC; every other program decreases on every edge.
+  const int bad_scc = request.expect == ExpectedVerdict::kNotProved
+                          ? static_cast<int>(rng.NextBelow(num_sccs))
+                          : -1;
+
+  std::string text =
+      StrCat("% termilog --gen: ", request.name,
+             " expect=", ExpectedVerdictName(request.expect), "\n");
+  const std::string entry = PredName(index, 0, 0);
+  std::string adornment = "b";
+  for (int m = 1; m < arity[0][0]; ++m) adornment += ",f";
+  request.query = StrCat(entry, "(", adornment, ")");
+  text += StrCat(":- mode(", request.query, ").\n");
+
+  for (int s = 0; s < num_sccs; ++s) {
+    for (int i = 0; i < sizes[s]; ++i) {
+      const std::string name = PredName(index, s, i);
+      const int a = arity[s][i];
+
+      // Base case: empty measure argument, outputs unconstrained.
+      std::vector<std::string> base_args(1, "[]");
+      for (int m = 1; m < a; ++m) base_args.emplace_back("_");
+      text += StrCat(name, ArgsText(base_args), ".\n");
+
+      for (int f = 0; f < params.fanout; ++f) {
+        const bool bad_rule = s == bad_scc && i == 0 && f == 0;
+        // Rule 0 closes the SCC cycle; extra rules pick any member.
+        const int callee =
+            f == 0 ? (i + 1) % sizes[s]
+                   : static_cast<int>(rng.NextBelow(sizes[s]));
+        const int callee_arity = arity[s][callee];
+        const int peel = rng.NextInt(1, params.term_depth);
+
+        std::vector<std::string> head_args;
+        std::vector<std::string> callee_args;
+        if (bad_rule) {
+          // Growth: head measure is a bare variable, the recursive call
+          // pushes a cell — no weighted argument-size sum decreases.
+          head_args.emplace_back("T");
+          callee_args.emplace_back("[c|T]");
+        } else {
+          head_args.push_back(PeelPattern(peel));
+          callee_args.emplace_back("T");
+        }
+        for (int m = 1; m < a; ++m) head_args.push_back(StrCat("A", m));
+        for (int m = 1; m < callee_arity; ++m) {
+          callee_args.push_back(m < a ? StrCat("A", m) : StrCat("F", m));
+        }
+        // Output construction (append-style): wrap one free head argument
+        // around the first peeled cell. Free arguments carry no weight in
+        // the certificate, so this only exercises term building.
+        if (!bad_rule && a > 1 && rng.Chance(40)) {
+          head_args[1] = StrCat("[X0|A", 1, "]");
+        }
+
+        std::string body =
+            StrCat(PredName(index, s, callee), ArgsText(callee_args));
+        // Chain call into the next SCC: forced on the entry rule so every
+        // SCC is reachable, occasional elsewhere.
+        if (s + 1 < num_sccs && ((i == 0 && f == 0) || rng.Chance(30))) {
+          std::vector<std::string> chain_args(1, "T");
+          for (int m = 1; m < arity[s + 1][0]; ++m) {
+            chain_args.push_back(StrCat("G", m));
+          }
+          body += StrCat(", ", PredName(index, s + 1, 0),
+                         ArgsText(chain_args));
+        }
+        text += StrCat(name, ArgsText(head_args), " :- ", body, ".\n");
+      }
+    }
+  }
+  request.source = std::move(text);
+  return request;
+}
+
+}  // namespace
+
+const char* ExpectedVerdictName(ExpectedVerdict verdict) {
+  switch (verdict) {
+    case ExpectedVerdict::kProved: return "proved";
+    case ExpectedVerdict::kNotProved: return "not_proved";
+    case ExpectedVerdict::kResourceLimit: return "resource_limit";
+  }
+  return "unknown";
+}
+
+bool ParseExpectedVerdict(std::string_view text, ExpectedVerdict* out) {
+  if (text == "proved") *out = ExpectedVerdict::kProved;
+  else if (text == "not_proved") *out = ExpectedVerdict::kNotProved;
+  else if (text == "resource_limit") *out = ExpectedVerdict::kResourceLimit;
+  else return false;
+  return true;
+}
+
+GeneratedWorkload Generate(const GenParams& params) {
+  GeneratedWorkload workload;
+  workload.params = params;
+  workload.requests.reserve(static_cast<size_t>(std::max(params.count, 0)));
+  for (int i = 0; i < params.count; ++i) {
+    workload.requests.push_back(GenerateOne(params, i, workload.requests));
+  }
+  return workload;
+}
+
+namespace {
+
+bool ParsePositiveInt(std::string_view text, int* out) {
+  if (text.empty() || text.size() > 9) return false;
+  int value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+// "N" -> [N,N]; "A-B" -> [A,B].
+bool ParseRange(std::string_view text, int* lo, int* hi) {
+  size_t dash = text.find('-');
+  if (dash == std::string_view::npos) {
+    if (!ParsePositiveInt(text, lo)) return false;
+    *hi = *lo;
+    return true;
+  }
+  return ParsePositiveInt(text.substr(0, dash), lo) &&
+         ParsePositiveInt(text.substr(dash + 1), hi) && *lo <= *hi;
+}
+
+}  // namespace
+
+Result<GenParams> ParseGenSpec(std::string_view spec) {
+  GenParams params;
+  size_t colon = spec.find(':');
+  std::string_view seed_text = spec.substr(0, colon);
+  if (seed_text.empty()) {
+    return Status::InvalidArgument("gen spec: empty seed");
+  }
+  uint64_t seed = 0;
+  for (char c : seed_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          StrCat("gen spec: bad seed '", seed_text, "'"));
+    }
+    seed = seed * 10 + static_cast<uint64_t>(c - '0');
+  }
+  params.seed = seed;
+  if (colon == std::string_view::npos) return params;
+
+  for (std::string_view field :
+       [&] {
+         std::vector<std::string_view> out;
+         std::string_view rest = spec.substr(colon + 1);
+         while (!rest.empty()) {
+           size_t comma = rest.find(',');
+           out.push_back(rest.substr(0, comma));
+           if (comma == std::string_view::npos) break;
+           rest = rest.substr(comma + 1);
+         }
+         return out;
+       }()) {
+    size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrCat("gen spec: expected key=value, got '", field, "'"));
+    }
+    std::string_view key = field.substr(0, eq);
+    std::string_view value = field.substr(eq + 1);
+    bool ok = true;
+    if (key == "count") {
+      ok = ParsePositiveInt(value, &params.count);
+    } else if (key == "sccs") {
+      ok = ParseRange(value, &params.min_sccs, &params.max_sccs) &&
+           params.min_sccs >= 1;
+    } else if (key == "preds") {
+      ok = ParseRange(value, &params.min_scc_size, &params.max_scc_size) &&
+           params.min_scc_size >= 1;
+    } else if (key == "arity") {
+      ok = ParsePositiveInt(value, &params.max_arity) && params.max_arity >= 1;
+    } else if (key == "depth") {
+      ok = ParsePositiveInt(value, &params.term_depth) &&
+           params.term_depth >= 1;
+    } else if (key == "fanout") {
+      ok = ParsePositiveInt(value, &params.fanout) && params.fanout >= 1;
+    } else if (key == "mix") {
+      // P/N/R relative weights.
+      size_t s1 = value.find('/');
+      size_t s2 = s1 == std::string_view::npos ? std::string_view::npos
+                                               : value.find('/', s1 + 1);
+      ok = s1 != std::string_view::npos && s2 != std::string_view::npos &&
+           ParsePositiveInt(value.substr(0, s1), &params.mix_proved) &&
+           ParsePositiveInt(value.substr(s1 + 1, s2 - s1 - 1),
+                            &params.mix_not_proved) &&
+           ParsePositiveInt(value.substr(s2 + 1),
+                            &params.mix_resource_limit) &&
+           params.mix_proved + params.mix_not_proved +
+                   params.mix_resource_limit >
+               0;
+    } else if (key == "dup") {
+      ok = ParsePositiveInt(value, &params.dup_percent) &&
+           params.dup_percent <= 100;
+    } else if (key == "budget") {
+      int budget = 0;
+      ok = ParsePositiveInt(value, &budget) && budget >= 1;
+      params.resource_work_budget = budget;
+    } else if (key == "prefix") {
+      ok = !value.empty();
+      params.name_prefix = std::string(value);
+    } else {
+      return Status::InvalidArgument(
+          StrCat("gen spec: unknown key '", key, "'"));
+    }
+    if (!ok) {
+      return Status::InvalidArgument(
+          StrCat("gen spec: bad value for '", key, "': '", value, "'"));
+    }
+  }
+  return params;
+}
+
+std::string GenSpecToString(const GenParams& params) {
+  return StrCat(params.seed, ":count=", params.count, ",sccs=",
+                params.min_sccs, "-", params.max_sccs, ",preds=",
+                params.min_scc_size, "-", params.max_scc_size,
+                ",arity=", params.max_arity, ",depth=", params.term_depth,
+                ",fanout=", params.fanout, ",mix=", params.mix_proved, "/",
+                params.mix_not_proved, "/", params.mix_resource_limit,
+                ",dup=", params.dup_percent, ",budget=",
+                params.resource_work_budget, ",prefix=", params.name_prefix);
+}
+
+bool OutcomeMatchesExpect(ExpectedVerdict expect, bool proved,
+                          bool resource_limited) {
+  switch (expect) {
+    case ExpectedVerdict::kProved:
+      return proved && !resource_limited;
+    case ExpectedVerdict::kNotProved:
+      return !proved && !resource_limited;
+    case ExpectedVerdict::kResourceLimit:
+      return resource_limited;
+  }
+  return false;
+}
+
+LatencySummary SummarizeLatencies(std::vector<int64_t> latencies_us) {
+  LatencySummary summary;
+  if (latencies_us.empty()) return summary;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const int64_t n = static_cast<int64_t>(latencies_us.size());
+  auto nearest_rank = [&](int64_t percent) {
+    int64_t rank = (percent * n + 99) / 100;  // ceil(percent/100 * n)
+    if (rank < 1) rank = 1;
+    return latencies_us[static_cast<size_t>(rank - 1)];
+  };
+  summary.count = n;
+  summary.p50_us = nearest_rank(50);
+  summary.p95_us = nearest_rank(95);
+  summary.p99_us = nearest_rank(99);
+  summary.max_us = latencies_us.back();
+  return summary;
+}
+
+}  // namespace gen
+}  // namespace termilog

@@ -1,0 +1,147 @@
+// JSONL manifest emission and parsing for generated workloads
+// (docs/generator.md). The emit side is deterministic — equal workloads
+// produce byte-identical manifests — because the determinism property
+// tests and the seeding contract both key on manifest bytes.
+
+#include <utility>
+
+#include "gen/gen.h"
+#include "program/parser.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace gen {
+
+std::string RequestToManifestLine(const GeneratedRequest& request) {
+  std::string out = StrCat("{\"name\":\"", JsonEscape(request.name),
+                           "\",\"query\":\"", JsonEscape(request.query),
+                           "\",\"expect\":\"",
+                           ExpectedVerdictName(request.expect), "\"");
+  out += ",\"sccs\":[";
+  for (size_t i = 0; i < request.scc_sizes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += StrCat(request.scc_sizes[i]);
+  }
+  out += ']';
+  if (request.limits.work_budget > 0 || request.limits.deadline_ms > 0 ||
+      request.limits.bigint_limb_limit > 0) {
+    out += ",\"limits\":{";
+    bool first = true;
+    auto field = [&](const char* key, int64_t value) {
+      if (value <= 0) return;
+      if (!first) out += ',';
+      first = false;
+      out += StrCat("\"", key, "\":", value);
+    };
+    field("work_budget", request.limits.work_budget);
+    field("deadline_ms", request.limits.deadline_ms);
+    field("limb_limit", request.limits.bigint_limb_limit);
+    out += '}';
+  }
+  out += StrCat(",\"source\":\"", JsonEscape(request.source), "\"}");
+  return out;
+}
+
+std::string WorkloadToManifestJsonl(const GeneratedWorkload& workload) {
+  std::string out = StrCat(
+      "{\"gen_manifest\":1,\"spec\":\"",
+      JsonEscape(GenSpecToString(workload.params)), "\",\"count\":",
+      workload.requests.size(), "}\n");
+  for (const GeneratedRequest& request : workload.requests) {
+    out += RequestToManifestLine(request);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<ManifestEntry>> ParseManifestJsonl(std::string_view text) {
+  std::vector<ManifestEntry> entries;
+  size_t line_number = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t newline = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, newline == std::string_view::npos ? std::string_view::npos
+                                               : newline - pos);
+    pos = newline == std::string_view::npos ? text.size() : newline + 1;
+    ++line_number;
+    line = StripWhitespace(line);
+    if (line.empty()) continue;
+    Result<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(StrCat("manifest line ", line_number,
+                                            ": ", parsed.status().message()));
+    }
+    const JsonValue& object = *parsed;
+    if (!object.IsObject()) {
+      return Status::InvalidArgument(
+          StrCat("manifest line ", line_number, ": expected a JSON object"));
+    }
+    if (object.Has("gen_manifest")) continue;  // header / provenance line
+
+    ManifestEntry entry;
+    entry.name = object.At("name").StringOr("");
+    entry.file = object.At("file").StringOr("");
+    entry.source = object.At("source").StringOr("");
+    entry.query = object.At("query").StringOr("");
+    entry.expect = object.At("expect").StringOr("");
+    if (entry.file.empty() && entry.source.empty()) {
+      return Status::InvalidArgument(StrCat(
+          "manifest line ", line_number, ": needs \"source\" or \"file\""));
+    }
+    if (!entry.expect.empty()) {
+      ExpectedVerdict ignored;
+      if (!ParseExpectedVerdict(entry.expect, &ignored)) {
+        return Status::InvalidArgument(
+            StrCat("manifest line ", line_number, ": unknown expect \"",
+                   entry.expect, "\""));
+      }
+    }
+    if (entry.name.empty()) {
+      entry.name = entry.file.empty() ? StrCat("manifest:", line_number)
+                                      : entry.file;
+    }
+    const JsonValue& limits = object.At("limits");
+    if (limits.IsObject()) {
+      entry.has_limits = true;
+      entry.limits.work_budget = limits.At("work_budget").IntOr(0);
+      entry.limits.deadline_ms = limits.At("deadline_ms").IntOr(0);
+      entry.limits.bigint_limb_limit = limits.At("limb_limit").IntOr(0);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Result<std::vector<BatchRequest>> WorkloadToBatchRequests(
+    const GeneratedWorkload& workload) {
+  std::vector<BatchRequest> requests;
+  requests.reserve(workload.requests.size());
+  for (const GeneratedRequest& generated : workload.requests) {
+    Result<Program> program = ParseProgram(generated.source);
+    if (!program.ok()) {
+      return Status::Internal(StrCat("generated program ", generated.name,
+                                     " failed to parse: ",
+                                     program.status().message()));
+    }
+    Result<std::pair<PredId, Adornment>> query =
+        ParseQuerySpec(*program, generated.query);
+    if (!query.ok()) {
+      return Status::Internal(StrCat("generated query for ", generated.name,
+                                     " failed to parse: ",
+                                     query.status().message()));
+    }
+    BatchRequest request;
+    request.name = generated.name;
+    request.program = std::move(*program);
+    request.query = query->first;
+    request.adornment = query->second;
+    request.options.limits = generated.limits;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace gen
+}  // namespace termilog

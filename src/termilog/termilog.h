@@ -31,6 +31,7 @@
 #include "engine/scc_cache.h"
 #include "fm/fourier_motzkin.h"
 #include "fm/polyhedron.h"
+#include "gen/gen.h"
 #include "graph/minplus.h"
 #include "graph/scc.h"
 #include "interp/bottom_up.h"
@@ -52,5 +53,6 @@
 #include "transform/unfolding.h"
 #include "util/failpoint.h"
 #include "util/governor.h"
+#include "util/json.h"
 
 #endif  // TERMILOG_TERMILOG_H_

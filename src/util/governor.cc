@@ -26,6 +26,10 @@ std::string GovernorSpend::ToString() const {
                 " bigint_limbs=", bigint_limb_high_water);
 }
 
+std::string GovernorSpend::DeterministicToString() const {
+  return StrCat("work=", work, " bigint_limbs=", bigint_limb_high_water);
+}
+
 ResourceGovernor::ResourceGovernor(const GovernorLimits& limits)
     : limits_(limits), start_(std::chrono::steady_clock::now()) {
 #ifndef NDEBUG
@@ -56,9 +60,12 @@ Status ResourceGovernor::Trip(const char* site, const char* budget,
     // away with TERMILOG_OBS — trips are rare, so the allocation is fine.
     TERMILOG_COUNTER("governor.trips", 1);
     TERMILOG_COUNTER(StrCat("governor.trips.", budget).c_str(), 1);
+    // The trip message propagates into report notes, which are
+    // byte-identical across runs and --jobs levels — so it may carry only
+    // the deterministic spend dimensions, never elapsed wall time.
     trip_ = Status::ResourceExhausted(
         StrCat("governor: ", budget, " budget exhausted at ", site, " (",
-               detail, "; spent ", Spend().ToString(), ")"));
+               detail, "; spent ", Spend().DeterministicToString(), ")"));
   }
   return trip_;
 }

@@ -38,6 +38,11 @@ struct GovernorSpend {
 
   /// Renders "work=N elapsed_ms=N bigint_limbs=N".
   std::string ToString() const;
+  /// Renders "work=N bigint_limbs=N" — the input-determined dimensions
+  /// only. Anything that reaches report bytes (trip messages, notes) must
+  /// use this form: elapsed wall time differs run to run and across --jobs
+  /// levels, and report output is byte-identical by contract.
+  std::string DeterministicToString() const;
 };
 
 /// A single budget object shared (by const pointer) across every subsystem

@@ -1,0 +1,60 @@
+#ifndef TERMILOG_UTIL_JSON_H_
+#define TERMILOG_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace termilog {
+
+/// Minimal JSON document model, sized to what the repo's own emitters
+/// produce (engine/report_json.*, gen/manifest): objects, arrays, strings
+/// with the standard escapes, integer/decimal numbers, true/false/null.
+/// Numbers are held as doubles plus an exact int64 when the literal was
+/// integral and in range — manifest fields (budgets, counts) read the
+/// exact form.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  int64_t integer = 0;    // valid when is_integer
+  bool is_integer = false;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool Has(const std::string& key) const { return fields.count(key) > 0; }
+
+  /// Object field lookup; a shared null value when absent (or not an
+  /// object), so lookups chain without intermediate checks.
+  const JsonValue& At(const std::string& key) const;
+
+  /// Typed accessors with defaults, for optional manifest fields.
+  std::string StringOr(const std::string& fallback) const {
+    return kind == Kind::kString ? text : fallback;
+  }
+  int64_t IntOr(int64_t fallback) const {
+    return kind == Kind::kNumber && is_integer ? integer : fallback;
+  }
+  bool BoolOr(bool fallback) const {
+    return kind == Kind::kBool ? boolean : fallback;
+  }
+};
+
+/// Parses one complete JSON document (no trailing garbage). Fails with
+/// kInvalidArgument naming the byte offset of the first error.
+Result<JsonValue> ParseJson(std::string_view input);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_UTIL_JSON_H_

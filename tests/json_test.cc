@@ -1,0 +1,100 @@
+// Tests for the minimal JSON parser (src/util/json.*) that backs JSONL
+// manifest parsing: value kinds, escape handling, the integer fast path,
+// accessor fallbacks, and error positions.
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace termilog {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  Result<JsonValue> value = ParseJson(text);
+  EXPECT_TRUE(value.ok()) << value.status().ToString();
+  return std::move(value).value();
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_EQ(MustParse("null").kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(MustParse("true").boolean);
+  EXPECT_FALSE(MustParse("false").boolean);
+
+  JsonValue number = MustParse("42");
+  EXPECT_EQ(number.kind, JsonValue::Kind::kNumber);
+  EXPECT_TRUE(number.is_integer);
+  EXPECT_EQ(number.integer, 42);
+
+  JsonValue negative = MustParse("-7");
+  EXPECT_TRUE(negative.is_integer);
+  EXPECT_EQ(negative.integer, -7);
+
+  JsonValue real = MustParse("2.5");
+  EXPECT_FALSE(real.is_integer);
+  EXPECT_DOUBLE_EQ(real.number, 2.5);
+
+  JsonValue text = MustParse("\"hello\"");
+  EXPECT_EQ(text.kind, JsonValue::Kind::kString);
+  EXPECT_EQ(text.text, "hello");
+}
+
+TEST(JsonTest, ParsesEscapes) {
+  EXPECT_EQ(MustParse("\"a\\nb\\t\\\"c\\\\d\\/e\"").text, "a\nb\t\"c\\d/e");
+  // \uXXXX decodes to UTF-8: é is U+00E9 -> 0xC3 0xA9.
+  EXPECT_EQ(MustParse("\"caf\\u00e9\"").text, "caf\xc3\xa9");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  JsonValue value = MustParse(
+      "{\"name\":\"x\",\"sizes\":[1,2,3],\"limits\":{\"work_budget\":5},"
+      "\"flag\":true}");
+  ASSERT_EQ(value.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(value.At("name").text, "x");
+  ASSERT_EQ(value.At("sizes").items.size(), 3u);
+  EXPECT_EQ(value.At("sizes").items[1].integer, 2);
+  EXPECT_EQ(value.At("limits").At("work_budget").integer, 5);
+  EXPECT_TRUE(value.At("flag").boolean);
+}
+
+TEST(JsonTest, AccessorsFallBackOnMissingKeys) {
+  JsonValue value = MustParse("{\"a\":1}");
+  EXPECT_EQ(value.At("missing").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(value.At("missing").StringOr("fallback"), "fallback");
+  EXPECT_EQ(value.At("missing").IntOr(-1), -1);
+  EXPECT_TRUE(value.At("missing").BoolOr(true));
+  EXPECT_EQ(value.At("a").IntOr(-1), 1);
+  // At() on a non-object chains to the shared null.
+  EXPECT_EQ(value.At("a").At("deeper").IntOr(-1), -1);
+  EXPECT_TRUE(value.Has("a"));
+  EXPECT_FALSE(value.Has("missing"));
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,2,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("truth").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+}
+
+TEST(JsonTest, ErrorsNameAnOffset) {
+  Result<JsonValue> bad = ParseJson("{\"a\":bogus}");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("offset"), std::string::npos);
+}
+
+TEST(JsonTest, Int64BoundariesStayExact) {
+  EXPECT_EQ(MustParse("9223372036854775807").integer,
+            9223372036854775807LL);
+  JsonValue min = MustParse("-9223372036854775808");
+  EXPECT_TRUE(min.is_integer);
+  EXPECT_EQ(min.integer, INT64_MIN);
+}
+
+}  // namespace
+}  // namespace termilog
