@@ -7,6 +7,7 @@
 //   termilog_cli --corpus NAME [options]
 //   termilog_cli --batch DIR|MANIFEST [--jobs N] [options]
 //   termilog_cli --gen SEED[:PARAMS] [--out FILE]
+//   termilog_cli --serve FIFO|- [--queue-limit N] [--store PATH] [options]
 //
 //   FILE    program file (Prolog subset; see README)
 //   QUERY   entry pattern, e.g. "perm(b,f)" (b = bound, f = free).
@@ -34,11 +35,29 @@
 // verifies every verdict against the generator's declaration (exit 4 on
 // mismatch) — the stress harness in scripts/check.sh --stress.
 //
+// Serve mode (--serve, docs/persistence.md) is a long-running request
+// loop over the same JSONL framing as --batch: one manifest-entry object
+// per input line (FIFO path or '-' for stdin), one report JSON line per
+// request on stdout, in request order, until EOF. A bounded waiting room
+// (--queue-limit) sheds overload with a deterministic RESOURCE_EXHAUSTED
+// response instead of queueing without bound, and per-request deadlines
+// (--deadline-ms or a line's own "limits") are enforced by the
+// ResourceGovernor. Combine with --store so every client shares one
+// durable cache.
+//
 // Options:
 //   --json                 structured JSON output instead of text (single
 //                          run and multi-mode; --batch is always JSON)
 //   --jobs N               worker threads for --batch / multi-mode (default 1)
 //   --no-cache             disable the engine's content-addressed SCC cache
+//   --store PATH           durable SCC-outcome store (docs/persistence.md):
+//                          warm-starts the cache from PATH (crash recovery
+//                          + per-record verification on load) and persists
+//                          new outcomes write-behind; flushed on exit
+//   --serve FIFO|-         serve JSONL requests from FIFO (or stdin) until
+//                          EOF instead of running a batch
+//   --queue-limit N        serve-mode waiting room size before overload
+//                          shedding (default 64)
 //   --check-expect         with --batch over a JSONL manifest: compare each
 //                          verdict against the manifest's "expect" field
 //   --out FILE             with --gen: write the manifest here
@@ -68,10 +87,12 @@
 //
 // Exit codes: 0 = proved, 2 = not proved, 3 = resource-limited (a budget
 // tripped; the report printed is valid but partial), 4 = --check-expect
-// found verdict mismatches, 1 = usage/parse error. When --check-expect
-// verified at least one declared verdict and all matched, the exit is 0
-// regardless of the verdict mix: the assertion being made is "engine
-// agrees with the manifest", not "everything proved".
+// found verdict mismatches, 5 = the SCC cache failed its integrity
+// self-check (after a --store warm start or at shutdown; the store is
+// suspect, see docs/persistence.md), 1 = usage/parse error. When
+// --check-expect verified at least one declared verdict and all matched,
+// the exit is 0 regardless of the verdict mix: the assertion being made
+// is "engine agrees with the manifest", not "everything proved".
 
 #include <algorithm>
 #include <cstdio>
@@ -79,6 +100,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -98,6 +120,7 @@ int Fail(const char* message) {
 constexpr int kExitNotProved = 2;
 constexpr int kExitResourceLimited = 3;
 constexpr int kExitExpectMismatch = 4;
+constexpr int kExitSelfCheck = 5;
 
 // 0 proved / 2 not proved / 3 resource-limited, with the tripped budget on
 // stderr so scripts can tell a weak verdict from an underfunded one.
@@ -193,6 +216,12 @@ struct BatchPlan {
   // per-request limits and declared expectation.
   void AddManifestEntry(const gen::ManifestEntry& entry,
                         const AnalysisOptions& base) {
+    if (!entry.error.ok()) {
+      // Truncated or garbage manifest line: one error response for it,
+      // the rest of the batch still runs (docs/generator.md).
+      AddErrorLine(entry.name, entry.error);
+      return;
+    }
     AnalysisOptions options = base;
     if (entry.has_limits) options.limits = entry.limits;
     pending_expect = entry.expect;
@@ -257,10 +286,72 @@ struct BatchPlan {
   }
 };
 
+// Opens the --store file (replaying its log with the recovery rules in
+// docs/persistence.md), reports what recovery did on stderr, and attaches
+// it to the engine, which warm-starts the cache and audits it with
+// SccCache::SelfCheck. Returns 0 on success, EXIT_FAILURE when the
+// filesystem refuses the path, kExitSelfCheck when the warm-started cache
+// fails its audit (the store is suspect; nothing was analyzed).
+int AttachStoreOrFail(BatchEngine& engine, const std::string& store_path) {
+  if (store_path.empty()) return 0;
+  Result<std::unique_ptr<persist::PersistentStore>> store =
+      persist::PersistentStore::Open(store_path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "termilog_cli: --store: %s\n",
+                 store.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  for (const std::string& note : (*store)->stats().notes) {
+    std::fprintf(stderr, "termilog_cli: store recovery: %s\n", note.c_str());
+  }
+  Status attached = engine.AttachStore(std::move(*store));
+  if (!attached.ok()) {
+    std::fprintf(stderr, "termilog_cli: store self-check failed: %s\n",
+                 attached.ToString().c_str());
+    return kExitSelfCheck;
+  }
+  return 0;
+}
+
+// Shutdown path for a store-attached engine: drain the write-behind
+// queue, fsync, re-audit the cache. A flush failure is a warning (a lost
+// write degrades to a future cache miss, the printed verdicts stand); a
+// failed self-check overrides `code` with kExitSelfCheck because the
+// verdict/provenance bookkeeping itself is no longer trustworthy.
+int FinishStore(BatchEngine& engine, int code) {
+  if (engine.store() == nullptr) return code;
+  Status flushed = engine.FlushStore();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "termilog_cli: store flush failed: %s\n",
+                 flushed.ToString().c_str());
+  }
+  persist::StoreStats stats = engine.store()->stats();
+  std::fprintf(stderr,
+               "{\"store\":{\"path\":\"%s\",\"records_loaded\":%lld,"
+               "\"records_quarantined\":%lld,\"tail_bytes_truncated\":%lld,"
+               "\"appends\":%lld,\"append_failures\":%lld,"
+               "\"entries\":%lld}}\n",
+               engine.store()->path().c_str(),
+               static_cast<long long>(stats.records_loaded),
+               static_cast<long long>(stats.records_quarantined),
+               static_cast<long long>(stats.tail_bytes_truncated),
+               static_cast<long long>(stats.appends),
+               static_cast<long long>(stats.append_failures),
+               static_cast<long long>(engine.store()->size()));
+  Status audit = engine.cache().SelfCheck();
+  if (!audit.ok()) {
+    std::fprintf(stderr, "termilog_cli: cache self-check failed: %s\n",
+                 audit.ToString().c_str());
+    return kExitSelfCheck;
+  }
+  return code;
+}
+
 // Expands DIR|MANIFEST into a BatchPlan, runs it through the engine, and
 // streams the JSONL report. Returns the process exit code.
 int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
-             int jobs, bool use_cache, bool check_expect) {
+             int jobs, bool use_cache, bool check_expect,
+             const std::string& store_path) {
   namespace fs = std::filesystem;
   BatchPlan plan;
   std::error_code ec;
@@ -318,6 +409,8 @@ int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
   engine_options.jobs = jobs;
   engine_options.use_cache = use_cache;
   BatchEngine engine(engine_options);
+  int attach = AttachStoreOrFail(engine, store_path);
+  if (attach != 0) return attach;
 
   bool all_proved = !plan.any_error;
   bool any_limited = false;
@@ -368,20 +461,56 @@ int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
 
   std::fprintf(stderr, "%s\n",
                EngineStatsToJson(engine.stats(), jobs).c_str());
+  int code = any_limited ? kExitResourceLimited : kExitNotProved;
+  if (all_proved) code = EXIT_SUCCESS;
   if (check_expect) {
     std::fprintf(stderr,
                  "termilog_cli: expect check: %lld/%lld verdicts match\n",
                  static_cast<long long>(expect_checked - expect_mismatches),
                  static_cast<long long>(expect_checked));
-    if (expect_mismatches > 0) return kExitExpectMismatch;
-    // In verification mode the contract is "verdicts match declarations",
-    // not "everything proved": a generated workload deliberately mixes
-    // not-proved and resource-limited requests, and all of them matching
-    // is the success being asserted.
-    if (expect_checked > 0) return EXIT_SUCCESS;
+    if (expect_mismatches > 0) {
+      code = kExitExpectMismatch;
+    } else if (expect_checked > 0) {
+      // In verification mode the contract is "verdicts match
+      // declarations", not "everything proved": a generated workload
+      // deliberately mixes not-proved and resource-limited requests, and
+      // all of them matching is the success being asserted.
+      code = EXIT_SUCCESS;
+    }
   }
-  if (all_proved) return EXIT_SUCCESS;
-  return any_limited ? kExitResourceLimited : kExitNotProved;
+  return FinishStore(engine, code);
+}
+
+// Long-running request loop (--serve, docs/persistence.md): JSONL
+// requests from a FIFO (or stdin with "-"), one report line per request
+// on stdout in request order, until EOF. Overload beyond --queue-limit is
+// shed deterministically; --store gives every client one durable cache.
+int RunServe(const std::string& serve_path, const AnalysisOptions& options,
+             int jobs, bool use_cache, int64_t queue_limit,
+             const std::string& store_path) {
+  EngineOptions engine_options;
+  engine_options.jobs = jobs;
+  engine_options.use_cache = use_cache;
+  BatchEngine engine(engine_options);
+  int attach = AttachStoreOrFail(engine, store_path);
+  if (attach != 0) return attach;
+
+  ServeOptions serve_options;
+  serve_options.base = options;
+  serve_options.queue_limit = static_cast<int>(queue_limit);
+
+  ServeStats stats;
+  if (serve_path == "-") {
+    stats = Serve(engine, std::cin, std::cout, serve_options);
+  } else {
+    std::ifstream in(serve_path);
+    if (!in) return Fail("cannot open --serve input (FIFO or file)");
+    stats = Serve(engine, in, std::cout, serve_options);
+  }
+  std::fprintf(stderr, "%s\n", stats.ToJson().c_str());
+  std::fprintf(stderr, "%s\n",
+               EngineStatsToJson(engine.stats(), jobs).c_str());
+  return FinishStore(engine, EXIT_SUCCESS);
 }
 
 }  // namespace
@@ -394,8 +523,9 @@ int main(int argc, char** argv) {
   bool explain = false, json = false, use_cache = true;
   bool check_expect = false;
   int64_t jobs = 1;
+  int64_t queue_limit = 64;
   std::string corpus_name, batch_path, trace_path, metrics_path;
-  std::string gen_spec, out_path;
+  std::string gen_spec, out_path, store_path, serve_path;
 
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -410,6 +540,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--batch" && i + 1 < argc) {
       batch_path = argv[++i];
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_path = argv[++i];
+    } else if (arg == "--serve" && i + 1 < argc) {
+      serve_path = argv[++i];
+    } else if (arg == "--queue-limit" && i + 1 < argc) {
+      if (!ParseInt64Flag(argv[++i], &queue_limit) || queue_limit < 1) {
+        return Fail("--queue-limit wants a positive integer");
+      }
     } else if (arg == "--gen" && i + 1 < argc) {
       gen_spec = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
@@ -488,9 +626,14 @@ int main(int argc, char** argv) {
     return EXIT_SUCCESS;
   }
 
+  if (!serve_path.empty()) {
+    return RunServe(serve_path, options, static_cast<int>(jobs), use_cache,
+                    queue_limit, store_path);
+  }
+
   if (!batch_path.empty()) {
     return RunBatch(batch_path, options, static_cast<int>(jobs), use_cache,
-                    check_expect);
+                    check_expect, store_path);
   }
 
   if (!corpus_name.empty()) {

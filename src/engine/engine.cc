@@ -12,6 +12,8 @@
 
 #include "engine/canonical.h"
 #include "obs/obs.h"
+#include "persist/store.h"
+#include "persist/writer.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -122,12 +124,46 @@ std::string EngineStats::ToString() const {
   return StrCat("requests=", requests, " scc_tasks=", scc_tasks,
                 " cache_hits=", cache_hits, " cache_misses=", cache_misses,
                 " single_flight_waits=", single_flight_waits,
-                " unique_sccs=", unique_sccs, " total_work=", total_work,
+                " unique_sccs=", unique_sccs,
+                " persisted_loaded=", persisted_loaded,
+                " persisted_hits=", persisted_hits,
+                " total_work=", total_work,
                 " wall_ms=", wall_ms, " total_wall_ms=", total_wall_ms);
 }
 
 BatchEngine::BatchEngine(EngineOptions options) : options_(options) {
   if (options_.jobs < 1) options_.jobs = 1;
+}
+
+BatchEngine::~BatchEngine() = default;
+
+Status BatchEngine::AttachStore(
+    std::unique_ptr<persist::PersistentStore> store) {
+  TERMILOG_CHECK_MSG(store != nullptr, "AttachStore wants a store");
+  TERMILOG_CHECK_MSG(store_ == nullptr, "a store is already attached");
+  for (const auto& [key, outcome] : store->entries()) {
+    cache_.Preload(key, outcome);
+  }
+  // Automatic post-warm-start audit (docs/persistence.md): a store whose
+  // recovered entries do not form a structurally sound cache must not be
+  // served from. Preload screens each record, so in practice this only
+  // fires on an engine bug — but the check is cheap and the alternative
+  // is silently wrong verdicts.
+  Status audit = cache_.SelfCheck();
+  if (!audit.ok()) return audit;
+  stats_.persisted_loaded = cache_.stats().persisted_loaded;
+  store_ = std::move(store);
+  writer_ = std::make_unique<persist::StoreWriter>(store_.get());
+  cache_.SetNewEntryListener(
+      [this](const std::string& key, const CachedSccOutcome& outcome) {
+        writer_->Enqueue(key, outcome);
+      });
+  return Status::Ok();
+}
+
+Status BatchEngine::FlushStore() {
+  if (writer_ == nullptr) return Status::Ok();
+  return writer_->Drain();
 }
 
 std::vector<BatchItemResult> BatchEngine::Run(
@@ -349,6 +385,8 @@ std::vector<BatchItemResult> BatchEngine::Run(
   stats_.cache_misses = cache_stats.misses;
   stats_.single_flight_waits = cache_stats.single_flight_waits;
   stats_.unique_sccs = cache_.size();
+  stats_.persisted_loaded = cache_stats.persisted_loaded;
+  stats_.persisted_hits = cache_stats.persisted_hits;
   stats_.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now() - run_start)
                        .count();

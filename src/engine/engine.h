@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,11 @@
 #include "util/status.h"
 
 namespace termilog {
+
+namespace persist {
+class PersistentStore;
+class StoreWriter;
+}  // namespace persist
 
 /// One unit of batch work: analyze `query` (with `adornment`) over
 /// `program` under `options`. The engine deep-copies the program (fresh
@@ -62,6 +68,10 @@ struct EngineStats {
   int64_t single_flight_waits = 0;
   /// Completed entries retained in the cache.
   int64_t unique_sccs = 0;
+  /// Entries warm-started from an attached persistent store, and the
+  /// cache hits those recovered entries served (docs/persistence.md).
+  int64_t persisted_loaded = 0;
+  int64_t persisted_hits = 0;
   /// Summed governor work ticks across all per-task governors.
   int64_t total_work = 0;
   /// Wall time of the most recent Run only (overwritten each Run); see
@@ -95,9 +105,29 @@ struct EngineOptions {
 class BatchEngine {
  public:
   explicit BatchEngine(EngineOptions options = EngineOptions());
+  /// Drains the write-behind queue and flushes the store, if attached.
+  ~BatchEngine();
 
   BatchEngine(const BatchEngine&) = delete;
   BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// Attaches a durable store (docs/persistence.md): every recovered
+  /// entry warm-starts the cache (each already passed the store's
+  /// per-record CRC and decode validation; Preload re-screens it), the
+  /// cache is audited with SccCache::SelfCheck, and a write-behind
+  /// thread persists newly computed outcomes without blocking workers.
+  /// A SelfCheck failure is returned (the CLI maps it to exit code 5)
+  /// and the store stays detached. Call before the first Run.
+  Status AttachStore(std::unique_ptr<persist::PersistentStore> store);
+
+  /// Blocks until every queued write-behind entry is on disk and the
+  /// store is fsynced; returns the first persistence error seen. OK and
+  /// a no-op when no store is attached — shutdown flushes implicitly,
+  /// this is the explicit durability point for long-running serve mode.
+  Status FlushStore();
+
+  /// The attached store (null when none). The engine owns it.
+  persist::PersistentStore* store() { return store_.get(); }
 
   /// Runs every request to completion; results are returned in request
   /// order. `on_result` (optional) is invoked in request order as results
@@ -115,6 +145,11 @@ class BatchEngine {
   EngineOptions options_;
   SccCache cache_;
   EngineStats stats_;
+  // Declaration order matters for shutdown: the writer drains into the
+  // store on destruction, so it must die first (members are destroyed in
+  // reverse order).
+  std::unique_ptr<persist::PersistentStore> store_;
+  std::unique_ptr<persist::StoreWriter> writer_;
 };
 
 }  // namespace termilog

@@ -136,6 +136,8 @@ std::string EngineStatsToJson(const EngineStats& stats, int jobs) {
                 ",\"cache_misses\":", stats.cache_misses,
                 ",\"single_flight_waits\":", stats.single_flight_waits,
                 ",\"unique_sccs\":", stats.unique_sccs,
+                ",\"persisted_loaded\":", stats.persisted_loaded,
+                ",\"persisted_hits\":", stats.persisted_hits,
                 ",\"total_work\":", stats.total_work,
                 ",\"wall_ms\":", stats.wall_ms,
                 ",\"total_wall_ms\":", stats.total_wall_ms, "}");

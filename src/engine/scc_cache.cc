@@ -76,6 +76,10 @@ CachedSccOutcome SccCache::GetOrCompute(
       if (entry->ready) {
         ++stats_.hits;
         TERMILOG_COUNTER("cache.hits", 1);
+        if (entry->from_store) {
+          ++stats_.persisted_hits;
+          TERMILOG_COUNTER("cache.persisted_hits", 1);
+        }
       } else {
         // Another worker is computing this key right now: wait for it
         // rather than solving the same SCC twice.
@@ -95,18 +99,50 @@ CachedSccOutcome SccCache::GetOrCompute(
   // Compute outside the lock: other keys proceed concurrently, and waiters
   // on this key block on ready_cv_, not on the mutex.
   CachedSccOutcome outcome = compute();
+  bool retained;
+  std::function<void(const std::string&, const CachedSccOutcome&)> listener;
   {
     std::lock_guard<std::mutex> lock(mu_);
     entry->outcome = outcome;
     entry->ready = true;
-    if (outcome.status == SccStatus::kResourceLimit) {
+    retained = outcome.status != SccStatus::kResourceLimit;
+    if (!retained) {
       auto it = entries_.find(key);
       if (it != entries_.end() && it->second == entry) entries_.erase(it);
     }
+    listener = new_entry_listener_;
   }
   ready_cv_.notify_all();
+  // Persistence hook, outside the lock so the write-behind queue's own
+  // lock never nests inside the cache mutex. Only retained outcomes are
+  // offered: a starved verdict must not outlive the run, on disk least
+  // of all.
+  if (retained && listener) listener(key, outcome);
   if (served_from_cache != nullptr) *served_from_cache = false;
   return outcome;
+}
+
+bool SccCache::Preload(const std::string& key, CachedSccOutcome outcome) {
+  if (key.empty() || outcome.status == SccStatus::kResourceLimit) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(key) > 0) return false;
+  auto entry = std::make_shared<Entry>();
+  entry->ready = true;
+  entry->from_store = true;
+  entry->outcome = std::move(outcome);
+  entries_.emplace(key, std::move(entry));
+  ++stats_.persisted_loaded;
+  TERMILOG_COUNTER("cache.persisted_loaded", 1);
+  return true;
+}
+
+void SccCache::SetNewEntryListener(
+    std::function<void(const std::string&, const CachedSccOutcome&)>
+        listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  new_entry_listener_ = std::move(listener);
 }
 
 SccCache::Stats SccCache::stats() const {
@@ -148,6 +184,19 @@ Status SccCache::SelfCheck() const {
       stats_.hits + stats_.misses + stats_.single_flight_waits) {
     return Status::Internal(
         "cache self-check: lookup accounting does not reconcile");
+  }
+  if (stats_.persisted_hits > stats_.hits) {
+    return Status::Internal(
+        "cache self-check: more persisted hits than hits");
+  }
+  int64_t from_store = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    if (entry->from_store) ++from_store;
+  }
+  if (from_store > stats_.persisted_loaded) {
+    return Status::Internal(
+        "cache self-check: more store-origin entries than Preload admitted");
   }
   return Status::Ok();
 }

@@ -77,6 +77,11 @@ class SccCache {
     int64_t misses = 0;
     /// Served by blocking on another worker's in-flight computation.
     int64_t single_flight_waits = 0;
+    /// Entries warm-started from a persistent store (Preload).
+    int64_t persisted_loaded = 0;
+    /// Subset of `hits` served by a preloaded entry — work some prior
+    /// process paid for (docs/persistence.md).
+    int64_t persisted_hits = 0;
   };
 
   SccCache() = default;
@@ -90,6 +95,23 @@ class SccCache {
       const std::string& key,
       const std::function<CachedSccOutcome()>& compute,
       bool* served_from_cache = nullptr);
+
+  /// Inserts a ready entry recovered from a persistent store, before any
+  /// GetOrCompute traffic. Returns false (entry ignored) for an empty
+  /// key, a kResourceLimit outcome, or a key that is already present —
+  /// defensive layering on top of the store's own decode validation, so
+  /// even a hostile store file can only ever produce cache misses.
+  bool Preload(const std::string& key, CachedSccOutcome outcome);
+
+  /// Registers a callback invoked (outside the cache lock, on the
+  /// computing worker's thread) for every freshly computed outcome that
+  /// the cache retains — the write-behind persistence hook. Preloaded
+  /// and kResourceLimit outcomes never fire it. Must be set before
+  /// concurrent GetOrCompute traffic begins; the callback must be
+  /// thread-safe.
+  void SetNewEntryListener(
+      std::function<void(const std::string&, const CachedSccOutcome&)>
+          listener);
 
   Stats stats() const;
   /// Number of completed entries currently retained.
@@ -108,6 +130,8 @@ class SccCache {
  private:
   struct Entry {
     bool ready = false;
+    /// Warm-started from a persistent store rather than computed here.
+    bool from_store = false;
     CachedSccOutcome outcome;
   };
 
@@ -115,6 +139,8 @@ class SccCache {
   std::condition_variable ready_cv_;
   std::map<std::string, std::shared_ptr<Entry>> entries_;
   Stats stats_;
+  std::function<void(const std::string&, const CachedSccOutcome&)>
+      new_entry_listener_;
 };
 
 }  // namespace termilog

@@ -1,0 +1,235 @@
+#include "engine/serve.h"
+
+#include <condition_variable>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/report_json.h"
+#include "gen/gen.h"
+#include "program/parser.h"
+#include "util/string_util.h"
+
+namespace termilog {
+namespace {
+
+// Writes response lines strictly in request order: a response for
+// sequence K is held until every response before K has been written.
+// Shed and error responses are produced by the reader thread while
+// served responses come from the processing side, so ordering cannot be
+// left to arrival time.
+class ResponseSequencer {
+ public:
+  explicit ResponseSequencer(std::ostream& out) : out_(out) {}
+
+  void Emit(int64_t seq, std::string line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(seq, std::move(line));
+    while (true) {
+      auto it = pending_.find(next_);
+      if (it == pending_.end()) break;
+      out_ << it->second << '\n';
+      out_.flush();
+      pending_.erase(it);
+      ++next_;
+    }
+  }
+
+ private:
+  std::ostream& out_;
+  std::mutex mu_;
+  std::map<int64_t, std::string> pending_;
+  int64_t next_ = 0;
+};
+
+struct QueuedRequest {
+  int64_t seq = 0;
+  gen::ManifestEntry entry;
+};
+
+std::string ErrorLine(const std::string& name, const std::string& query,
+                      const Status& status) {
+  return ReportToJsonLine(name, query, status, TerminationReport());
+}
+
+// Expands one admitted manifest entry into an engine request. Serve is a
+// one-line-in / one-line-out protocol, so a file with several mode
+// directives analyzes the first one; name a "query" to pick another.
+Result<BatchRequest> BuildRequest(const gen::ManifestEntry& entry,
+                                  const AnalysisOptions& base,
+                                  std::string* query_text) {
+  AnalysisOptions options = base;
+  if (entry.has_limits) options.limits = entry.limits;
+  std::string source = entry.source;
+  if (source.empty()) {
+    std::ifstream in(entry.file);
+    if (!in) return Status::InvalidArgument("cannot open program file");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+  Result<Program> parsed = ParseProgram(source);
+  if (!parsed.ok()) return parsed.status();
+  std::string query = entry.query;
+  if (query.empty()) {
+    if (parsed->mode_decls().empty()) {
+      return Status::InvalidArgument(
+          "no \"query\" given and no :- mode(...) directive in the program");
+    }
+    const ModeDecl& decl = parsed->mode_decls().front();
+    query = parsed->symbols().Name(decl.pred.symbol) + "(";
+    for (size_t i = 0; i < decl.adornment.size(); ++i) {
+      if (i > 0) query += ",";
+      query += decl.adornment[i] == Mode::kBound ? "b" : "f";
+    }
+    query += ")";
+  }
+  Result<std::pair<PredId, Adornment>> parsed_query =
+      ParseQuerySpec(*parsed, query);
+  if (!parsed_query.ok()) return parsed_query.status();
+  *query_text = query;
+  BatchRequest request;
+  request.name = entry.name;
+  request.program = std::move(*parsed);
+  request.query = parsed_query->first;
+  request.adornment = parsed_query->second;
+  request.options = options;
+  return request;
+}
+
+}  // namespace
+
+std::string ServeStats::ToJson() const {
+  return StrCat("{\"lines\":", lines, ",\"served\":", served,
+                ",\"shed\":", shed, ",\"errors\":", errors, "}");
+}
+
+ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
+                 const ServeOptions& options) {
+  const int queue_limit = options.queue_limit < 1 ? 1 : options.queue_limit;
+  const int chunk = options.chunk < 1 ? 1 : options.chunk;
+  // The shed response is deterministic — same bytes for every shed
+  // request — so clients can match on it; the retry-after note is advice,
+  // not a wall-clock promise.
+  const std::string shed_message =
+      StrCat("server overloaded: waiting room full (queue_limit=",
+             queue_limit, "); request shed, retry after the backlog drains");
+
+  ServeStats stats;
+  ResponseSequencer sequencer(out);
+
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::deque<QueuedRequest> queue;
+  bool reader_done = false;
+
+  std::thread reader([&] {
+    std::string line;
+    size_t line_number = 0;
+    int64_t seq = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      std::string_view stripped = StripWhitespace(line);
+      if (stripped.empty()) continue;
+      gen::ManifestEntry entry =
+          gen::ParseManifestLine(stripped, line_number);
+      if (entry.header) continue;
+      int64_t this_seq = seq++;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats.lines;
+      }
+      if (!entry.error.ok()) {
+        // Unreadable line: one error response, loop keeps serving.
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ++stats.errors;
+        }
+        sequencer.Emit(this_seq, ErrorLine(entry.name, "", entry.error));
+        continue;
+      }
+      bool admitted = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (queue.size() < static_cast<size_t>(queue_limit)) {
+          queue.push_back(QueuedRequest{this_seq, std::move(entry)});
+          admitted = true;
+        } else {
+          ++stats.shed;
+        }
+      }
+      if (admitted) {
+        work_cv.notify_one();
+      } else {
+        sequencer.Emit(this_seq,
+                       ErrorLine(entry.name, "",
+                                 Status::ResourceExhausted(shed_message)));
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      reader_done = true;
+    }
+    work_cv.notify_all();
+  });
+
+  while (true) {
+    std::vector<QueuedRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      work_cv.wait(lock, [&] {
+        if (options.drain_input_first && !reader_done) return false;
+        return reader_done || !queue.empty();
+      });
+      if (queue.empty() && reader_done) break;
+      while (!queue.empty() && batch.size() < static_cast<size_t>(chunk)) {
+        batch.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+    }
+    // Seats freed: arrivals during this chunk's analysis may be admitted.
+    std::vector<BatchRequest> requests;
+    std::vector<int64_t> seqs;
+    std::vector<std::string> queries;
+    requests.reserve(batch.size());
+    for (QueuedRequest& item : batch) {
+      std::string query_text;
+      Result<BatchRequest> request =
+          BuildRequest(item.entry, options.base, &query_text);
+      if (!request.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ++stats.errors;
+        }
+        sequencer.Emit(item.seq,
+                       ErrorLine(item.entry.name, "", request.status()));
+        continue;
+      }
+      requests.push_back(std::move(*request));
+      seqs.push_back(item.seq);
+      queries.push_back(std::move(query_text));
+    }
+    if (requests.empty()) continue;
+    size_t index = 0;
+    engine.Run(requests, [&](const BatchItemResult& item) {
+      sequencer.Emit(seqs[index],
+                     ReportToJsonLine(item.name, queries[index], item.status,
+                                      item.report));
+      ++index;
+    });
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stats.served += static_cast<int64_t>(requests.size());
+    }
+  }
+
+  reader.join();
+  return stats;
+}
+
+}  // namespace termilog

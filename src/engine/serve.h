@@ -1,0 +1,68 @@
+#ifndef TERMILOG_ENGINE_SERVE_H_
+#define TERMILOG_ENGINE_SERVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/analyzer.h"
+#include "engine/engine.h"
+
+namespace termilog {
+
+/// Options for the long-running request loop (docs/engine.md,
+/// docs/persistence.md). The protocol reuses the --batch JSONL framing:
+/// one manifest-entry object per input line ("source" or "file", plus
+/// optional "name"/"query"/"limits"), one report JSON line per request
+/// on the output, in request order. EOF on the input ends the loop.
+struct ServeOptions {
+  /// Base AnalysisOptions for every request; a request's own "limits"
+  /// object overrides `base.limits`, so `--deadline-ms` supplies the
+  /// per-request deadline default that the ResourceGovernor enforces.
+  AnalysisOptions base;
+  /// Requests allowed to wait for a worker before the server sheds.
+  /// When the waiting room is full, a new request is answered
+  /// immediately with a deterministic RESOURCE_EXHAUSTED error carrying
+  /// a retry-after note — bounded memory and bounded latency instead of
+  /// an unbounded queue that falls over (docs/engine.md, Overload).
+  int queue_limit = 64;
+  /// Max requests handed to one BatchEngine::Run call. Small chunks keep
+  /// response latency low; the content cache carries warmth across
+  /// chunks either way.
+  int chunk = 16;
+  /// Test hook: when true the processing side waits until the reader has
+  /// consumed its whole input before analyzing anything, making the
+  /// shed/accept split a pure function of queue_limit rather than of
+  /// scheduler timing. Production serving leaves this false.
+  bool drain_input_first = false;
+};
+
+struct ServeStats {
+  /// Input lines seen (blank and header lines excluded).
+  int64_t lines = 0;
+  /// Requests analyzed to completion.
+  int64_t served = 0;
+  /// Requests answered with the overload response without being queued.
+  int64_t shed = 0;
+  /// Unreadable request lines answered with a per-line error.
+  int64_t errors = 0;
+
+  std::string ToJson() const;
+};
+
+/// Runs the serve loop: reads JSONL requests from `in` until EOF,
+/// answers each with exactly one JSON line on `out` (flushed per line,
+/// strictly in request order). A reader thread admits requests into a
+/// bounded waiting room; overflow is shed with a deterministic overload
+/// response rather than queued. Unreadable lines (truncated JSON,
+/// missing source) get a per-line error response; they never abort the
+/// loop. The caller owns engine setup (jobs, cache, attached store) and
+/// shutdown (FlushStore after Serve returns).
+ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
+                 const ServeOptions& options);
+
+}  // namespace termilog
+
+#endif  // TERMILOG_ENGINE_SERVE_H_

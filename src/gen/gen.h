@@ -161,8 +161,27 @@ struct ManifestEntry {
   std::string expect;  // empty: no declared expectation
   GovernorLimits limits;
   bool has_limits = false;
+  /// 1-based manifest line this entry came from.
+  size_t line_number = 0;
+  /// True for a {"gen_manifest":...} header/provenance line (no request).
+  bool header = false;
+  /// Non-OK when the line was unreadable — truncated or garbage JSON, a
+  /// non-object, an unknown expect verdict, a missing source/file. The
+  /// message names the line number. One bad line degrades to one error
+  /// result; it never aborts the rest of the batch.
+  Status error = Status::Ok();
 };
 
+/// Parses a single manifest line (the serve-mode request framing).
+/// Never fails hard: an unreadable line comes back with `error` set and
+/// a synthesized "manifest:N" name so the caller can emit a per-request
+/// error response.
+ManifestEntry ParseManifestLine(std::string_view line, size_t line_number);
+
+/// Parses a whole JSONL manifest. Blank lines and header lines are
+/// skipped; every other line yields one entry, with `error` set on the
+/// unreadable ones (see ParseManifestLine). Always returns OK — the
+/// Result wrapper is kept for call-site stability.
 Result<std::vector<ManifestEntry>> ParseManifestJsonl(std::string_view text);
 
 /// Expands a workload into engine requests (parsing every source).

@@ -55,6 +55,51 @@ std::string WorkloadToManifestJsonl(const GeneratedWorkload& workload) {
   return out;
 }
 
+ManifestEntry ParseManifestLine(std::string_view line, size_t line_number) {
+  ManifestEntry entry;
+  entry.line_number = line_number;
+  entry.name = StrCat("manifest:", line_number);
+  auto fail = [&](std::string message) {
+    entry.error = Status::InvalidArgument(
+        StrCat("manifest line ", line_number, ": ", std::move(message)));
+    return entry;
+  };
+  Result<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) return fail(std::string(parsed.status().message()));
+  const JsonValue& object = *parsed;
+  if (!object.IsObject()) return fail("expected a JSON object");
+  if (object.Has("gen_manifest")) {  // header / provenance line
+    entry.header = true;
+    return entry;
+  }
+  entry.name = object.At("name").StringOr("");
+  entry.file = object.At("file").StringOr("");
+  entry.source = object.At("source").StringOr("");
+  entry.query = object.At("query").StringOr("");
+  entry.expect = object.At("expect").StringOr("");
+  if (entry.name.empty()) {
+    entry.name = entry.file.empty() ? StrCat("manifest:", line_number)
+                                    : entry.file;
+  }
+  if (entry.file.empty() && entry.source.empty()) {
+    return fail("needs \"source\" or \"file\"");
+  }
+  if (!entry.expect.empty()) {
+    ExpectedVerdict ignored;
+    if (!ParseExpectedVerdict(entry.expect, &ignored)) {
+      return fail(StrCat("unknown expect \"", entry.expect, "\""));
+    }
+  }
+  const JsonValue& limits = object.At("limits");
+  if (limits.IsObject()) {
+    entry.has_limits = true;
+    entry.limits.work_budget = limits.At("work_budget").IntOr(0);
+    entry.limits.deadline_ms = limits.At("deadline_ms").IntOr(0);
+    entry.limits.bigint_limb_limit = limits.At("limb_limit").IntOr(0);
+  }
+  return entry;
+}
+
 Result<std::vector<ManifestEntry>> ParseManifestJsonl(std::string_view text) {
   std::vector<ManifestEntry> entries;
   size_t line_number = 0;
@@ -68,47 +113,8 @@ Result<std::vector<ManifestEntry>> ParseManifestJsonl(std::string_view text) {
     ++line_number;
     line = StripWhitespace(line);
     if (line.empty()) continue;
-    Result<JsonValue> parsed = ParseJson(line);
-    if (!parsed.ok()) {
-      return Status::InvalidArgument(StrCat("manifest line ", line_number,
-                                            ": ", parsed.status().message()));
-    }
-    const JsonValue& object = *parsed;
-    if (!object.IsObject()) {
-      return Status::InvalidArgument(
-          StrCat("manifest line ", line_number, ": expected a JSON object"));
-    }
-    if (object.Has("gen_manifest")) continue;  // header / provenance line
-
-    ManifestEntry entry;
-    entry.name = object.At("name").StringOr("");
-    entry.file = object.At("file").StringOr("");
-    entry.source = object.At("source").StringOr("");
-    entry.query = object.At("query").StringOr("");
-    entry.expect = object.At("expect").StringOr("");
-    if (entry.file.empty() && entry.source.empty()) {
-      return Status::InvalidArgument(StrCat(
-          "manifest line ", line_number, ": needs \"source\" or \"file\""));
-    }
-    if (!entry.expect.empty()) {
-      ExpectedVerdict ignored;
-      if (!ParseExpectedVerdict(entry.expect, &ignored)) {
-        return Status::InvalidArgument(
-            StrCat("manifest line ", line_number, ": unknown expect \"",
-                   entry.expect, "\""));
-      }
-    }
-    if (entry.name.empty()) {
-      entry.name = entry.file.empty() ? StrCat("manifest:", line_number)
-                                      : entry.file;
-    }
-    const JsonValue& limits = object.At("limits");
-    if (limits.IsObject()) {
-      entry.has_limits = true;
-      entry.limits.work_budget = limits.At("work_budget").IntOr(0);
-      entry.limits.deadline_ms = limits.At("deadline_ms").IntOr(0);
-      entry.limits.bigint_limb_limit = limits.At("limb_limit").IntOr(0);
-    }
+    ManifestEntry entry = ParseManifestLine(line, line_number);
+    if (entry.header) continue;
     entries.push_back(std::move(entry));
   }
   return entries;

@@ -29,6 +29,7 @@
 #include "engine/engine.h"
 #include "engine/report_json.h"
 #include "engine/scc_cache.h"
+#include "engine/serve.h"
 #include "fm/fourier_motzkin.h"
 #include "fm/polyhedron.h"
 #include "gen/gen.h"
@@ -38,6 +39,8 @@
 #include "interp/sld.h"
 #include "lp/simplex.h"
 #include "obs/obs.h"
+#include "persist/store.h"
+#include "persist/writer.h"
 #include "program/ast.h"
 #include "program/modes.h"
 #include "program/parser.h"

@@ -48,12 +48,22 @@ class Parser {
     return true;
   }
 
+  // Containers deeper than this are rejected rather than recursed into:
+  // a garbage line of ten thousand '[' characters must come back as a
+  // clean kInvalidArgument, not blow the stack.
+  static constexpr int kMaxDepth = 96;
+
   Status ParseValue(JsonValue* out) {
     SkipSpace();
     if (pos_ >= input_.size()) return Fail("unexpected end of input");
     char c = input_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
+    if (c == '{' || c == '[') {
+      if (depth_ >= kMaxDepth) return Fail("nesting too deep");
+      ++depth_;
+      Status status = c == '{' ? ParseObject(out) : ParseArray(out);
+      --depth_;
+      return status;
+    }
     if (c == '"') {
       out->kind = JsonValue::Kind::kString;
       return ParseString(&out->text);
@@ -213,6 +223,7 @@ class Parser {
 
   std::string_view input_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

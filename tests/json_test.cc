@@ -96,5 +96,19 @@ TEST(JsonTest, Int64BoundariesStayExact) {
   EXPECT_EQ(min.integer, INT64_MIN);
 }
 
+TEST(JsonTest, PathologicalNestingIsACleanErrorNotACrash) {
+  // 10k unclosed '[' would blow the recursive parser's stack without the
+  // depth cap; a hostile manifest line must come back as a parse error.
+  std::string deep(10000, '[');
+  Result<JsonValue> open = ParseJson(deep);
+  ASSERT_FALSE(open.ok());
+  EXPECT_NE(open.status().ToString().find("nesting"), std::string::npos);
+  std::string closed = deep + std::string(10000, ']');
+  EXPECT_FALSE(ParseJson(closed).ok());
+  // Nesting at the cap still parses: the cap bounds depth, not size.
+  std::string at_cap = std::string(90, '[') + "1" + std::string(90, ']');
+  EXPECT_TRUE(ParseJson(at_cap).ok());
+}
+
 }  // namespace
 }  // namespace termilog

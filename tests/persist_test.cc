@@ -1,0 +1,423 @@
+// Crash-recovery suite for the persistent analysis store
+// (docs/persistence.md). The contract under test: whatever happens to the
+// file between runs — torn final write, bit flips, truncation at an
+// arbitrary byte, a foreign or future-version header — Open() never
+// fails, never loads a record that differs from what was written, and
+// accounts for everything it dropped. A corrupt entry degrades to a
+// cache miss, never to a wrong verdict.
+//
+// Lives in termilog_engine_tests so the ASan and TSan trees run it
+// (scripts/check.sh): the write-behind path is exactly where a lifetime
+// or lock-order mistake would surface.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/report_json.h"
+#include "gen/gen.h"
+#include "persist/store.h"
+#include "persist/writer.h"
+#include "util/failpoint.h"
+
+namespace termilog {
+namespace {
+
+namespace fs = std::filesystem;
+using persist::PersistentStore;
+using persist::StoreWriter;
+
+std::string TempStorePath(const char* name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+void RemoveStoreFiles(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  fs::remove(path + ".quarantined", ec);
+  fs::remove(path + ".tmp", ec);
+}
+
+// A representative outcome: proved, with multi-coefficient rationals in
+// theta and a non-integer delta — every field the encoder serializes.
+CachedSccOutcome SampleOutcome(int i) {
+  CachedSccOutcome outcome;
+  outcome.status = i % 2 == 0 ? SccStatus::kProved : SccStatus::kNotProved;
+  outcome.used_negative_deltas = i % 3 == 0;
+  outcome.reduced_constraints = "theta[p][1] >= " + std::to_string(i);
+  outcome.notes = {"note one", std::to_string(i)};
+  CachedSccOutcome::NamedTheta theta;
+  theta.name = "pred" + std::to_string(i);
+  theta.arity = 2;
+  theta.coeffs = {Rational(1, 2), Rational(i + 1), Rational(-3, 7)};
+  outcome.theta.push_back(theta);
+  CachedSccOutcome::NamedDelta delta;
+  delta.from_name = theta.name;
+  delta.from_arity = 2;
+  delta.to_name = "other";
+  delta.to_arity = 1;
+  delta.value = Rational(2 * i + 1, 3);
+  outcome.delta.push_back(delta);
+  return outcome;
+}
+
+bool OutcomesEqual(const CachedSccOutcome& a, const CachedSccOutcome& b) {
+  // EncodeRecord is deterministic and covers every field, so encoded
+  // equality is field equality.
+  return persist::EncodeRecord("k", a) == persist::EncodeRecord("k", b);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Builds a store with `count` sample records and returns its file bytes.
+std::string BuildStore(const std::string& path, int count) {
+  RemoveStoreFiles(path);
+  auto store = PersistentStore::Open(path);
+  EXPECT_TRUE(store.ok());
+  for (int i = 0; i < count; ++i) {
+    EXPECT_TRUE(
+        (*store)->Append("key" + std::to_string(i), SampleOutcome(i)).ok());
+  }
+  EXPECT_TRUE((*store)->Flush().ok());
+  store->reset();  // close the handle before the test injures the file
+  return ReadFile(path);
+}
+
+TEST(PersistStoreTest, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(persist::Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(persist::Crc32(""), 0x00000000u);
+}
+
+TEST(PersistStoreTest, EncodeDecodeRoundtrip) {
+  for (int i = 0; i < 5; ++i) {
+    CachedSccOutcome outcome = SampleOutcome(i);
+    std::string payload = persist::EncodeRecord("the key", outcome);
+    auto decoded = persist::DecodeRecord(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->first, "the key");
+    EXPECT_TRUE(OutcomesEqual(decoded->second, outcome));
+  }
+}
+
+TEST(PersistStoreTest, DecodeRejectsResourceLimitOutcomes) {
+  CachedSccOutcome starved = SampleOutcome(0);
+  starved.status = SccStatus::kResourceLimit;
+  std::string payload = persist::EncodeRecord("k", starved);
+  EXPECT_FALSE(persist::DecodeRecord(payload).ok());
+}
+
+TEST(PersistStoreTest, DecodeRejectsTrailingBytes) {
+  std::string payload = persist::EncodeRecord("k", SampleOutcome(1));
+  payload.push_back('\0');
+  EXPECT_FALSE(persist::DecodeRecord(payload).ok());
+}
+
+TEST(PersistStoreTest, AppendThenReopenRecoversEverything) {
+  std::string path = TempStorePath("persist_roundtrip.store");
+  BuildStore(path, 4);
+  auto store = PersistentStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->size(), 4);
+  EXPECT_EQ((*store)->stats().records_loaded, 4);
+  EXPECT_EQ((*store)->stats().records_quarantined, 0);
+  EXPECT_EQ((*store)->stats().tail_bytes_truncated, 0);
+  for (int i = 0; i < 4; ++i) {
+    auto it = (*store)->entries().find("key" + std::to_string(i));
+    ASSERT_NE(it, (*store)->entries().end());
+    EXPECT_TRUE(OutcomesEqual(it->second, SampleOutcome(i)));
+  }
+  RemoveStoreFiles(path);
+}
+
+TEST(PersistStoreTest, DuplicateKeysResolveLastWriteWins) {
+  std::string path = TempStorePath("persist_dup.store");
+  RemoveStoreFiles(path);
+  {
+    auto store = PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Append("k", SampleOutcome(0)).ok());
+    ASSERT_TRUE((*store)->Append("k", SampleOutcome(1)).ok());
+  }
+  auto store = PersistentStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->size(), 1);
+  EXPECT_TRUE(OutcomesEqual((*store)->entries().at("k"), SampleOutcome(1)));
+  RemoveStoreFiles(path);
+}
+
+// The crash-recovery sweep: a writer killed at *any* byte offset leaves a
+// prefix of the full file. Reopening every such prefix must succeed, must
+// recover only records that match what was written, and must never
+// invent data.
+TEST(PersistStoreTest, TruncationAtEveryOffsetRecoversAPrefix) {
+  std::string path = TempStorePath("persist_trunc.store");
+  std::string full = BuildStore(path, 3);
+  std::map<std::string, CachedSccOutcome> expected;
+  for (int i = 0; i < 3; ++i) {
+    expected["key" + std::to_string(i)] = SampleOutcome(i);
+  }
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    WriteFile(path, full.substr(0, cut));
+    auto store = PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok()) << "cut=" << cut;
+    persist::StoreStats stats = (*store)->stats();
+    // Every recovered record must be one we wrote, byte for byte.
+    for (const auto& [key, outcome] : (*store)->entries()) {
+      auto it = expected.find(key);
+      ASSERT_NE(it, expected.end()) << "cut=" << cut;
+      EXPECT_TRUE(OutcomesEqual(outcome, it->second)) << "cut=" << cut;
+    }
+    // A cut strictly inside the file must be *noticed* unless it landed
+    // exactly on a frame boundary (then the loss is silent prefix loss,
+    // visible as a smaller record count).
+    if (cut < 16) {
+      EXPECT_TRUE(cut == 0 || stats.file_quarantined) << "cut=" << cut;
+      EXPECT_EQ(stats.records_loaded, 0) << "cut=" << cut;
+    } else {
+      EXPECT_LT(stats.records_loaded, 3) << "cut=" << cut;
+    }
+    // The reopened store must accept appends again (recovery leaves a
+    // usable handle at a clean frame boundary).
+    EXPECT_TRUE((*store)->Append("fresh", SampleOutcome(7)).ok())
+        << "cut=" << cut;
+    fs::remove(path + ".quarantined");
+  }
+  RemoveStoreFiles(path);
+}
+
+// Bit-rot sweep: flipping one bit anywhere in the file must either leave
+// recovery byte-exact (impossible for CRC-protected regions) or drop the
+// damaged region — quarantined record, truncated tail, or the whole file
+// set aside. Never a record that differs from what was written.
+TEST(PersistStoreTest, BitFlipAtEveryOffsetNeverYieldsWrongData) {
+  std::string path = TempStorePath("persist_flip.store");
+  std::string full = BuildStore(path, 2);
+  std::map<std::string, CachedSccOutcome> expected;
+  for (int i = 0; i < 2; ++i) {
+    expected["key" + std::to_string(i)] = SampleOutcome(i);
+  }
+  for (size_t offset = 0; offset < full.size(); ++offset) {
+    std::string damaged = full;
+    damaged[offset] = static_cast<char>(damaged[offset] ^ 0x10);
+    WriteFile(path, damaged);
+    auto store = PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok()) << "offset=" << offset;
+    persist::StoreStats stats = (*store)->stats();
+    for (const auto& [key, outcome] : (*store)->entries()) {
+      auto it = expected.find(key);
+      ASSERT_NE(it, expected.end()) << "offset=" << offset;
+      EXPECT_TRUE(OutcomesEqual(outcome, it->second)) << "offset=" << offset;
+    }
+    // One flipped bit always damages a CRC-covered region, so recovery
+    // must have lost something and said so.
+    EXPECT_TRUE(stats.records_loaded < 2 || stats.records_quarantined > 0 ||
+                stats.tail_bytes_truncated > 0 || stats.file_quarantined)
+        << "offset=" << offset;
+    fs::remove(path + ".quarantined");
+  }
+  RemoveStoreFiles(path);
+}
+
+TEST(PersistStoreTest, UnknownVersionQuarantinesWholeFile) {
+  std::string path = TempStorePath("persist_version.store");
+  std::string full = BuildStore(path, 2);
+  // Patch the version field (offset 8) and its header CRC so only the
+  // version check can object.
+  std::string future = full;
+  future[8] = 9;
+  uint32_t crc = persist::Crc32(std::string_view(future.data(), 12));
+  for (int i = 0; i < 4; ++i) {
+    future[12 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  WriteFile(path, future);
+  auto store = PersistentStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->stats().file_quarantined);
+  EXPECT_EQ((*store)->size(), 0);
+  EXPECT_TRUE(fs::exists(path + ".quarantined"));
+  // The quarantined copy is the evidence: bytes preserved, not deleted.
+  EXPECT_EQ(ReadFile(path + ".quarantined"), future);
+  RemoveStoreFiles(path);
+}
+
+TEST(PersistStoreTest, CompactDropsShadowedRecordsAndKeepsLiveSet) {
+  std::string path = TempStorePath("persist_compact.store");
+  RemoveStoreFiles(path);
+  {
+    auto store = PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE((*store)
+                        ->Append("key" + std::to_string(i),
+                                 SampleOutcome(i + round))
+                        .ok());
+      }
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    int64_t before = static_cast<int64_t>(fs::file_size(path));
+    ASSERT_TRUE((*store)->Compact().ok());
+    EXPECT_LT(static_cast<int64_t>(fs::file_size(path)), before);
+  }
+  auto store = PersistentStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->size(), 3);
+  for (int i = 0; i < 3; ++i) {
+    // Last write wins: the round-2 values survive compaction.
+    EXPECT_TRUE(OutcomesEqual((*store)->entries().at("key" + std::to_string(i)),
+                              SampleOutcome(i + 2)));
+  }
+  RemoveStoreFiles(path);
+}
+
+TEST(PersistStoreTest, TornWriteFailpointIsRecoveredOnReopen) {
+  std::string path = TempStorePath("persist_torn.store");
+  RemoveStoreFiles(path);
+  {
+    auto store = PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Append("good", SampleOutcome(0)).ok());
+    FailpointRegistry::Global().EnableFromSpec("persist.append");
+    EXPECT_FALSE((*store)->Append("torn", SampleOutcome(1)).ok());
+    FailpointRegistry::Global().Clear();
+    // The handle is broken: later appends fail instead of interleaving
+    // bytes after a half-written frame.
+    EXPECT_FALSE((*store)->Append("after", SampleOutcome(2)).ok());
+    EXPECT_GE((*store)->stats().append_failures, 2);
+    // Compaction heals the handle from the in-memory live set.
+    ASSERT_TRUE((*store)->Compact().ok());
+    EXPECT_TRUE((*store)->Append("after", SampleOutcome(2)).ok());
+  }
+  {
+    // Replay the torn tail without the healing compaction: half a frame
+    // on disk, then reopen.
+    RemoveStoreFiles(path);
+    auto store = PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Append("good", SampleOutcome(0)).ok());
+    FailpointRegistry::Global().EnableFromSpec("persist.append");
+    EXPECT_FALSE((*store)->Append("torn", SampleOutcome(1)).ok());
+    FailpointRegistry::Global().Clear();
+  }
+  auto reopened = PersistentStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 1);
+  EXPECT_GT((*reopened)->stats().tail_bytes_truncated, 0);
+  EXPECT_TRUE(
+      OutcomesEqual((*reopened)->entries().at("good"), SampleOutcome(0)));
+  RemoveStoreFiles(path);
+}
+
+TEST(PersistStoreTest, RejectsResourceLimitAndEmptyKeyAppends) {
+  std::string path = TempStorePath("persist_reject.store");
+  RemoveStoreFiles(path);
+  auto store = PersistentStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  CachedSccOutcome starved = SampleOutcome(0);
+  starved.status = SccStatus::kResourceLimit;
+  EXPECT_FALSE((*store)->Append("k", starved).ok());
+  EXPECT_FALSE((*store)->Append("", SampleOutcome(0)).ok());
+  EXPECT_EQ((*store)->size(), 0);
+  RemoveStoreFiles(path);
+}
+
+TEST(StoreWriterTest, ConcurrentEnqueueDrainsEverythingWritten) {
+  std::string path = TempStorePath("persist_writer.store");
+  RemoveStoreFiles(path);
+  auto opened = PersistentStore::Open(path);
+  ASSERT_TRUE(opened.ok());
+  PersistentStore* store = opened->get();
+  {
+    StoreWriter writer(store, /*queue_capacity=*/64);
+    constexpr int kThreads = 4, kPerThread = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&writer, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          writer.Enqueue("t" + std::to_string(t) + "-" + std::to_string(i),
+                         SampleOutcome(i));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    ASSERT_TRUE(writer.Drain().ok());
+    // Drops are legal under overload (they degrade to future cache
+    // misses) but everything accepted must be on disk after Drain.
+    EXPECT_EQ(writer.written() + writer.dropped(), kThreads * kPerThread);
+    EXPECT_EQ(store->size(), writer.written());
+  }
+  int64_t written = store->size();
+  opened->reset();
+  auto reopened = PersistentStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), written);
+  EXPECT_EQ((*reopened)->stats().records_quarantined, 0);
+  RemoveStoreFiles(path);
+}
+
+// The tentpole invariant, end to end: a batch run that persists through
+// the write-behind path, then a *fresh* engine warm-started from the
+// store, must produce byte-identical report lines while serving nonzero
+// persisted-cache hits — work the first process paid for.
+TEST(PersistEngineTest, WarmStartIsByteIdenticalWithPersistedHits) {
+  std::string path = TempStorePath("persist_engine.store");
+  RemoveStoreFiles(path);
+  gen::GenParams params;
+  params.seed = 42;
+  params.count = 30;
+  params.mix_proved = 80;
+  params.mix_not_proved = 20;
+  params.mix_resource_limit = 0;
+  params.name_prefix = "warm";
+  std::vector<BatchRequest> requests =
+      gen::WorkloadToBatchRequests(gen::Generate(params)).value();
+
+  auto run = [&requests, &path](std::vector<std::string>* lines,
+                                EngineStats* stats) {
+    BatchEngine engine(EngineOptions{/*jobs=*/2, /*use_cache=*/true});
+    auto store = PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(engine.AttachStore(std::move(*store)).ok());
+    for (const BatchItemResult& item : engine.Run(requests)) {
+      lines->push_back(
+          ReportToJsonLine(item.name, "", item.status, item.report));
+    }
+    ASSERT_TRUE(engine.FlushStore().ok());
+    ASSERT_TRUE(engine.cache().SelfCheck().ok());
+    *stats = engine.stats();
+  };
+
+  std::vector<std::string> cold_lines, warm_lines;
+  EngineStats cold_stats, warm_stats;
+  run(&cold_lines, &cold_stats);
+  run(&warm_lines, &warm_stats);
+
+  EXPECT_EQ(cold_stats.persisted_loaded, 0);
+  EXPECT_GT(warm_stats.persisted_loaded, 0);
+  EXPECT_GT(warm_stats.persisted_hits, 0);
+  EXPECT_EQ(warm_lines, cold_lines);
+  RemoveStoreFiles(path);
+}
+
+}  // namespace
+}  // namespace termilog

@@ -1,0 +1,167 @@
+// Serve-loop suite (docs/persistence.md, Serve): the JSONL
+// request/response protocol, per-line error isolation, strict response
+// ordering, and deterministic overload shedding through the bounded
+// waiting room. The shed test uses ServeOptions::drain_input_first so the
+// accepted/shed split is a pure function of queue_limit, not of
+// scheduler timing — the same determinism discipline as the batch
+// engine's byte-identity contract.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/serve.h"
+#include "util/json.h"
+
+namespace termilog {
+namespace {
+
+constexpr const char* kAppendSource =
+    ":- mode(app(b,f,f)). app([],L,L). app([H|T],L,[H|R]) :- app(T,L,R).";
+
+std::string RequestLine(const std::string& name) {
+  return "{\"name\":\"" + name + "\",\"source\":\"" + kAppendSource +
+         "\",\"query\":\"app(b,f,f)\"}\n";
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Parses one response line and returns (name, ok, error-contains check).
+struct Response {
+  std::string name;
+  bool ok = false;
+  std::string error;
+};
+
+Response ParseResponse(const std::string& line) {
+  Response response;
+  Result<JsonValue> parsed = ParseJson(line);
+  EXPECT_TRUE(parsed.ok()) << line;
+  if (!parsed.ok()) return response;
+  EXPECT_TRUE(parsed->Has("name")) << line;
+  EXPECT_TRUE(parsed->Has("ok")) << line;
+  response.name = parsed->At("name").StringOr("");
+  response.ok = parsed->At("ok").BoolOr(false);
+  response.error = parsed->At("error").StringOr("");
+  return response;
+}
+
+TEST(ServeTest, AnswersEachRequestInOrder) {
+  BatchEngine engine(EngineOptions{/*jobs=*/2, /*use_cache=*/true});
+  std::istringstream in(RequestLine("r0") + RequestLine("r1") +
+                        "\n" +  // blank lines are skipped, not answered
+                        RequestLine("r2"));
+  std::ostringstream out;
+  ServeOptions options;
+  ServeStats stats = Serve(engine, in, out, options);
+  EXPECT_EQ(stats.lines, 3);
+  EXPECT_EQ(stats.served, 3);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.errors, 0);
+  std::vector<std::string> lines = SplitLines(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    Response response = ParseResponse(lines[i]);
+    EXPECT_EQ(response.name, "r" + std::to_string(i));
+    EXPECT_TRUE(response.ok) << lines[i];
+  }
+}
+
+TEST(ServeTest, BadLinesGetErrorResponsesAndTheLoopKeepsServing) {
+  BatchEngine engine(EngineOptions{/*jobs=*/1, /*use_cache=*/true});
+  std::istringstream in(RequestLine("good") + "this is not json\n" +
+                        "{\"name\":\"nosource\"}\n" + RequestLine("also"));
+  std::ostringstream out;
+  ServeStats stats = Serve(engine, in, out, ServeOptions());
+  EXPECT_EQ(stats.lines, 4);
+  EXPECT_EQ(stats.served, 2);
+  EXPECT_EQ(stats.errors, 2);
+  std::vector<std::string> lines = SplitLines(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_TRUE(ParseResponse(lines[0]).ok);
+  Response garbage = ParseResponse(lines[1]);
+  EXPECT_FALSE(garbage.ok);
+  // The error names the offending line so a client tailing the stream
+  // can find it in its own log.
+  EXPECT_NE(garbage.error.find("line 2"), std::string::npos) << lines[1];
+  EXPECT_FALSE(ParseResponse(lines[2]).ok);
+  EXPECT_TRUE(ParseResponse(lines[3]).ok);
+}
+
+TEST(ServeTest, OverloadShedsDeterministicallyBeyondQueueLimit) {
+  constexpr int kRequests = 10, kQueueLimit = 3;
+  BatchEngine engine(EngineOptions{/*jobs=*/2, /*use_cache=*/true});
+  std::string input;
+  for (int i = 0; i < kRequests; ++i) {
+    input += RequestLine("r" + std::to_string(i));
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  ServeOptions options;
+  options.queue_limit = kQueueLimit;
+  // Freeze the processor until the reader has seen all input: exactly
+  // queue_limit requests fit the waiting room, the rest must shed.
+  options.drain_input_first = true;
+  ServeStats stats = Serve(engine, in, out, options);
+  EXPECT_EQ(stats.lines, kRequests);
+  EXPECT_EQ(stats.served, kQueueLimit);
+  EXPECT_EQ(stats.shed, kRequests - kQueueLimit);
+  EXPECT_EQ(stats.errors, 0);
+
+  std::vector<std::string> lines = SplitLines(out.str());
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kRequests));
+  std::string shed_line;
+  for (int i = 0; i < kRequests; ++i) {
+    Response response = ParseResponse(lines[i]);
+    // Responses arrive in request order even though shed responses are
+    // written by the reader thread and served ones by the processor.
+    EXPECT_EQ(response.name, "r" + std::to_string(i));
+    if (i < kQueueLimit) {
+      EXPECT_TRUE(response.ok) << lines[i];
+    } else {
+      EXPECT_FALSE(response.ok) << lines[i];
+      EXPECT_NE(response.error.find("server overloaded"), std::string::npos);
+      EXPECT_NE(response.error.find("retry"), std::string::npos);
+      // Deterministic shed bytes: every shed response is identical
+      // except for the request name.
+      std::string tail = lines[i].substr(lines[i].find("\"ok\""));
+      if (shed_line.empty()) {
+        shed_line = tail;
+      } else {
+        EXPECT_EQ(tail, shed_line);
+      }
+    }
+  }
+}
+
+TEST(ServeTest, PerRequestLimitsOverrideTheBase) {
+  BatchEngine engine(EngineOptions{/*jobs=*/1, /*use_cache=*/false});
+  // A work budget of 1 cannot complete the SCC analysis: the report must
+  // come back resource-limited, but still as a valid ok:true response.
+  std::string line = "{\"name\":\"starved\",\"source\":\"" +
+                     std::string(kAppendSource) +
+                     "\",\"query\":\"app(b,f,f)\"," +
+                     "\"limits\":{\"work_budget\":1}}\n";
+  std::istringstream in(line + RequestLine("fed"));
+  std::ostringstream out;
+  ServeStats stats = Serve(engine, in, out, ServeOptions());
+  EXPECT_EQ(stats.served, 2);
+  std::vector<std::string> lines = SplitLines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"resource_limited\":true"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("\"resource_limited\":false"), std::string::npos)
+      << lines[1];
+}
+
+}  // namespace
+}  // namespace termilog
