@@ -8,6 +8,8 @@
 //   termilog_cli --batch DIR|MANIFEST [--jobs N] [options]
 //   termilog_cli --gen SEED[:PARAMS] [--out FILE]
 //   termilog_cli --serve FIFO|- [--queue-limit N] [--store PATH] [options]
+//   termilog_cli --conditions [FILE | --corpus NAME | --batch ...] [options]
+//   termilog_cli --compact PATH
 //
 //   FILE    program file (Prolog subset; see README)
 //   QUERY   entry pattern, e.g. "perm(b,f)" (b = bound, f = free).
@@ -43,7 +45,25 @@
 // response instead of queueing without bound, and per-request deadlines
 // (--deadline-ms or a line's own "limits") are enforced by the
 // ResourceGovernor. Combine with --store so every client shares one
-// durable cache.
+// durable cache. A line with "kind":"conditions" answers with a
+// termination-condition sweep report (below); an unknown "kind" answers
+// with the structured per-request error shape.
+//
+// Conditions mode (--conditions, docs/conditions.md) infers, for every
+// defined predicate, the weakest binding patterns under which termination
+// is proved, by sweeping the boundedness lattice through the engine with
+// frontier pruning. With a FILE or --corpus NAME it sweeps that program
+// (text report, or one JSON line with --json); with --batch it sweeps
+// every batch entry and streams one conditions JSON line per entry; with
+// neither it sweeps the whole built-in corpus. --jobs parallelizes the
+// mode variants (output bytes are identical for every value), --store
+// makes a repeat sweep mostly persisted cache hits, and --check-expect
+// verifies JSONL-manifest "expect_modes" declarations (exit 4 on
+// mismatch).
+//
+// Store maintenance (--compact PATH) rewrites the persistent store's
+// append-only log to its live-entry minimum (docs/persistence.md),
+// reporting recovery and size stats on stderr.
 //
 // Options:
 //   --json                 structured JSON output instead of text (single
@@ -56,6 +76,9 @@
 //                          new outcomes write-behind; flushed on exit
 //   --serve FIFO|-         serve JSONL requests from FIFO (or stdin) until
 //                          EOF instead of running a batch
+//   --conditions           termination-condition sweep instead of a
+//                          single-mode analysis (see above)
+//   --compact PATH         compact the persistent store at PATH and exit
 //   --queue-limit N        serve-mode waiting room size before overload
 //                          shedding (default 64)
 //   --check-expect         with --batch over a JSONL manifest: compare each
@@ -481,6 +504,279 @@ int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
   return FinishStore(engine, code);
 }
 
+// Sweep plan for --conditions: one slot per entry, filled eagerly for
+// setup errors and by the engine-driven sweeps otherwise, so the output
+// stream is deterministic in entry order like --batch.
+struct ConditionsPlan {
+  std::vector<std::optional<std::string>> lines;
+  std::vector<condinf::ConditionsSweep> sweeps;
+  std::vector<size_t> sweep_slot;               // sweep index -> output slot
+  std::vector<gen::ExpectModes> sweep_expect;   // declared minimal modes
+  bool any_error = false;
+
+  void AddErrorLine(const std::string& name, const Status& status) {
+    any_error = true;
+    condinf::ConditionsReport report;
+    report.name = name;
+    report.status = status;
+    lines.push_back(condinf::ConditionsReportToJsonLine(report));
+  }
+
+  void AddProgram(const std::string& name, Program program,
+                  const condinf::ConditionsOptions& options,
+                  gen::ExpectModes expect = {}) {
+    sweeps.emplace_back(name, std::move(program), options);
+    sweep_slot.push_back(lines.size());
+    sweep_expect.push_back(std::move(expect));
+    lines.emplace_back(std::nullopt);
+  }
+
+  void AddFile(const std::string& path,
+               const condinf::ConditionsOptions& options) {
+    std::ifstream in(path);
+    if (!in) {
+      AddErrorLine(path, Status::InvalidArgument("cannot open program file"));
+      return;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Result<Program> parsed = ParseProgram(buffer.str());
+    if (!parsed.ok()) {
+      AddErrorLine(path, parsed.status());
+      return;
+    }
+    AddProgram(path, std::move(*parsed), options);
+  }
+
+  void AddCorpusEntry(const std::string& name,
+                      const condinf::ConditionsOptions& base) {
+    const CorpusEntry* entry = FindCorpusEntry(name);
+    if (entry == nullptr) {
+      AddErrorLine("corpus:" + name,
+                   Status::InvalidArgument("unknown corpus entry"));
+      return;
+    }
+    condinf::ConditionsOptions options = base;
+    options.analysis.apply_transformations |= entry->needs_transformations;
+    options.analysis.allow_negative_deltas |= entry->needs_negative_deltas;
+    for (const auto& supplied : entry->supplied_constraints) {
+      options.analysis.supplied_constraints.push_back(supplied);
+    }
+    Result<Program> parsed = ParseProgram(entry->source);
+    if (!parsed.ok()) {
+      AddErrorLine("corpus:" + name, parsed.status());
+      return;
+    }
+    AddProgram("corpus:" + name, std::move(*parsed), options);
+  }
+
+  void AddManifestEntry(const gen::ManifestEntry& entry,
+                        const condinf::ConditionsOptions& base) {
+    if (!entry.error.ok()) {
+      AddErrorLine(entry.name, entry.error);
+      return;
+    }
+    condinf::ConditionsOptions options = base;
+    if (entry.has_limits) options.analysis.limits = entry.limits;
+    std::string source = entry.source;
+    if (source.empty()) {
+      std::ifstream in(entry.file);
+      if (!in) {
+        AddErrorLine(entry.name,
+                     Status::InvalidArgument("cannot open program file"));
+        return;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    }
+    Result<Program> parsed = ParseProgram(source);
+    if (!parsed.ok()) {
+      AddErrorLine(entry.name, parsed.status());
+      return;
+    }
+    AddProgram(entry.name, std::move(*parsed), options, entry.expect_modes);
+  }
+};
+
+// Runs --conditions: per program, the minimal terminating binding
+// patterns of every predicate (docs/conditions.md). Sweeps share one
+// engine, so mode variants parallelize under --jobs and shared SCC
+// structure hits the cache (and the --store) instead of recomputing.
+int RunConditions(const std::string& batch_path,
+                  const std::string& corpus_name,
+                  const std::vector<std::string>& positional,
+                  const AnalysisOptions& options, int jobs, bool use_cache,
+                  bool check_expect, const std::string& store_path,
+                  bool json) {
+  namespace fs = std::filesystem;
+  ConditionsPlan plan;
+  condinf::ConditionsOptions base;
+  base.analysis = options;
+  bool single_text = false;  // human rendering: one program, no --json
+  if (!batch_path.empty()) {
+    std::error_code ec;
+    if (fs::is_directory(batch_path, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry : fs::directory_iterator(batch_path, ec)) {
+        if (entry.path().extension() == ".pl") {
+          files.push_back(entry.path().string());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      if (files.empty()) return Fail("--batch directory holds no *.pl files");
+      for (const std::string& file : files) plan.AddFile(file, base);
+    } else {
+      std::ifstream in(batch_path);
+      if (!in) return Fail("cannot open --batch manifest");
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      std::string text = buffer.str();
+      size_t first = text.find_first_not_of(" \t\r\n");
+      if (first != std::string::npos && text[first] == '{') {
+        Result<std::vector<gen::ManifestEntry>> entries =
+            gen::ParseManifestJsonl(text);
+        if (!entries.ok()) return Fail(entries.status().ToString().c_str());
+        for (const gen::ManifestEntry& entry : *entries) {
+          plan.AddManifestEntry(entry, base);
+        }
+      } else {
+        std::istringstream lines_in(text);
+        std::string line;
+        while (std::getline(lines_in, line)) {
+          size_t start = line.find_first_not_of(" \t");
+          if (start == std::string::npos || line[start] == '#') continue;
+          size_t end = line.find_last_not_of(" \t\r");
+          line = line.substr(start, end - start + 1);
+          if (line.rfind("corpus:", 0) == 0) {
+            plan.AddCorpusEntry(line.substr(7), base);
+            continue;
+          }
+          // The sweep covers every predicate, so a line's QUERY column
+          // (a single entry mode) is irrelevant here and ignored.
+          plan.AddFile(line.substr(0, line.find(' ')), base);
+        }
+      }
+      if (plan.lines.empty()) {
+        return Fail("--batch manifest names no requests");
+      }
+    }
+  } else if (!corpus_name.empty()) {
+    plan.AddCorpusEntry(corpus_name, base);
+    single_text = !json;
+  } else if (!positional.empty()) {
+    plan.AddFile(positional[0], base);
+    single_text = !json;
+  } else {
+    // Bare --conditions: the whole built-in corpus, one line per entry.
+    for (const CorpusEntry& entry : Corpus()) {
+      plan.AddCorpusEntry(entry.name, base);
+    }
+  }
+
+  EngineOptions engine_options;
+  engine_options.jobs = jobs;
+  engine_options.use_cache = use_cache;
+  BatchEngine engine(engine_options);
+  int attach = AttachStoreOrFail(engine, store_path);
+  if (attach != 0) return attach;
+
+  std::vector<condinf::ConditionsReport> reports =
+      condinf::RunConditionsSweeps(engine, plan.sweeps);
+  bool any_limited = false;
+  int64_t expect_checked = 0;
+  int64_t expect_mismatches = 0;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    any_limited = any_limited || reports[i].resource_limited;
+    if (check_expect && !plan.sweep_expect[i].empty()) {
+      std::vector<std::string> messages;
+      int mismatches = condinf::CountExpectModeMismatches(
+          reports[i], plan.sweep_expect[i], &messages);
+      expect_checked += static_cast<int64_t>(plan.sweep_expect[i].size());
+      expect_mismatches += mismatches;
+      for (const std::string& message : messages) {
+        if (expect_mismatches <= 10) {
+          std::fprintf(stderr, "termilog_cli: expect mismatch: %s\n",
+                       message.c_str());
+        }
+      }
+    }
+    plan.lines[plan.sweep_slot[i]] =
+        single_text ? condinf::ConditionsReportToText(reports[i])
+                    : condinf::ConditionsReportToJsonLine(reports[i]);
+  }
+  for (const std::optional<std::string>& line : plan.lines) {
+    if (single_text) {
+      std::fputs(line->c_str(), stdout);  // multi-line, newline-terminated
+    } else {
+      std::printf("%s\n", line->c_str());
+    }
+  }
+  std::fflush(stdout);
+  std::fprintf(stderr, "%s\n",
+               EngineStatsToJson(engine.stats(), jobs).c_str());
+
+  int code = EXIT_SUCCESS;
+  if (plan.any_error) {
+    code = kExitNotProved;
+  } else if (any_limited) {
+    code = kExitResourceLimited;
+  }
+  if (check_expect) {
+    std::fprintf(
+        stderr,
+        "termilog_cli: expect check: %lld/%lld minimal-mode sets match\n",
+        static_cast<long long>(expect_checked - expect_mismatches),
+        static_cast<long long>(expect_checked));
+    if (expect_mismatches > 0) {
+      code = kExitExpectMismatch;
+    } else if (expect_checked > 0 && !plan.any_error) {
+      code = EXIT_SUCCESS;
+    }
+  }
+  return FinishStore(engine, code);
+}
+
+// Offline store maintenance (--compact PATH): replay the log with the
+// usual recovery rules, rewrite it to its live-entry minimum, report
+// what recovery found and how many bytes compaction reclaimed.
+int RunCompact(const std::string& path) {
+  namespace fs = std::filesystem;
+  Result<std::unique_ptr<persist::PersistentStore>> store =
+      persist::PersistentStore::Open(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "termilog_cli: --compact: %s\n",
+                 store.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  for (const std::string& note : (*store)->stats().notes) {
+    std::fprintf(stderr, "termilog_cli: store recovery: %s\n", note.c_str());
+  }
+  std::error_code ec;
+  uintmax_t size = fs::file_size(path, ec);
+  const long long bytes_before = ec ? -1 : static_cast<long long>(size);
+  Status compacted = (*store)->Compact();
+  if (!compacted.ok()) {
+    std::fprintf(stderr, "termilog_cli: --compact failed: %s\n",
+                 compacted.ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  size = fs::file_size(path, ec);
+  const long long bytes_after = ec ? -1 : static_cast<long long>(size);
+  persist::StoreStats stats = (*store)->stats();
+  std::fprintf(stderr,
+               "{\"compact\":{\"path\":\"%s\",\"entries\":%lld,"
+               "\"records_loaded\":%lld,\"records_quarantined\":%lld,"
+               "\"tail_bytes_truncated\":%lld,\"bytes_before\":%lld,"
+               "\"bytes_after\":%lld}}\n",
+               path.c_str(), static_cast<long long>((*store)->size()),
+               static_cast<long long>(stats.records_loaded),
+               static_cast<long long>(stats.records_quarantined),
+               static_cast<long long>(stats.tail_bytes_truncated),
+               bytes_before, bytes_after);
+  return EXIT_SUCCESS;
+}
+
 // Long-running request loop (--serve, docs/persistence.md): JSONL
 // requests from a FIFO (or stdin with "-"), one report line per request
 // on stdout in request order, until EOF. Overload beyond --queue-limit is
@@ -521,11 +817,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> run_goals;
   bool show_constraints = false, run_baselines = false, reorder = false;
   bool explain = false, json = false, use_cache = true;
-  bool check_expect = false;
+  bool check_expect = false, conditions = false;
   int64_t jobs = 1;
   int64_t queue_limit = 64;
   std::string corpus_name, batch_path, trace_path, metrics_path;
-  std::string gen_spec, out_path, store_path, serve_path;
+  std::string gen_spec, out_path, store_path, serve_path, compact_path;
 
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -544,6 +840,10 @@ int main(int argc, char** argv) {
       store_path = argv[++i];
     } else if (arg == "--serve" && i + 1 < argc) {
       serve_path = argv[++i];
+    } else if (arg == "--conditions") {
+      conditions = true;
+    } else if (arg == "--compact" && i + 1 < argc) {
+      compact_path = argv[++i];
     } else if (arg == "--queue-limit" && i + 1 < argc) {
       if (!ParseInt64Flag(argv[++i], &queue_limit) || queue_limit < 1) {
         return Fail("--queue-limit wants a positive integer");
@@ -626,9 +926,19 @@ int main(int argc, char** argv) {
     return EXIT_SUCCESS;
   }
 
+  if (!compact_path.empty()) {
+    return RunCompact(compact_path);
+  }
+
   if (!serve_path.empty()) {
     return RunServe(serve_path, options, static_cast<int>(jobs), use_cache,
                     queue_limit, store_path);
+  }
+
+  if (conditions) {
+    return RunConditions(batch_path, corpus_name, positional, options,
+                         static_cast<int>(jobs), use_cache, check_expect,
+                         store_path, json);
   }
 
   if (!batch_path.empty()) {

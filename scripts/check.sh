@@ -20,6 +20,16 @@
 #   c. bench_engine --chaos: seeded failpoint replay (ladder degradation,
 #      cache self-check, clean-round recovery, store-fault rounds)
 #
+# --conditions runs the termination-condition sweep harness
+# (docs/conditions.md):
+#   a. the condinf-labelled suite (lattice pruning soundness, warm-store
+#      reuse, generator expectation checks)
+#   b. a corpus-wide --conditions sweep at jobs=1 and jobs=8 whose JSONL
+#      streams must be byte-identical
+#   c. a generated modes=K workload replayed with --check-expect: every
+#      declared minimal-mode set must be reproduced exactly
+#   d. an ASan+UBSan pass over the condinf suite
+#
 # --crash runs the kill -9 durability drill (docs/persistence.md):
 #   a. a 2000-request generated batch runs uninterrupted (no store) to
 #      produce the reference report stream
@@ -30,7 +40,7 @@
 #      persisted-cache hits (recovered work, not recomputed luck)
 #   d. an ASan+UBSan pass over the persist/serve-inclusive engine suite
 #
-# Usage: scripts/check.sh [--tier1-only | --stress | --crash]
+# Usage: scripts/check.sh [--tier1-only | --stress | --crash | --conditions]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -73,6 +83,38 @@ if [[ "${1:-}" == "--stress" ]]; then
   run ./build/bench/bench_engine --chaos 7 >"$workdir/chaos.json"
 
   echo "check.sh: stress harness OK (10k round trip byte-identical)" >&2
+  exit 0
+fi
+
+if [[ "${1:-}" == "--conditions" ]]; then
+  # --- a. condinf suite --------------------------------------------------
+  run ctest --test-dir build --output-on-failure -L condinf
+
+  workdir="$(mktemp -d)"
+  trap 'rm -rf "$workdir"' EXIT
+
+  # --- b. corpus sweep, byte-identical across jobs levels ----------------
+  run ./build/examples/termilog_cli --conditions --jobs 1 \
+      >"$workdir/cond.j1.jsonl"
+  run ./build/examples/termilog_cli --conditions --jobs 8 \
+      >"$workdir/cond.j8.jsonl"
+  run cmp "$workdir/cond.j1.jsonl" "$workdir/cond.j8.jsonl"
+
+  # --- c. generated workload with exact minimal-mode expectations --------
+  manifest="$workdir/modes.jsonl"
+  run ./build/examples/termilog_cli \
+      --gen "7:count=40,sccs=1-3,arity=3,modes=2,mix=70/30/0" \
+      --out "$manifest"
+  run ./build/examples/termilog_cli --conditions --batch "$manifest" \
+      --jobs 8 --check-expect >"$workdir/modes.out.jsonl"
+
+  # --- d. ASan over the condinf suite ------------------------------------
+  run cmake -B build-asan -S . -DTERMILOG_SANITIZE=address -DTERMILOG_OBS=ON
+  run cmake --build build-asan -j "$JOBS" --target termilog_condinf_tests
+  run ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L condinf
+
+  echo "check.sh: conditions harness OK (corpus sweep byte-identical," \
+       "generated expectations reproduced)" >&2
   exit 0
 fi
 

@@ -1,0 +1,98 @@
+#include "condinf/lattice.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace termilog {
+namespace condinf {
+namespace {
+
+// (bound count, value) order keeps both antichains deterministic and puts
+// the weakest patterns first, which is the order reports want.
+void SortedInsert(std::vector<ModeBits>* set, ModeBits mode) {
+  auto less = [](ModeBits a, ModeBits b) {
+    int ca = BoundCount(a), cb = BoundCount(b);
+    return ca != cb ? ca < cb : a < b;
+  };
+  set->insert(std::lower_bound(set->begin(), set->end(), mode, less), mode);
+}
+
+}  // namespace
+
+ModeBits TopMode(int arity) {
+  TERMILOG_CHECK_MSG(arity >= 0 && arity <= kMaxLatticeArity,
+                     "arity outside lattice range");
+  return arity == 0 ? 0 : (ModeBits{1} << arity) - 1;
+}
+
+bool ModeLeq(ModeBits weaker, ModeBits stronger) {
+  return (weaker & ~stronger) == 0;
+}
+
+int BoundCount(ModeBits mode) {
+  int count = 0;
+  for (ModeBits m = mode; m != 0; m &= m - 1) ++count;
+  return count;
+}
+
+Adornment BitsToAdornment(ModeBits mode, int arity) {
+  Adornment adornment(static_cast<size_t>(arity), Mode::kFree);
+  for (int i = 0; i < arity; ++i) {
+    if (mode & (ModeBits{1} << i)) adornment[static_cast<size_t>(i)] = Mode::kBound;
+  }
+  return adornment;
+}
+
+ModeBits AdornmentToBits(const Adornment& adornment) {
+  TERMILOG_CHECK_MSG(adornment.size() <= kMaxLatticeArity,
+                     "adornment outside lattice range");
+  ModeBits mode = 0;
+  for (size_t i = 0; i < adornment.size(); ++i) {
+    if (adornment[i] == Mode::kBound) mode |= ModeBits{1} << i;
+  }
+  return mode;
+}
+
+std::string ModeBitsToString(ModeBits mode, int arity) {
+  std::string out(static_cast<size_t>(arity), 'f');
+  for (int i = 0; i < arity; ++i) {
+    if (mode & (ModeBits{1} << i)) out[static_cast<size_t>(i)] = 'b';
+  }
+  return out;
+}
+
+void ModeFrontier::RecordProved(ModeBits mode) {
+  if (ImpliedProved(mode)) return;
+  minimal_proved_.erase(
+      std::remove_if(minimal_proved_.begin(), minimal_proved_.end(),
+                     [mode](ModeBits m) { return ModeLeq(mode, m); }),
+      minimal_proved_.end());
+  SortedInsert(&minimal_proved_, mode);
+}
+
+void ModeFrontier::RecordFailed(ModeBits mode) {
+  if (ImpliedFailed(mode)) return;
+  maximal_failed_.erase(
+      std::remove_if(maximal_failed_.begin(), maximal_failed_.end(),
+                     [mode](ModeBits m) { return ModeLeq(m, mode); }),
+      maximal_failed_.end());
+  SortedInsert(&maximal_failed_, mode);
+}
+
+bool ModeFrontier::ImpliedProved(ModeBits mode) const {
+  for (ModeBits proved : minimal_proved_) {
+    if (ModeLeq(proved, mode)) return true;
+  }
+  return false;
+}
+
+bool ModeFrontier::ImpliedFailed(ModeBits mode) const {
+  for (ModeBits failed : maximal_failed_) {
+    if (ModeLeq(mode, failed)) return true;
+  }
+  return false;
+}
+
+}  // namespace condinf
+}  // namespace termilog

@@ -1,0 +1,77 @@
+#ifndef TERMILOG_CONDINF_LATTICE_H_
+#define TERMILOG_CONDINF_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program/ast.h"
+
+namespace termilog {
+namespace condinf {
+
+/// One binding pattern of a predicate, as a bitmask over argument
+/// positions: bit i set means argument i is bound. The boundedness lattice
+/// is the powerset lattice under inclusion — `m1 <= m2` iff m1's bound set
+/// is a subset of m2's — with all-free at the bottom and all-bound at the
+/// top. Termination provedness is monotone over this lattice (binding more
+/// arguments only adds candidate level-mapping weight, see
+/// docs/conditions.md), which is what makes frontier search sound.
+using ModeBits = uint32_t;
+
+/// Widest arity the lattice machinery enumerates. Wider predicates are
+/// reported as truncated rather than sweeping 2^31 patterns.
+constexpr int kMaxLatticeArity = 30;
+
+/// The all-bound pattern (lattice top) for `arity` arguments.
+ModeBits TopMode(int arity);
+
+/// True iff `weaker`'s bound set is a subset of `stronger`'s.
+bool ModeLeq(ModeBits weaker, ModeBits stronger);
+
+int BoundCount(ModeBits mode);
+
+Adornment BitsToAdornment(ModeBits mode, int arity);
+ModeBits AdornmentToBits(const Adornment& adornment);
+
+/// "bff" rendering (matches AdornmentToString on the expanded adornment).
+std::string ModeBitsToString(ModeBits mode, int arity);
+
+/// Verdict bookkeeping over the mode lattice of one predicate. Maintains
+/// two antichains — the minimal proved patterns and the maximal failed
+/// patterns — and answers implication queries against them:
+///   ImpliedProved(m): some proved pattern <= m, so m proves by upward
+///                     closure without re-analysis;
+///   ImpliedFailed(m): m <= some failed pattern, so m fails by downward
+///                     (backwards) failure propagation.
+/// Callers only Record verdicts actually computed; the antichains absorb
+/// dominated entries, so both stay small (at most C(n, n/2) patterns).
+class ModeFrontier {
+ public:
+  /// Records a computed PROVED verdict. Dominated entries (supersets of
+  /// `mode`) are dropped; a no-op when `mode` is already implied.
+  void RecordProved(ModeBits mode);
+  /// Records a computed not-proved verdict, dually.
+  void RecordFailed(ModeBits mode);
+
+  bool ImpliedProved(ModeBits mode) const;
+  bool ImpliedFailed(ModeBits mode) const;
+
+  /// Minimal proved patterns, sorted by (bound count, numeric value) —
+  /// the weakest binding patterns under which termination is proved.
+  const std::vector<ModeBits>& minimal_proved() const {
+    return minimal_proved_;
+  }
+  const std::vector<ModeBits>& maximal_failed() const {
+    return maximal_failed_;
+  }
+
+ private:
+  std::vector<ModeBits> minimal_proved_;
+  std::vector<ModeBits> maximal_failed_;
+};
+
+}  // namespace condinf
+}  // namespace termilog
+
+#endif  // TERMILOG_CONDINF_LATTICE_H_

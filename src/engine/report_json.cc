@@ -23,8 +23,10 @@ void AppendStringArray(const std::vector<std::string>& items,
   *out += ']';
 }
 
-void AppendCertificate(const TerminationCertificate& certificate,
-                       const Program& program, std::string* out) {
+}  // namespace
+
+void AppendCertificateJson(const TerminationCertificate& certificate,
+                           const Program& program, std::string* out) {
   *out += "{\"level\":{";
   bool first = true;
   for (const auto& [pred, coeffs] : certificate.theta) {
@@ -51,8 +53,6 @@ void AppendCertificate(const TerminationCertificate& certificate,
   }
   *out += "}}";
 }
-
-}  // namespace
 
 std::string ReportToJsonLine(const std::string& name, const std::string& query,
                              const Status& status,
@@ -99,7 +99,7 @@ std::string ReportToJsonLine(const std::string& name, const std::string& query,
                   scc.used_negative_deltas ? "true" : "false");
     if (scc.status == SccStatus::kProved) {
       out += ",\"certificate\":";
-      AppendCertificate(scc.certificate, program, &out);
+      AppendCertificateJson(scc.certificate, program, &out);
     }
     if (!scc.reduced_constraints.empty()) {
       std::vector<std::string> rows;

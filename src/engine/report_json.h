@@ -42,6 +42,13 @@ std::string ReportToJsonLine(const std::string& name, const std::string& query,
 /// JSON object for a batch run's aggregate statistics.
 std::string EngineStatsToJson(const EngineStats& stats, int jobs);
 
+/// Appends the certificate's {"level":{..},"delta":{..}} object to `out`,
+/// rendering predicate names through `program`. Shared with the
+/// --conditions report serializer (src/condinf/) so witnesses render
+/// byte-identically to per-SCC certificates here.
+void AppendCertificateJson(const TerminationCertificate& certificate,
+                           const Program& program, std::string* out);
+
 }  // namespace termilog
 
 #endif  // TERMILOG_ENGINE_REPORT_JSON_H_

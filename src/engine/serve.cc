@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "condinf/condinf.h"
 #include "engine/report_json.h"
 #include "gen/gen.h"
 #include "program/parser.h"
@@ -57,14 +58,8 @@ std::string ErrorLine(const std::string& name, const std::string& query,
   return ReportToJsonLine(name, query, status, TerminationReport());
 }
 
-// Expands one admitted manifest entry into an engine request. Serve is a
-// one-line-in / one-line-out protocol, so a file with several mode
-// directives analyzes the first one; name a "query" to pick another.
-Result<BatchRequest> BuildRequest(const gen::ManifestEntry& entry,
-                                  const AnalysisOptions& base,
-                                  std::string* query_text) {
-  AnalysisOptions options = base;
-  if (entry.has_limits) options.limits = entry.limits;
+// Loads and parses the entry's program (inline "source" or "file").
+Result<Program> LoadProgram(const gen::ManifestEntry& entry) {
   std::string source = entry.source;
   if (source.empty()) {
     std::ifstream in(entry.file);
@@ -73,7 +68,18 @@ Result<BatchRequest> BuildRequest(const gen::ManifestEntry& entry,
     buffer << in.rdbuf();
     source = buffer.str();
   }
-  Result<Program> parsed = ParseProgram(source);
+  return ParseProgram(source);
+}
+
+// Expands one admitted manifest entry into an engine request. Serve is a
+// one-line-in / one-line-out protocol, so a file with several mode
+// directives analyzes the first one; name a "query" to pick another.
+Result<BatchRequest> BuildRequest(const gen::ManifestEntry& entry,
+                                  const AnalysisOptions& base,
+                                  std::string* query_text) {
+  AnalysisOptions options = base;
+  if (entry.has_limits) options.limits = entry.limits;
+  Result<Program> parsed = LoadProgram(entry);
   if (!parsed.ok()) return parsed.status();
   std::string query = entry.query;
   if (query.empty()) {
@@ -106,7 +112,8 @@ Result<BatchRequest> BuildRequest(const gen::ManifestEntry& entry,
 
 std::string ServeStats::ToJson() const {
   return StrCat("{\"lines\":", lines, ",\"served\":", served,
-                ",\"shed\":", shed, ",\"errors\":", errors, "}");
+                ",\"shed\":", shed, ",\"errors\":", errors,
+                ",\"conditions\":", conditions, "}");
 }
 
 ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
@@ -196,8 +203,38 @@ ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
     std::vector<BatchRequest> requests;
     std::vector<int64_t> seqs;
     std::vector<std::string> queries;
+    std::vector<condinf::ConditionsSweep> sweeps;
+    std::vector<int64_t> sweep_seqs;
     requests.reserve(batch.size());
     for (QueuedRequest& item : batch) {
+      if (item.entry.kind == "conditions") {
+        // A conditions request sweeps the whole program's mode lattices
+        // (docs/conditions.md); it shares this chunk's engine — and the
+        // SCC cache every other request warms — through
+        // RunConditionsSweeps below.
+        Result<Program> program = LoadProgram(item.entry);
+        if (!program.ok()) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            ++stats.errors;
+          }
+          condinf::ConditionsReport error_report;
+          error_report.name = item.entry.name;
+          error_report.status = program.status();
+          sequencer.Emit(item.seq,
+                         condinf::ConditionsReportToJsonLine(error_report));
+          continue;
+        }
+        condinf::ConditionsOptions conditions_options;
+        conditions_options.analysis = options.base;
+        if (item.entry.has_limits) {
+          conditions_options.analysis.limits = item.entry.limits;
+        }
+        sweeps.emplace_back(item.entry.name, std::move(*program),
+                            conditions_options);
+        sweep_seqs.push_back(item.seq);
+        continue;
+      }
       std::string query_text;
       Result<BatchRequest> request =
           BuildRequest(item.entry, options.base, &query_text);
@@ -214,17 +251,29 @@ ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
       seqs.push_back(item.seq);
       queries.push_back(std::move(query_text));
     }
-    if (requests.empty()) continue;
-    size_t index = 0;
-    engine.Run(requests, [&](const BatchItemResult& item) {
-      sequencer.Emit(seqs[index],
-                     ReportToJsonLine(item.name, queries[index], item.status,
-                                      item.report));
-      ++index;
-    });
+    if (requests.empty() && sweeps.empty()) continue;
+    if (!requests.empty()) {
+      size_t index = 0;
+      engine.Run(requests, [&](const BatchItemResult& item) {
+        sequencer.Emit(seqs[index],
+                       ReportToJsonLine(item.name, queries[index],
+                                        item.status, item.report));
+        ++index;
+      });
+    }
+    if (!sweeps.empty()) {
+      std::vector<condinf::ConditionsReport> reports =
+          condinf::RunConditionsSweeps(engine, sweeps);
+      for (size_t i = 0; i < reports.size(); ++i) {
+        sequencer.Emit(sweep_seqs[i],
+                       condinf::ConditionsReportToJsonLine(reports[i]));
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu);
-      stats.served += static_cast<int64_t>(requests.size());
+      stats.served +=
+          static_cast<int64_t>(requests.size() + sweeps.size());
+      stats.conditions += static_cast<int64_t>(sweeps.size());
     }
   }
 

@@ -15,8 +15,11 @@ namespace termilog {
 /// Options for the long-running request loop (docs/engine.md,
 /// docs/persistence.md). The protocol reuses the --batch JSONL framing:
 /// one manifest-entry object per input line ("source" or "file", plus
-/// optional "name"/"query"/"limits"), one report JSON line per request
-/// on the output, in request order. EOF on the input ends the loop.
+/// optional "name"/"query"/"limits"/"kind"), one report JSON line per
+/// request on the output, in request order. EOF on the input ends the
+/// loop. "kind":"conditions" answers with a termination-condition sweep
+/// report (docs/conditions.md) instead of a single-mode analysis; an
+/// unknown kind answers with the structured per-request error shape.
 struct ServeOptions {
   /// Base AnalysisOptions for every request; a request's own "limits"
   /// object overrides `base.limits`, so `--deadline-ms` supplies the
@@ -42,12 +45,18 @@ struct ServeOptions {
 struct ServeStats {
   /// Input lines seen (blank and header lines excluded).
   int64_t lines = 0;
-  /// Requests analyzed to completion.
+  /// Requests analyzed to completion (both kinds).
   int64_t served = 0;
   /// Requests answered with the overload response without being queued.
   int64_t shed = 0;
-  /// Unreadable request lines answered with a per-line error.
+  /// Unreadable request lines answered with a per-line error — truncated
+  /// JSON, a missing source, an unknown request "kind", an unparseable
+  /// program. Every one gets the structured per-request error shape
+  /// ({"name":..,"ok":false,"error":..}); none aborts the loop.
   int64_t errors = 0;
+  /// The subset of `served` that were "kind":"conditions" sweeps
+  /// (docs/conditions.md).
+  int64_t conditions = 0;
 
   std::string ToJson() const;
 };

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "engine/engine.h"
@@ -106,7 +107,23 @@ struct GenParams {
   int64_t resource_work_budget = 1;
   /// Request-name prefix ("PREFIX:s<seed>:r<index>"). key: prefix
   std::string name_prefix = "gen";
+  /// Conditions-workload dimension (docs/conditions.md). 0 = off. K >= 1
+  /// switches every request to kind "conditions": each SCC is a mutual-
+  /// recursion cycle of exactly K predicates whose recursive rules peel a
+  /// per-predicate measure argument and pass the remaining arguments
+  /// through in rank order, a shape whose minimal terminating binding
+  /// patterns are exactly computable at generation time — the request
+  /// carries them as "expect_modes" for --conditions --check-expect. The
+  /// mix's resource_limit weight folds into proved (a budget would
+  /// perturb the declared mode sets).                 key: modes
+  int modes_cycle = 0;
 };
+
+/// Declared minimal terminating modes: predicate display name ("p/2") ->
+/// mode strings ("bf"). Mirrors condinf::ExpectedModes without the
+/// dependency.
+using ExpectModes =
+    std::vector<std::pair<std::string, std::vector<std::string>>>;
 
 struct GeneratedRequest {
   std::string name;
@@ -121,6 +138,11 @@ struct GeneratedRequest {
   /// Planned recursive-SCC sizes, entry SCC first. The engine reports the
   /// condensation callees-first, i.e. in reverse of this order.
   std::vector<int> scc_sizes;
+  /// Request kind: "" = plain analysis; "conditions" = a termination-
+  /// condition sweep over every predicate (modes workloads).
+  std::string kind;
+  /// Exact expected minimal-mode sets, conditions requests only.
+  ExpectModes expect_modes;
 };
 
 struct GeneratedWorkload {
@@ -159,6 +181,14 @@ struct ManifestEntry {
   std::string source;  // empty when the program lives in `file`
   std::string query;   // empty: fall back to the file's mode directives
   std::string expect;  // empty: no declared expectation
+  /// Request kind: "" or "analyze" = plain analysis, "conditions" = a
+  /// termination-condition sweep. Any other value makes the line
+  /// unreadable (`error` set naming the kind), so --batch and --serve
+  /// answer it with the structured per-request error shape.
+  std::string kind;
+  /// Declared minimal-mode expectations for conditions requests
+  /// ("expect_modes" object: {"p/2":["bf",..],..}), sorted by predicate.
+  ExpectModes expect_modes;
   GovernorLimits limits;
   bool has_limits = false;
   /// 1-based manifest line this entry came from.

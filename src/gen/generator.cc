@@ -167,6 +167,159 @@ GeneratedRequest GenerateOne(const GenParams& params, int index,
   return request;
 }
 
+// One conditions-workload program (params.modes_cycle = K > 0). The shape
+// is chosen so the minimal terminating binding patterns are exactly
+// computable at generation time:
+//  - every SCC is a mutual-recursion cycle of exactly K predicates, all
+//    sharing one arity; each predicate has its own measure argument
+//    position, drawn independently.
+//  - each recursive rule peels list cells off the measure argument and
+//    calls the cycle's next predicate (later rules: a random member) with
+//    the peeled tail at the callee's measure position and the remaining
+//    head arguments passed through in rank order. Rank-order pass-through
+//    makes the derived adornment of every cycle member a position-
+//    permutation of the entry adornment, so no binding pattern ever
+//    trips the one-adornment-per-predicate restriction: provedness stays
+//    monotone over the whole lattice, and the minimal set of every clean
+//    predicate is exactly { its own measure argument bound } — bound
+//    measure strictly decreases around every cycle, free measure leaves
+//    every cycle without a strictly decreasing bound combination (the
+//    pass-through arguments are size-invariant).
+//  - SCC s's first predicate chains into SCC s+1's. The chain call sits
+//    after the cycle call, whose success bounds the shared tail, so
+//    downstream SCCs always analyze with their measure bound and never
+//    veto an upstream sweep.
+//  - a kNotProved draw plants one growing cycle edge in SCC b: every
+//    predicate of SCCs 0..b (which reach the growth) declares the empty
+//    minimal set, predicates of later SCCs are unaffected.
+GeneratedRequest GenerateModesOne(const GenParams& params, int index,
+                                  const std::vector<GeneratedRequest>& earlier) {
+  Rng rng = Rng::Stream(params.seed, static_cast<uint64_t>(index));
+
+  GeneratedRequest request;
+  request.name = StrCat(params.name_prefix, ":s", params.seed, ":r", index);
+  request.kind = "conditions";
+
+  if (params.dup_percent > 0 && !earlier.empty() &&
+      rng.Chance(params.dup_percent)) {
+    const GeneratedRequest& original =
+        earlier[rng.NextBelow(earlier.size())];
+    request.source = original.source;
+    request.query = original.query;
+    request.expect = original.expect;
+    request.limits = original.limits;
+    request.scc_sizes = original.scc_sizes;
+    request.expect_modes = original.expect_modes;
+    return request;
+  }
+
+  // The resource_limit weight folds into proved: a budgeted sweep's
+  // minimal sets depend on where the governor trips, which would make the
+  // declared expectation inexact.
+  ExpectedVerdict verdict = DrawVerdict(params, &rng);
+  if (verdict == ExpectedVerdict::kResourceLimit) {
+    verdict = ExpectedVerdict::kProved;
+  }
+  request.expect = verdict;
+
+  const int cycle = params.modes_cycle;
+  const int num_sccs = rng.NextInt(params.min_sccs, params.max_sccs);
+  std::vector<int> arity(num_sccs);
+  std::vector<std::vector<int>> measure(num_sccs);
+  for (int s = 0; s < num_sccs; ++s) {
+    arity[s] = rng.NextInt(1, params.max_arity);
+    measure[s].resize(cycle);
+    for (int i = 0; i < cycle; ++i) {
+      measure[s][i] = static_cast<int>(rng.NextBelow(arity[s]));
+    }
+  }
+  request.scc_sizes.assign(static_cast<size_t>(num_sccs), cycle);
+  const int bad_scc = verdict == ExpectedVerdict::kNotProved
+                          ? static_cast<int>(rng.NextBelow(num_sccs))
+                          : -1;
+
+  std::string text = StrCat("% termilog --gen: ", request.name,
+                            " kind=conditions\n");
+  const std::string entry = PredName(index, 0, 0);
+  {
+    std::string adornment;
+    for (int m = 0; m < arity[0]; ++m) {
+      if (m > 0) adornment += ',';
+      adornment += m == measure[0][0] ? 'b' : 'f';
+    }
+    request.query = StrCat(entry, "(", adornment, ")");
+  }
+  text += StrCat(":- mode(", request.query, ").\n");
+
+  for (int s = 0; s < num_sccs; ++s) {
+    const int a = arity[s];
+    for (int i = 0; i < cycle; ++i) {
+      const std::string name = PredName(index, s, i);
+      const int mi = measure[s][i];
+
+      // Declared expectation: SCCs that reach the growth edge (s <= bad)
+      // have no terminating pattern; everyone else terminates exactly
+      // when its measure argument is bound.
+      std::string mode(static_cast<size_t>(a), 'f');
+      mode[static_cast<size_t>(mi)] = 'b';
+      std::vector<std::string> minimal;
+      if (bad_scc < 0 || s > bad_scc) minimal.push_back(mode);
+      request.expect_modes.emplace_back(StrCat(name, "/", a), minimal);
+
+      std::vector<std::string> base_args;
+      for (int m = 0; m < a; ++m) {
+        base_args.emplace_back(m == mi ? "[]" : "_");
+      }
+      text += StrCat(name, ArgsText(base_args), ".\n");
+
+      for (int f = 0; f < params.fanout; ++f) {
+        const bool bad_rule = s == bad_scc && i == 0 && f == 0;
+        const int callee =
+            f == 0 ? (i + 1) % cycle : static_cast<int>(rng.NextBelow(cycle));
+        const int mc = measure[s][callee];
+        const int peel = rng.NextInt(1, params.term_depth);
+
+        // Head: peel pattern at the measure, rank vars R1.. elsewhere.
+        std::vector<std::string> head_args;
+        int rank = 0;
+        for (int m = 0; m < a; ++m) {
+          if (m == mi) {
+            head_args.push_back(bad_rule ? "T" : PeelPattern(peel));
+          } else {
+            head_args.push_back(StrCat("R", ++rank));
+          }
+        }
+        // Callee: tail at its measure, the head's rank vars in order
+        // elsewhere (the adornment-permutation property depends on this).
+        std::vector<std::string> callee_args;
+        rank = 0;
+        for (int m = 0; m < a; ++m) {
+          if (m == mc) {
+            callee_args.push_back(bad_rule ? "[c|T]" : "T");
+          } else {
+            callee_args.push_back(StrCat("R", ++rank));
+          }
+        }
+
+        std::string body =
+            StrCat(PredName(index, s, callee), ArgsText(callee_args));
+        if (s + 1 < num_sccs && i == 0 && f == 0) {
+          std::vector<std::string> chain_args;
+          for (int m = 0; m < arity[s + 1]; ++m) {
+            chain_args.push_back(m == measure[s + 1][0] ? std::string("T")
+                                                        : StrCat("G", m));
+          }
+          body += StrCat(", ", PredName(index, s + 1, 0),
+                         ArgsText(chain_args));
+        }
+        text += StrCat(name, ArgsText(head_args), " :- ", body, ".\n");
+      }
+    }
+  }
+  request.source = std::move(text);
+  return request;
+}
+
 }  // namespace
 
 const char* ExpectedVerdictName(ExpectedVerdict verdict) {
@@ -191,7 +344,10 @@ GeneratedWorkload Generate(const GenParams& params) {
   workload.params = params;
   workload.requests.reserve(static_cast<size_t>(std::max(params.count, 0)));
   for (int i = 0; i < params.count; ++i) {
-    workload.requests.push_back(GenerateOne(params, i, workload.requests));
+    workload.requests.push_back(
+        params.modes_cycle > 0
+            ? GenerateModesOne(params, i, workload.requests)
+            : GenerateOne(params, i, workload.requests));
   }
   return workload;
 }
@@ -300,6 +456,8 @@ Result<GenParams> ParseGenSpec(std::string_view spec) {
     } else if (key == "prefix") {
       ok = !value.empty();
       params.name_prefix = std::string(value);
+    } else if (key == "modes") {
+      ok = ParsePositiveInt(value, &params.modes_cycle);
     } else {
       return Status::InvalidArgument(
           StrCat("gen spec: unknown key '", key, "'"));
@@ -313,14 +471,18 @@ Result<GenParams> ParseGenSpec(std::string_view spec) {
 }
 
 std::string GenSpecToString(const GenParams& params) {
-  return StrCat(params.seed, ":count=", params.count, ",sccs=",
-                params.min_sccs, "-", params.max_sccs, ",preds=",
-                params.min_scc_size, "-", params.max_scc_size,
-                ",arity=", params.max_arity, ",depth=", params.term_depth,
-                ",fanout=", params.fanout, ",mix=", params.mix_proved, "/",
-                params.mix_not_proved, "/", params.mix_resource_limit,
-                ",dup=", params.dup_percent, ",budget=",
-                params.resource_work_budget, ",prefix=", params.name_prefix);
+  std::string spec =
+      StrCat(params.seed, ":count=", params.count, ",sccs=",
+             params.min_sccs, "-", params.max_sccs, ",preds=",
+             params.min_scc_size, "-", params.max_scc_size,
+             ",arity=", params.max_arity, ",depth=", params.term_depth,
+             ",fanout=", params.fanout, ",mix=", params.mix_proved, "/",
+             params.mix_not_proved, "/", params.mix_resource_limit,
+             ",dup=", params.dup_percent, ",budget=",
+             params.resource_work_budget, ",prefix=", params.name_prefix);
+  // Emitted only when set, so pre-modes spec strings stay byte-stable.
+  if (params.modes_cycle > 0) spec += StrCat(",modes=", params.modes_cycle);
+  return spec;
 }
 
 bool OutcomeMatchesExpect(ExpectedVerdict expect, bool proved,

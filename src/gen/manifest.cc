@@ -16,8 +16,26 @@ namespace gen {
 std::string RequestToManifestLine(const GeneratedRequest& request) {
   std::string out = StrCat("{\"name\":\"", JsonEscape(request.name),
                            "\",\"query\":\"", JsonEscape(request.query),
-                           "\",\"expect\":\"",
-                           ExpectedVerdictName(request.expect), "\"");
+                           "\"");
+  if (request.kind.empty()) {
+    out += StrCat(",\"expect\":\"", ExpectedVerdictName(request.expect),
+                  "\"");
+  } else {
+    // Conditions requests declare minimal-mode sets, not a verdict.
+    out += StrCat(",\"kind\":\"", JsonEscape(request.kind), "\"");
+    out += ",\"expect_modes\":{";
+    for (size_t p = 0; p < request.expect_modes.size(); ++p) {
+      const auto& [pred, modes] = request.expect_modes[p];
+      if (p > 0) out += ',';
+      out += StrCat("\"", JsonEscape(pred), "\":[");
+      for (size_t m = 0; m < modes.size(); ++m) {
+        if (m > 0) out += ',';
+        out += StrCat("\"", JsonEscape(modes[m]), "\"");
+      }
+      out += ']';
+    }
+    out += '}';
+  }
   out += ",\"sccs\":[";
   for (size_t i = 0; i < request.scc_sizes.size(); ++i) {
     if (i > 0) out += ',';
@@ -77,6 +95,7 @@ ManifestEntry ParseManifestLine(std::string_view line, size_t line_number) {
   entry.source = object.At("source").StringOr("");
   entry.query = object.At("query").StringOr("");
   entry.expect = object.At("expect").StringOr("");
+  entry.kind = object.At("kind").StringOr("");
   if (entry.name.empty()) {
     entry.name = entry.file.empty() ? StrCat("manifest:", line_number)
                                     : entry.file;
@@ -84,10 +103,33 @@ ManifestEntry ParseManifestLine(std::string_view line, size_t line_number) {
   if (entry.file.empty() && entry.source.empty()) {
     return fail("needs \"source\" or \"file\"");
   }
+  if (!entry.kind.empty() && entry.kind != "analyze" &&
+      entry.kind != "conditions") {
+    // The per-request error shape every consumer (--batch lines, --serve
+    // responses) already renders; an unknown kind never aborts the batch.
+    return fail(StrCat("unknown request kind \"", entry.kind, "\""));
+  }
   if (!entry.expect.empty()) {
     ExpectedVerdict ignored;
     if (!ParseExpectedVerdict(entry.expect, &ignored)) {
       return fail(StrCat("unknown expect \"", entry.expect, "\""));
+    }
+  }
+  const JsonValue& expect_modes = object.At("expect_modes");
+  if (expect_modes.IsObject()) {
+    for (const auto& [pred, modes] : expect_modes.fields) {
+      if (!modes.IsArray()) {
+        return fail(StrCat("expect_modes for ", pred, " must be an array"));
+      }
+      std::vector<std::string> list;
+      for (const JsonValue& mode : modes.items) {
+        if (!mode.IsString()) {
+          return fail(StrCat("expect_modes for ", pred,
+                             " must hold mode strings"));
+        }
+        list.push_back(mode.text);
+      }
+      entry.expect_modes.emplace_back(pred, std::move(list));
     }
   }
   const JsonValue& limits = object.At("limits");

@@ -90,4 +90,20 @@ ModeAnalysisResult InferModes(const Program& program, const PredId& entry,
   return result;
 }
 
+Result<Adornment> ParseAdornment(std::string_view text) {
+  Adornment adornment;
+  adornment.reserve(text.size());
+  for (char c : text) {
+    if (c == 'b') {
+      adornment.push_back(Mode::kBound);
+    } else if (c == 'f') {
+      adornment.push_back(Mode::kFree);
+    } else {
+      return Status::InvalidArgument(
+          StrCat("bad adornment '", text, "': want only 'b'/'f' characters"));
+    }
+  }
+  return adornment;
+}
+
 }  // namespace termilog

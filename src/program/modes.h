@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "program/ast.h"
@@ -45,6 +46,12 @@ std::set<int> BoundVarsAt(const Rule& rule, const Adornment& head_adornment,
 /// Adornment of a body atom given the currently bound variables: an
 /// argument is bound iff all of its variables are bound.
 Adornment AtomAdornment(const Atom& atom, const std::set<int>& bound_vars);
+
+/// Parses the compact "bff" adornment form (the inverse of
+/// AdornmentToString): 'b' = bound, 'f' = free, anything else is an
+/// InvalidArgument. Used by --conditions mode strings in manifests and
+/// expectation declarations.
+Result<Adornment> ParseAdornment(std::string_view text);
 
 }  // namespace termilog
 

@@ -17,6 +17,8 @@
 #include "baselines/argmap.h"
 #include "baselines/naish.h"
 #include "baselines/uvg.h"
+#include "condinf/condinf.h"
+#include "condinf/lattice.h"
 #include "constraints/arg_size_db.h"
 #include "constraints/inference.h"
 #include "core/analyzer.h"

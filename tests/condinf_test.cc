@@ -1,0 +1,356 @@
+// Termination-condition inference suite (docs/conditions.md): the mode
+// lattice and frontier antichains, sweep results on known programs,
+// pruning soundness against brute-force enumeration, byte-identity of
+// the JSON report across --jobs, warm persistent-store reuse, and the
+// generator's exact expect_modes declarations.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "condinf/condinf.h"
+#include "condinf/lattice.h"
+#include "engine/engine.h"
+#include "gen/gen.h"
+#include "persist/store.h"
+#include "program/parser.h"
+
+namespace termilog {
+namespace condinf {
+namespace {
+
+constexpr const char* kAppendSource =
+    "app([],L,L).\n"
+    "app([H|T],L,[H|R]) :- app(T,L,R).\n";
+
+// Arity-4 descent on the first argument only: the sweep's necessity probe
+// (fbbb fails) closes the whole no-first-arg half of the lattice, and the
+// bfff evaluation closes the other half, so most of the 16 patterns are
+// implied rather than analyzed.
+constexpr const char* kWalk4Source =
+    "walk([],_,_,_).\n"
+    "walk([X|T],A,B,C) :- walk(T,A,B,C).\n";
+
+Program MustParse(const std::string& source) {
+  Result<Program> parsed = ParseProgram(source);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+ConditionsReport SweepOne(BatchEngine& engine, const std::string& name,
+                          const std::string& source,
+                          ConditionsOptions options = {}) {
+  std::vector<ConditionsSweep> sweeps;
+  sweeps.emplace_back(name, MustParse(source), options);
+  std::vector<ConditionsReport> reports = RunConditionsSweeps(engine, sweeps);
+  EXPECT_EQ(reports.size(), 1u);
+  return std::move(reports[0]);
+}
+
+const PredConditions& FindPred(const ConditionsReport& report,
+                               const std::string& name) {
+  for (const PredConditions& pc : report.preds) {
+    if (pc.name == name) return pc;
+  }
+  ADD_FAILURE() << "predicate " << name << " missing from report "
+                << report.name;
+  static const PredConditions kEmpty;
+  return kEmpty;
+}
+
+TEST(ModeLatticeTest, OrderAndConversions) {
+  EXPECT_EQ(TopMode(0), 0u);
+  EXPECT_EQ(TopMode(3), 0b111u);
+  EXPECT_TRUE(ModeLeq(0b001, 0b011));
+  EXPECT_FALSE(ModeLeq(0b100, 0b011));
+  EXPECT_TRUE(ModeLeq(0b101, 0b101));
+  EXPECT_EQ(BoundCount(0b1011), 3);
+  EXPECT_EQ(ModeBitsToString(0b101, 3), "bfb");
+  EXPECT_EQ(AdornmentToBits(BitsToAdornment(0b110, 3)), 0b110u);
+  Adornment adornment = BitsToAdornment(0b01, 2);
+  EXPECT_EQ(adornment[0], Mode::kBound);
+  EXPECT_EQ(adornment[1], Mode::kFree);
+}
+
+TEST(ModeFrontierTest, AntichainsAbsorbDominatedEntries) {
+  ModeFrontier frontier;
+  frontier.RecordProved(0b111);
+  frontier.RecordProved(0b011);  // weaker: replaces 0b111
+  frontier.RecordProved(0b101);  // incomparable with 0b011: kept
+  ASSERT_EQ(frontier.minimal_proved().size(), 2u);
+  EXPECT_EQ(frontier.minimal_proved()[0], 0b011u);
+  EXPECT_EQ(frontier.minimal_proved()[1], 0b101u);
+  EXPECT_TRUE(frontier.ImpliedProved(0b111));
+  EXPECT_TRUE(frontier.ImpliedProved(0b011));
+  EXPECT_FALSE(frontier.ImpliedProved(0b010));
+
+  frontier.RecordFailed(0b000);
+  frontier.RecordFailed(0b010);  // stronger failure: replaces 0b000
+  ASSERT_EQ(frontier.maximal_failed().size(), 1u);
+  EXPECT_EQ(frontier.maximal_failed()[0], 0b010u);
+  EXPECT_TRUE(frontier.ImpliedFailed(0b000));
+  EXPECT_TRUE(frontier.ImpliedFailed(0b010));
+  EXPECT_FALSE(frontier.ImpliedFailed(0b110));
+}
+
+TEST(ConditionsSweepTest, AppendMinimalModes) {
+  BatchEngine engine;
+  ConditionsReport report = SweepOne(engine, "append", kAppendSource);
+  EXPECT_TRUE(report.status.ok());
+  ASSERT_EQ(report.preds.size(), 1u);
+  const PredConditions& pc = report.preds[0];
+  EXPECT_EQ(pc.name, "app/3");
+  ASSERT_EQ(pc.minimal_modes.size(), 2u);
+  EXPECT_EQ(ModeBitsToString(pc.minimal_modes[0], 3), "bff");
+  EXPECT_EQ(ModeBitsToString(pc.minimal_modes[1], 3), "ffb");
+  // Full accounting: every lattice point classified, none unknown.
+  EXPECT_EQ(pc.lattice_size, 8);
+  EXPECT_EQ(pc.evaluated + pc.implied_proved + pc.implied_failed, 8);
+  EXPECT_EQ(pc.unknown, 0);
+  EXPECT_FALSE(pc.truncated);
+  // Either list argument suffices, so neither is individually required.
+  EXPECT_TRUE(pc.required_bound.empty());
+  // One witness per minimal mode, carrying a proved certificate report.
+  ASSERT_EQ(pc.witnesses.size(), 2u);
+  EXPECT_TRUE(pc.witnesses[0].report.proved);
+  EXPECT_TRUE(pc.witnesses[1].report.proved);
+}
+
+TEST(ConditionsSweepTest, NecessityProbeClosesLatticeWithoutEnumeration) {
+  BatchEngine engine;
+  ConditionsReport report = SweepOne(engine, "walk4", kWalk4Source);
+  ASSERT_EQ(report.preds.size(), 1u);
+  const PredConditions& pc = report.preds[0];
+  EXPECT_EQ(pc.name, "walk/4");
+  ASSERT_EQ(pc.minimal_modes.size(), 1u);
+  EXPECT_EQ(ModeBitsToString(pc.minimal_modes[0], 4), "bfff");
+  // The first argument is the unique descent: freeing it fails top, so
+  // the necessity probe marks it required for the whole lattice.
+  ASSERT_EQ(pc.required_bound.size(), 1u);
+  EXPECT_EQ(pc.required_bound[0], 0);
+  // Pruning did real work: 16 patterns, far fewer analyzed.
+  EXPECT_EQ(pc.lattice_size, 16);
+  EXPECT_EQ(pc.evaluated + pc.implied_proved + pc.implied_failed, 16);
+  EXPECT_EQ(pc.unknown, 0);
+  EXPECT_LE(pc.evaluated, 8);
+  EXPECT_GT(pc.implied_proved, 0);
+  EXPECT_GT(pc.implied_failed, 0);
+}
+
+// Pruning soundness: the frontier's classification of every lattice point
+// must agree with analyzing that mode directly.
+TEST(ConditionsSweepTest, FrontierAgreesWithBruteForceEnumeration) {
+  BatchEngine engine;
+  ConditionsReport report = SweepOne(engine, "walk4", kWalk4Source);
+  const PredConditions& pc = FindPred(report, "walk/4");
+
+  Program program = MustParse(kWalk4Source);
+  PredId pred{program.symbols().Lookup("walk"), 4};
+  std::vector<BatchRequest> requests;
+  for (ModeBits m = 0; m <= TopMode(4); ++m) {
+    BatchRequest request;
+    request.name = ModeBitsToString(m, 4);
+    request.program = program;
+    request.query = pred;
+    request.adornment = BitsToAdornment(m, 4);
+    requests.push_back(std::move(request));
+  }
+  BatchEngine brute;
+  std::vector<BatchItemResult> results = brute.Run(requests);
+  for (ModeBits m = 0; m <= TopMode(4); ++m) {
+    ASSERT_TRUE(results[m].status.ok()) << results[m].name;
+    bool implied_proved = false;
+    for (ModeBits minimal : pc.minimal_modes) {
+      implied_proved = implied_proved || ModeLeq(minimal, m);
+    }
+    EXPECT_EQ(results[m].report.proved, implied_proved)
+        << "mode " << ModeBitsToString(m, 4)
+        << ": sweep classification disagrees with direct analysis";
+  }
+}
+
+TEST(ConditionsSweepTest, ZeroArityAndWideArityEdges) {
+  const char* source =
+      "loop :- loop.\n"
+      "wide(A,B,C,D,E,F,G,H,I,J,K,L,M,N,O,P,Q,R) :- "
+      "wide(A,B,C,D,E,F,G,H,I,J,K,L,M,N,O,P,Q,R).\n";
+  BatchEngine engine;
+  ConditionsReport report = SweepOne(engine, "edges", source);
+  const PredConditions& loop = FindPred(report, "loop/0");
+  EXPECT_TRUE(loop.minimal_modes.empty());
+  EXPECT_EQ(loop.lattice_size, 1);
+  EXPECT_EQ(loop.evaluated, 1);
+  // Arity 18 exceeds the sweep bound: reported truncated, not swept.
+  const PredConditions& wide = FindPred(report, "wide/18");
+  EXPECT_TRUE(wide.truncated);
+  EXPECT_EQ(wide.evaluated, 0);
+  EXPECT_TRUE(wide.minimal_modes.empty());
+}
+
+std::string CorpusLikeSweepJson(int jobs) {
+  std::vector<std::pair<std::string, std::string>> programs = {
+      {"append", kAppendSource},
+      {"walk4", kWalk4Source},
+      {"perm",
+       "perm([],[]).\n"
+       "perm(L,[H|T]) :- sel(H,L,R), perm(R,T).\n"
+       "sel(X,[X|T],T).\n"
+       "sel(X,[H|T],[H|R]) :- sel(X,T,R).\n"},
+      {"grow", "grow(T) :- grow([c|T]).\n"},
+  };
+  BatchEngine engine(EngineOptions{jobs, /*use_cache=*/true});
+  std::vector<ConditionsSweep> sweeps;
+  for (const auto& [name, source] : programs) {
+    sweeps.emplace_back(name, MustParse(source), ConditionsOptions{});
+  }
+  std::vector<ConditionsReport> reports = RunConditionsSweeps(engine, sweeps);
+  std::string out;
+  for (const ConditionsReport& report : reports) {
+    out += ConditionsReportToJsonLine(report);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ConditionsSweepTest, ReportBytesIdenticalAcrossJobs) {
+  std::string serial = CorpusLikeSweepJson(1);
+  std::string parallel = CorpusLikeSweepJson(8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"minimal_modes\":[\"bff\",\"ffb\"]"),
+            std::string::npos);
+  // The growing predicate has no terminating pattern at all.
+  EXPECT_NE(serial.find("\"pred\":\"grow/1\",\"arity\":1,\"lattice_size\":2,"
+                        "\"evaluated\":2"),
+            std::string::npos);
+}
+
+TEST(ConditionsSweepTest, WarmStoreServesSweepFromPersistedEntries) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::path(::testing::TempDir()) / "condinf_store.log").string();
+  std::remove(path.c_str());
+
+  auto sweep_bytes = [&](BatchEngine& engine) {
+    std::vector<ConditionsSweep> sweeps;
+    sweeps.emplace_back("append", MustParse(kAppendSource),
+                        ConditionsOptions{});
+    sweeps.emplace_back("walk4", MustParse(kWalk4Source),
+                        ConditionsOptions{});
+    std::string out;
+    for (const ConditionsReport& report :
+         RunConditionsSweeps(engine, sweeps)) {
+      out += ConditionsReportToJsonLine(report);
+      out += '\n';
+    }
+    return out;
+  };
+
+  std::string cold;
+  {
+    BatchEngine engine;
+    auto store = persist::PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE(engine.AttachStore(std::move(*store)).ok());
+    cold = sweep_bytes(engine);
+    ASSERT_TRUE(engine.FlushStore().ok());
+    EXPECT_EQ(engine.stats().persisted_hits, 0);
+  }
+  {
+    BatchEngine engine;
+    auto store = persist::PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE(engine.AttachStore(std::move(*store)).ok());
+    std::string warm = sweep_bytes(engine);
+    EXPECT_EQ(cold, warm);
+    EXPECT_GT(engine.stats().persisted_loaded, 0);
+    EXPECT_GT(engine.stats().persisted_hits, 0);
+    EXPECT_EQ(engine.stats().cache_misses, 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ConditionsSweepTest, GeneratorExpectModesAreExact) {
+  gen::GenParams params;
+  params.seed = 11;
+  params.count = 8;
+  params.min_sccs = 1;
+  params.max_sccs = 3;
+  params.max_arity = 3;
+  params.modes_cycle = 2;
+  params.mix_proved = 60;
+  params.mix_not_proved = 30;
+  params.mix_resource_limit = 10;  // folded into proved for modes runs
+  gen::GeneratedWorkload workload = gen::Generate(params);
+  ASSERT_EQ(workload.requests.size(), 8u);
+
+  BatchEngine engine(EngineOptions{/*jobs=*/4, /*use_cache=*/true});
+  std::vector<ConditionsSweep> sweeps;
+  for (const gen::GeneratedRequest& request : workload.requests) {
+    EXPECT_EQ(request.kind, "conditions");
+    EXPECT_FALSE(request.expect_modes.empty());
+    sweeps.emplace_back(request.name, MustParse(request.source),
+                        ConditionsOptions{});
+  }
+  std::vector<ConditionsReport> reports = RunConditionsSweeps(engine, sweeps);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    std::vector<std::string> messages;
+    EXPECT_EQ(CountExpectModeMismatches(
+                  reports[i], workload.requests[i].expect_modes, &messages),
+              0)
+        << (messages.empty() ? "?" : messages[0]);
+  }
+}
+
+TEST(ConditionsSweepTest, ManifestRoundTripsKindAndExpectModes) {
+  gen::GenParams params;
+  params.seed = 3;
+  params.count = 1;
+  params.modes_cycle = 2;
+  gen::GeneratedWorkload workload = gen::Generate(params);
+  std::string line = gen::RequestToManifestLine(workload.requests[0]);
+  gen::ManifestEntry entry = gen::ParseManifestLine(line, 1);
+  ASSERT_TRUE(entry.error.ok()) << entry.error.ToString();
+  EXPECT_EQ(entry.kind, "conditions");
+  EXPECT_EQ(entry.expect_modes.size(),
+            workload.requests[0].expect_modes.size());
+
+  gen::ManifestEntry unknown = gen::ParseManifestLine(
+      "{\"name\":\"x\",\"kind\":\"frobnicate\",\"source\":\"p(a).\"}", 7);
+  EXPECT_FALSE(unknown.error.ok());
+  EXPECT_NE(unknown.error.ToString().find("unknown request kind"),
+            std::string::npos);
+  EXPECT_NE(unknown.error.ToString().find("frobnicate"), std::string::npos);
+}
+
+TEST(ConditionsSweepTest, ExpectMismatchesAreCounted) {
+  BatchEngine engine;
+  ConditionsReport report = SweepOne(engine, "append", kAppendSource);
+  ExpectedModes right = {{"app/3", {"bff", "ffb"}}};
+  EXPECT_EQ(CountExpectModeMismatches(report, right, nullptr), 0);
+  ExpectedModes wrong = {{"app/3", {"bff"}}, {"ghost/2", {"bf"}}};
+  std::vector<std::string> messages;
+  EXPECT_EQ(CountExpectModeMismatches(report, wrong, &messages), 2);
+  EXPECT_EQ(messages.size(), 2u);
+}
+
+TEST(ConditionsSweepTest, ResourceLimitedSweepIsFlaggedAndNotProved) {
+  ConditionsOptions options;
+  options.analysis.limits.work_budget = 1;  // trips on any recursive SCC
+  BatchEngine engine;
+  ConditionsReport report = SweepOne(engine, "append", kAppendSource,
+                                     options);
+  EXPECT_TRUE(report.status.ok());
+  EXPECT_TRUE(report.resource_limited);
+  const PredConditions& pc = FindPred(report, "app/3");
+  EXPECT_TRUE(pc.resource_limited);
+  // Budget-limited verdicts count as not proved, so nothing proves.
+  EXPECT_TRUE(pc.minimal_modes.empty());
+}
+
+}  // namespace
+}  // namespace condinf
+}  // namespace termilog

@@ -143,6 +143,72 @@ TEST(ServeTest, OverloadShedsDeterministicallyBeyondQueueLimit) {
   }
 }
 
+TEST(ServeTest, UnknownRequestKindGetsStructuredErrorResponse) {
+  BatchEngine engine(EngineOptions{/*jobs=*/1, /*use_cache=*/true});
+  // An unknown "kind" is a protocol error on that line only: the response
+  // uses the same structured error shape as any other bad line, names the
+  // offending kind, and the loop keeps serving subsequent requests.
+  std::string bad = "{\"name\":\"mystery\",\"kind\":\"frobnicate\","
+                    "\"source\":\"p(a).\"}\n";
+  std::istringstream in(bad + RequestLine("after"));
+  std::ostringstream out;
+  ServeStats stats = Serve(engine, in, out, ServeOptions());
+  EXPECT_EQ(stats.lines, 2);
+  EXPECT_EQ(stats.served, 1);
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_EQ(stats.conditions, 0);
+  std::vector<std::string> lines = SplitLines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  Response unknown = ParseResponse(lines[0]);
+  EXPECT_EQ(unknown.name, "mystery");
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.error.find("unknown request kind"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(unknown.error.find("frobnicate"), std::string::npos) << lines[0];
+  EXPECT_TRUE(ParseResponse(lines[1]).ok);
+}
+
+TEST(ServeTest, ConditionsKindAnswersWithSweepReport) {
+  BatchEngine engine(EngineOptions{/*jobs=*/2, /*use_cache=*/true});
+  std::string conditions = "{\"name\":\"sweep\",\"kind\":\"conditions\","
+                           "\"source\":\"" + std::string(kAppendSource) +
+                           "\"}\n";
+  std::istringstream in(RequestLine("plain") + conditions);
+  std::ostringstream out;
+  ServeStats stats = Serve(engine, in, out, ServeOptions());
+  EXPECT_EQ(stats.lines, 2);
+  EXPECT_EQ(stats.served, 2);
+  EXPECT_EQ(stats.errors, 0);
+  EXPECT_EQ(stats.conditions, 1);
+  std::vector<std::string> lines = SplitLines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(ParseResponse(lines[0]).ok);
+  Response sweep = ParseResponse(lines[1]);
+  EXPECT_EQ(sweep.name, "sweep");
+  EXPECT_TRUE(sweep.ok) << lines[1];
+  EXPECT_NE(lines[1].find("\"kind\":\"conditions\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"minimal_modes\":[\"bff\",\"ffb\"]"),
+            std::string::npos)
+      << lines[1];
+}
+
+TEST(ServeTest, ConditionsKindReportsUnparseableProgramAsError) {
+  BatchEngine engine(EngineOptions{/*jobs=*/1, /*use_cache=*/true});
+  std::istringstream in(std::string("{\"name\":\"broken\",\"kind\":"
+                                    "\"conditions\",\"source\":\"p(\"}\n"));
+  std::ostringstream out;
+  ServeStats stats = Serve(engine, in, out, ServeOptions());
+  EXPECT_EQ(stats.served, 0);
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_EQ(stats.conditions, 0);
+  std::vector<std::string> lines = SplitLines(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  Response broken = ParseResponse(lines[0]);
+  EXPECT_EQ(broken.name, "broken");
+  EXPECT_FALSE(broken.ok);
+  EXPECT_NE(lines[0].find("\"kind\":\"conditions\""), std::string::npos);
+}
+
 TEST(ServeTest, PerRequestLimitsOverrideTheBase) {
   BatchEngine engine(EngineOptions{/*jobs=*/1, /*use_cache=*/false});
   // A work budget of 1 cannot complete the SCC analysis: the report must
