@@ -8,6 +8,9 @@
 //   termilog_cli --batch DIR|MANIFEST [--jobs N] [options]
 //   termilog_cli --gen SEED[:PARAMS] [--out FILE]
 //   termilog_cli --serve FIFO|- [--queue-limit N] [--store PATH] [options]
+//   termilog_cli --listen unix:PATH|tcp:HOST:PORT [--queue-limit N] [options]
+//   termilog_cli --connect unix:PATH|tcp:HOST:PORT --batch MANIFEST
+//                [--clients N] [--window N]
 //   termilog_cli --conditions [FILE | --corpus NAME | --batch ...] [options]
 //   termilog_cli --compact PATH
 //
@@ -49,6 +52,24 @@
 // termination-condition sweep report (below); an unknown "kind" answers
 // with the structured per-request error shape.
 //
+// Listen mode (--listen, docs/serve.md) is serve mode behind real
+// sockets: a Unix-domain and/or TCP listener (the flag repeats) drives a
+// poll event loop serving many concurrent clients, each speaking the same
+// JSONL request protocol with per-connection response ordering, bounded
+// read/write buffers (over-long lines answered with a structured error,
+// slow readers backpressured), idle timeouts (--idle-timeout-ms), and the
+// shared --queue-limit waiting room shedding overload deterministically.
+// SIGTERM/SIGINT drain gracefully: stop accepting, answer everything
+// admitted, flush the --store, exit 0.
+//
+// Connect mode (--connect, docs/serve.md) is the built-in load client:
+// it replays a JSONL manifest (--batch FILE, or a positional file)
+// against a --listen server over --clients connections with --window
+// requests pipelined each, prints every response line to stdout
+// (per-connection order preserved; interleaving across clients is
+// unordered — sort to compare against --batch output), and reports
+// latency percentiles and throughput on stderr.
+//
 // Conditions mode (--conditions, docs/conditions.md) infers, for every
 // defined predicate, the weakest binding patterns under which termination
 // is proved, by sweeping the boundedness lattice through the engine with
@@ -81,6 +102,20 @@
 //   --compact PATH         compact the persistent store at PATH and exit
 //   --queue-limit N        serve-mode waiting room size before overload
 //                          shedding (default 64)
+//   --listen ADDR          socket server mode; ADDR is unix:PATH or
+//                          tcp:HOST:PORT (repeatable for both at once)
+//   --connect ADDR         load-client mode against a --listen server
+//   --clients N            connect-mode concurrent connections (default 1)
+//   --window N             connect-mode pipelined requests per connection
+//                          (default 8)
+//   --idle-timeout-ms N    listen-mode: close a connection idle this long
+//                          (no bytes, no request in flight; default off)
+//   --max-line-bytes N     serve/listen request line cap (default 1 MiB);
+//                          longer lines answer with a structured error
+//   --store-auto-compact R compact the --store when its dead-record
+//                          fraction (shadowed + quarantined bytes) reaches
+//                          R (0 < R <= 1), checked at open and after the
+//                          final flush; manual --compact PATH still works
 //   --check-expect         with --batch over a JSONL manifest: compare each
 //                          verdict against the manifest's "expect" field
 //   --out FILE             with --gen: write the manifest here
@@ -315,7 +350,8 @@ struct BatchPlan {
 // SccCache::SelfCheck. Returns 0 on success, EXIT_FAILURE when the
 // filesystem refuses the path, kExitSelfCheck when the warm-started cache
 // fails its audit (the store is suspect; nothing was analyzed).
-int AttachStoreOrFail(BatchEngine& engine, const std::string& store_path) {
+int AttachStoreOrFail(BatchEngine& engine, const std::string& store_path,
+                      double auto_compact_ratio) {
   if (store_path.empty()) return 0;
   Result<std::unique_ptr<persist::PersistentStore>> store =
       persist::PersistentStore::Open(store_path);
@@ -326,6 +362,20 @@ int AttachStoreOrFail(BatchEngine& engine, const std::string& store_path) {
   }
   for (const std::string& note : (*store)->stats().notes) {
     std::fprintf(stderr, "termilog_cli: store recovery: %s\n", note.c_str());
+  }
+  // --store-auto-compact: shed accumulated dead bytes before the cache
+  // warm-starts, so a long-lived store converges to its live minimum
+  // without a manual --compact pass.
+  Result<bool> compacted =
+      (*store)->AutoCompactIfNeeded(auto_compact_ratio);
+  if (!compacted.ok()) {
+    std::fprintf(stderr, "termilog_cli: --store-auto-compact: %s\n",
+                 compacted.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  if (*compacted) {
+    std::fprintf(stderr, "termilog_cli: %s\n",
+                 (*store)->stats().notes.back().c_str());
   }
   Status attached = engine.AttachStore(std::move(*store));
   if (!attached.ok()) {
@@ -341,12 +391,24 @@ int AttachStoreOrFail(BatchEngine& engine, const std::string& store_path) {
 // write degrades to a future cache miss, the printed verdicts stand); a
 // failed self-check overrides `code` with kExitSelfCheck because the
 // verdict/provenance bookkeeping itself is no longer trustworthy.
-int FinishStore(BatchEngine& engine, int code) {
+int FinishStore(BatchEngine& engine, int code,
+                double auto_compact_ratio = 0.0) {
   if (engine.store() == nullptr) return code;
   Status flushed = engine.FlushStore();
   if (!flushed.ok()) {
     std::fprintf(stderr, "termilog_cli: store flush failed: %s\n",
                  flushed.ToString().c_str());
+  }
+  // Post-flush auto-compaction: a long serve/batch run appends shadowed
+  // duplicates; reclaim them now if the dead fraction crossed the bar.
+  Result<bool> compacted =
+      engine.store()->AutoCompactIfNeeded(auto_compact_ratio);
+  if (!compacted.ok()) {
+    std::fprintf(stderr, "termilog_cli: --store-auto-compact: %s\n",
+                 compacted.status().ToString().c_str());
+  } else if (*compacted) {
+    std::fprintf(stderr, "termilog_cli: %s\n",
+                 engine.store()->stats().notes.back().c_str());
   }
   persist::StoreStats stats = engine.store()->stats();
   std::fprintf(stderr,
@@ -374,7 +436,7 @@ int FinishStore(BatchEngine& engine, int code) {
 // streams the JSONL report. Returns the process exit code.
 int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
              int jobs, bool use_cache, bool check_expect,
-             const std::string& store_path) {
+             const std::string& store_path, double auto_compact) {
   namespace fs = std::filesystem;
   BatchPlan plan;
   std::error_code ec;
@@ -432,7 +494,7 @@ int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
   engine_options.jobs = jobs;
   engine_options.use_cache = use_cache;
   BatchEngine engine(engine_options);
-  int attach = AttachStoreOrFail(engine, store_path);
+  int attach = AttachStoreOrFail(engine, store_path, auto_compact);
   if (attach != 0) return attach;
 
   bool all_proved = !plan.any_error;
@@ -501,7 +563,7 @@ int RunBatch(const std::string& batch_path, const AnalysisOptions& options,
       code = EXIT_SUCCESS;
     }
   }
-  return FinishStore(engine, code);
+  return FinishStore(engine, code, auto_compact);
 }
 
 // Sweep plan for --conditions: one slot per entry, filled eagerly for
@@ -608,7 +670,7 @@ int RunConditions(const std::string& batch_path,
                   const std::vector<std::string>& positional,
                   const AnalysisOptions& options, int jobs, bool use_cache,
                   bool check_expect, const std::string& store_path,
-                  bool json) {
+                  double auto_compact, bool json) {
   namespace fs = std::filesystem;
   ConditionsPlan plan;
   condinf::ConditionsOptions base;
@@ -678,7 +740,7 @@ int RunConditions(const std::string& batch_path,
   engine_options.jobs = jobs;
   engine_options.use_cache = use_cache;
   BatchEngine engine(engine_options);
-  int attach = AttachStoreOrFail(engine, store_path);
+  int attach = AttachStoreOrFail(engine, store_path, auto_compact);
   if (attach != 0) return attach;
 
   std::vector<condinf::ConditionsReport> reports =
@@ -734,7 +796,7 @@ int RunConditions(const std::string& batch_path,
       code = EXIT_SUCCESS;
     }
   }
-  return FinishStore(engine, code);
+  return FinishStore(engine, code, auto_compact);
 }
 
 // Offline store maintenance (--compact PATH): replay the log with the
@@ -783,17 +845,19 @@ int RunCompact(const std::string& path) {
 // shed deterministically; --store gives every client one durable cache.
 int RunServe(const std::string& serve_path, const AnalysisOptions& options,
              int jobs, bool use_cache, int64_t queue_limit,
-             const std::string& store_path) {
+             int64_t max_line_bytes, const std::string& store_path,
+             double auto_compact) {
   EngineOptions engine_options;
   engine_options.jobs = jobs;
   engine_options.use_cache = use_cache;
   BatchEngine engine(engine_options);
-  int attach = AttachStoreOrFail(engine, store_path);
+  int attach = AttachStoreOrFail(engine, store_path, auto_compact);
   if (attach != 0) return attach;
 
   ServeOptions serve_options;
   serve_options.base = options;
   serve_options.queue_limit = static_cast<int>(queue_limit);
+  serve_options.max_line_bytes = static_cast<size_t>(max_line_bytes);
 
   ServeStats stats;
   if (serve_path == "-") {
@@ -806,7 +870,102 @@ int RunServe(const std::string& serve_path, const AnalysisOptions& options,
   std::fprintf(stderr, "%s\n", stats.ToJson().c_str());
   std::fprintf(stderr, "%s\n",
                EngineStatsToJson(engine.stats(), jobs).c_str());
-  return FinishStore(engine, EXIT_SUCCESS);
+  return FinishStore(engine, EXIT_SUCCESS, auto_compact);
+}
+
+// Socket server mode (--listen, docs/serve.md): the same request
+// handling as --serve behind a poll event loop serving many concurrent
+// connections, draining gracefully on SIGTERM/SIGINT (exit 0 with the
+// store flushed).
+int RunListen(const std::vector<std::string>& listen_specs,
+              const AnalysisOptions& options, int jobs, bool use_cache,
+              int64_t queue_limit, int64_t max_line_bytes,
+              int64_t idle_timeout_ms, const std::string& store_path,
+              double auto_compact) {
+  EngineOptions engine_options;
+  engine_options.jobs = jobs;
+  engine_options.use_cache = use_cache;
+  BatchEngine engine(engine_options);
+  int attach = AttachStoreOrFail(engine, store_path, auto_compact);
+  if (attach != 0) return attach;
+
+  net::NetServerOptions net_options;
+  net_options.serve.base = options;
+  net_options.serve.queue_limit = static_cast<int>(queue_limit);
+  net_options.serve.max_line_bytes = static_cast<size_t>(max_line_bytes);
+  net_options.idle_timeout_ms = idle_timeout_ms;
+
+  net::NetServer server(engine, net_options);
+  for (const std::string& spec : listen_specs) {
+    Result<net::NetAddress> address = net::ParseNetAddress(spec);
+    if (!address.ok()) return Fail(address.status().ToString().c_str());
+    Status listening = server.Listen(*address);
+    if (!listening.ok()) return Fail(listening.ToString().c_str());
+    net::NetAddress bound = *address;
+    if (bound.kind == net::NetAddress::Kind::kTcp && bound.port == 0) {
+      bound.port = server.port();
+    }
+    std::fprintf(stderr, "termilog_cli: listening on %s\n",
+                 bound.ToString().c_str());
+  }
+  Status handlers = server.InstallSignalHandlers();
+  if (!handlers.ok()) return Fail(handlers.ToString().c_str());
+  Status ran = server.Run();
+  if (!ran.ok()) {
+    std::fprintf(stderr, "termilog_cli: --listen: %s\n",
+                 ran.ToString().c_str());
+  }
+  std::fprintf(stderr, "%s\n", server.stats().ToJson().c_str());
+  std::fprintf(stderr, "%s\n",
+               EngineStatsToJson(engine.stats(), jobs).c_str());
+  return FinishStore(engine, ran.ok() ? EXIT_SUCCESS : EXIT_FAILURE,
+                     auto_compact);
+}
+
+// Load-client mode (--connect): replay a JSONL manifest against a
+// --listen server. Responses go to stdout (per-connection request order;
+// interleaving across clients unordered), latency/throughput to stderr.
+int RunConnect(const std::string& connect_spec,
+               const std::string& manifest_path, int64_t clients,
+               int64_t window) {
+  Result<net::NetAddress> address = net::ParseNetAddress(connect_spec);
+  if (!address.ok()) return Fail(address.status().ToString().c_str());
+  std::ifstream in(manifest_path);
+  if (!in) return Fail("cannot open --connect manifest (--batch FILE)");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  net::LoadClientOptions client_options;
+  client_options.clients = static_cast<int>(clients);
+  client_options.window = static_cast<int>(window);
+  std::vector<std::string> responses;
+  client_options.responses = &responses;
+  Result<net::LoadClientStats> ran =
+      net::RunLoadClient(*address, lines, client_options);
+  if (!ran.ok()) return Fail(ran.status().ToString().c_str());
+  for (const std::string& response : responses) {
+    std::printf("%s\n", response.c_str());
+  }
+  std::fflush(stdout);
+  const gen::LatencySummary latency =
+      gen::SummarizeLatencies(ran->latencies_us);
+  const double seconds = ran->elapsed_ms / 1000.0;
+  const double rps = seconds > 0 ? ran->received / seconds : 0.0;
+  std::fprintf(stderr,
+               "{\"connect\":{\"sent\":%lld,\"received\":%lld,"
+               "\"shed\":%lld,\"errors\":%lld,\"elapsed_ms\":%.1f,"
+               "\"req_per_s\":%.1f,\"latency_us\":{\"p50\":%lld,"
+               "\"p95\":%lld,\"p99\":%lld,\"max\":%lld}}}\n",
+               static_cast<long long>(ran->sent),
+               static_cast<long long>(ran->received),
+               static_cast<long long>(ran->shed),
+               static_cast<long long>(ran->errors), ran->elapsed_ms, rps,
+               static_cast<long long>(latency.p50_us),
+               static_cast<long long>(latency.p95_us),
+               static_cast<long long>(latency.p99_us),
+               static_cast<long long>(latency.max_us));
+  return EXIT_SUCCESS;
 }
 
 }  // namespace
@@ -820,8 +979,15 @@ int main(int argc, char** argv) {
   bool check_expect = false, conditions = false;
   int64_t jobs = 1;
   int64_t queue_limit = 64;
+  int64_t clients = 1;
+  int64_t window = 8;
+  int64_t idle_timeout_ms = 0;
+  int64_t max_line_bytes = 1 << 20;
+  double store_auto_compact = 0.0;
   std::string corpus_name, batch_path, trace_path, metrics_path;
   std::string gen_spec, out_path, store_path, serve_path, compact_path;
+  std::string connect_spec;
+  std::vector<std::string> listen_specs;
 
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -847,6 +1013,34 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue-limit" && i + 1 < argc) {
       if (!ParseInt64Flag(argv[++i], &queue_limit) || queue_limit < 1) {
         return Fail("--queue-limit wants a positive integer");
+      }
+    } else if (arg == "--listen" && i + 1 < argc) {
+      listen_specs.emplace_back(argv[++i]);
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_spec = argv[++i];
+    } else if (arg == "--clients" && i + 1 < argc) {
+      if (!ParseInt64Flag(argv[++i], &clients) || clients < 1) {
+        return Fail("--clients wants a positive integer");
+      }
+    } else if (arg == "--window" && i + 1 < argc) {
+      if (!ParseInt64Flag(argv[++i], &window) || window < 1) {
+        return Fail("--window wants a positive integer");
+      }
+    } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+      if (!ParseInt64Flag(argv[++i], &idle_timeout_ms)) {
+        return Fail("--idle-timeout-ms wants a nonnegative integer");
+      }
+    } else if (arg == "--max-line-bytes" && i + 1 < argc) {
+      if (!ParseInt64Flag(argv[++i], &max_line_bytes) ||
+          max_line_bytes < 1) {
+        return Fail("--max-line-bytes wants a positive integer");
+      }
+    } else if (arg == "--store-auto-compact" && i + 1 < argc) {
+      char* end = nullptr;
+      store_auto_compact = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || store_auto_compact <= 0.0 ||
+          store_auto_compact > 1.0) {
+        return Fail("--store-auto-compact wants a ratio in (0, 1]");
       }
     } else if (arg == "--gen" && i + 1 < argc) {
       gen_spec = argv[++i];
@@ -932,18 +1126,37 @@ int main(int argc, char** argv) {
 
   if (!serve_path.empty()) {
     return RunServe(serve_path, options, static_cast<int>(jobs), use_cache,
-                    queue_limit, store_path);
+                    queue_limit, max_line_bytes, store_path,
+                    store_auto_compact);
+  }
+
+  if (!listen_specs.empty()) {
+    return RunListen(listen_specs, options, static_cast<int>(jobs),
+                     use_cache, queue_limit, max_line_bytes,
+                     idle_timeout_ms, store_path, store_auto_compact);
+  }
+
+  if (!connect_spec.empty()) {
+    std::string manifest_path =
+        !batch_path.empty()
+            ? batch_path
+            : (positional.empty() ? std::string() : positional[0]);
+    if (manifest_path.empty()) {
+      return Fail("--connect wants a manifest: --batch FILE (or a "
+                  "positional file)");
+    }
+    return RunConnect(connect_spec, manifest_path, clients, window);
   }
 
   if (conditions) {
     return RunConditions(batch_path, corpus_name, positional, options,
                          static_cast<int>(jobs), use_cache, check_expect,
-                         store_path, json);
+                         store_path, store_auto_compact, json);
   }
 
   if (!batch_path.empty()) {
     return RunBatch(batch_path, options, static_cast<int>(jobs), use_cache,
-                    check_expect, store_path);
+                    check_expect, store_path, store_auto_compact);
   }
 
   if (!corpus_name.empty()) {

@@ -30,6 +30,20 @@
 #      declared minimal-mode set must be reproduced exactly
 #   d. an ASan+UBSan pass over the condinf suite
 #
+# --serve runs the socket-transport harness (docs/serve.md):
+#   a. the net-labelled suite (multi-client ordering, deterministic shed,
+#      idle timeout, torn frames, graceful drain) in the tier-1 tree
+#   b. a 2000-request socket round trip: termilog_cli --listen serves a
+#      generated manifest to --connect with 4 concurrent clients; the
+#      response stream, compared per request (sorted, since only
+#      cross-client interleaving may differ), must be byte-identical to
+#      --batch on the same manifest, and SIGTERM must drain to exit 0
+#   c. the socket-mode kill -9 drill: a --listen server with --store is
+#      SIGKILLed mid-load, a restarted server replays the manifest from
+#      the survivor store (nonzero persisted hits), byte-identical again
+#   d. ASan and TSan passes over the net suite (the event loop and the
+#      processing-thread handoff are the concurrency surface)
+#
 # --crash runs the kill -9 durability drill (docs/persistence.md):
 #   a. a 2000-request generated batch runs uninterrupted (no store) to
 #      produce the reference report stream
@@ -40,7 +54,8 @@
 #      persisted-cache hits (recovered work, not recomputed luck)
 #   d. an ASan+UBSan pass over the persist/serve-inclusive engine suite
 #
-# Usage: scripts/check.sh [--tier1-only | --stress | --crash | --conditions]
+# Usage: scripts/check.sh [--tier1-only | --stress | --crash | --conditions |
+#                          --serve]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -115,6 +130,115 @@ if [[ "${1:-}" == "--conditions" ]]; then
 
   echo "check.sh: conditions harness OK (corpus sweep byte-identical," \
        "generated expectations reproduced)" >&2
+  exit 0
+fi
+
+if [[ "${1:-}" == "--serve" ]]; then
+  # --- a. net suite in the tier-1 tree ----------------------------------
+  run ctest --test-dir build --output-on-failure -L net
+
+  workdir="$(mktemp -d)"
+  trap 'rm -rf "$workdir"' EXIT
+  manifest="$workdir/serve2000.jsonl"
+  sock="$workdir/serve.sock"
+  store="$workdir/serve.store"
+  run ./build/examples/termilog_cli \
+      --gen "2026:count=2000,sccs=1-3,preds=1-3,mix=70/25/5" \
+      --out "$manifest"
+
+  # Verdict exits 2/3 are expected from --batch: the generated mix holds
+  # not-proved and resource-limited requests by design.
+  run_batch() {
+    echo "== $*" >&2
+    "$@" || { rc=$?; [[ "$rc" -eq 2 || "$rc" -eq 3 ]] || return "$rc"; }
+  }
+
+  wait_for_socket() {
+    for _ in $(seq 1 200); do
+      [[ -S "$1" ]] && return 0
+      sleep 0.05
+    done
+    echo "check.sh: serve harness failed: $1 never appeared" >&2
+    return 1
+  }
+
+  # --- b. reference stream + 4-client socket round trip ------------------
+  run_batch ./build/examples/termilog_cli --batch "$manifest" --jobs 4 \
+      >"$workdir/out.ref.jsonl"
+  ./build/examples/termilog_cli --listen "unix:$sock" --jobs 4 \
+      >/dev/null 2>"$workdir/srv.err.txt" &
+  server=$!
+  wait_for_socket "$sock"
+  run ./build/examples/termilog_cli --connect "unix:$sock" \
+      --batch "$manifest" --clients 4 >"$workdir/out.net.jsonl" \
+      2>"$workdir/client.err.txt"
+  # Graceful drain is part of the contract: SIGTERM must exit 0.
+  kill -TERM "$server"
+  run wait "$server"
+  # Per-request byte identity: each response must match --batch's line
+  # for the same request; only cross-client interleaving may differ.
+  run sort -o "$workdir/out.ref.sorted" "$workdir/out.ref.jsonl"
+  run sort -o "$workdir/out.net.sorted" "$workdir/out.net.jsonl"
+  run cmp "$workdir/out.ref.sorted" "$workdir/out.net.sorted"
+
+  # --- c. socket-mode kill -9 drill --------------------------------------
+  ./build/examples/termilog_cli --listen "unix:$sock" --jobs 4 \
+      --store "$store" >/dev/null 2>&1 &
+  victim=$!
+  wait_for_socket "$sock"
+  ./build/examples/termilog_cli --connect "unix:$sock" \
+      --batch "$manifest" --clients 4 >/dev/null 2>&1 &
+  loader=$!
+  # Wait until the write-behind thread has demonstrably persisted work,
+  # then kill the server without ceremony; the loader's half-dead
+  # connections are allowed to fail.
+  for _ in $(seq 1 200); do
+    size=$(stat -c %s "$store" 2>/dev/null || echo 0)
+    [[ "$size" -gt 4096 ]] && break
+    sleep 0.05
+  done
+  kill -9 "$victim" 2>/dev/null || true
+  wait "$victim" 2>/dev/null || true
+  wait "$loader" 2>/dev/null || true
+  size=$(stat -c %s "$store" 2>/dev/null || echo 0)
+  if [[ "$size" -le 16 ]]; then
+    echo "check.sh: serve drill setup failed: store never grew" >&2
+    exit 1
+  fi
+  echo "== killed mid-load with $size store bytes on disk" >&2
+
+  # Restart on the survivor store (the stale socket file is replaced) and
+  # replay the full manifest: byte-identical again, with recovered work
+  # served from the store rather than recomputed.
+  ./build/examples/termilog_cli --listen "unix:$sock" --jobs 4 \
+      --store "$store" >/dev/null 2>"$workdir/srv.warm.err.txt" &
+  server=$!
+  wait_for_socket "$sock"
+  run ./build/examples/termilog_cli --connect "unix:$sock" \
+      --batch "$manifest" --clients 4 >"$workdir/out.warm.jsonl" \
+      2>/dev/null
+  kill -TERM "$server"
+  run wait "$server"
+  run sort -o "$workdir/out.warm.sorted" "$workdir/out.warm.jsonl"
+  run cmp "$workdir/out.ref.sorted" "$workdir/out.warm.sorted"
+  if ! grep -q '"persisted_hits":[1-9]' "$workdir/srv.warm.err.txt"; then
+    echo "check.sh: serve drill failed: warm restart served zero" \
+         "persisted-cache hits" >&2
+    cat "$workdir/srv.warm.err.txt" >&2
+    exit 1
+  fi
+
+  # --- d. ASan and TSan over the net suite -------------------------------
+  for flavor in address thread; do
+    tree="build-asan"
+    [[ "$flavor" == "thread" ]] && tree="build-tsan"
+    run cmake -B "$tree" -S . -DTERMILOG_SANITIZE="$flavor" -DTERMILOG_OBS=ON
+    run cmake --build "$tree" -j "$JOBS" --target termilog_net_tests
+    run ctest --test-dir "$tree" --output-on-failure -j "$JOBS" -L net
+  done
+
+  echo "check.sh: serve harness OK (socket round trip byte-identical," \
+       "drain exits 0, kill -9 replay recovered)" >&2
   exit 0
 fi
 

@@ -12,7 +12,6 @@
 
 #include "condinf/condinf.h"
 #include "engine/report_json.h"
-#include "gen/gen.h"
 #include "program/parser.h"
 #include "util/string_util.h"
 
@@ -47,16 +46,6 @@ class ResponseSequencer {
   std::map<int64_t, std::string> pending_;
   int64_t next_ = 0;
 };
-
-struct QueuedRequest {
-  int64_t seq = 0;
-  gen::ManifestEntry entry;
-};
-
-std::string ErrorLine(const std::string& name, const std::string& query,
-                      const Status& status) {
-  return ReportToJsonLine(name, query, status, TerminationReport());
-}
 
 // Loads and parses the entry's program (inline "source" or "file").
 Result<Program> LoadProgram(const gen::ManifestEntry& entry) {
@@ -113,34 +102,166 @@ Result<BatchRequest> BuildRequest(const gen::ManifestEntry& entry,
 std::string ServeStats::ToJson() const {
   return StrCat("{\"lines\":", lines, ",\"served\":", served,
                 ",\"shed\":", shed, ",\"errors\":", errors,
-                ",\"conditions\":", conditions, "}");
+                ",\"overlong\":", overlong, ",\"conditions\":", conditions,
+                "}");
+}
+
+std::string ServeErrorLine(const std::string& name, const Status& status) {
+  return ReportToJsonLine(name, "", status, TerminationReport());
+}
+
+std::string ServeShedLine(const std::string& name, int queue_limit) {
+  // The shed response is deterministic — same bytes for every shed
+  // request — so clients can match on it; the retry-after note is advice,
+  // not a wall-clock promise.
+  return ServeErrorLine(
+      name, Status::ResourceExhausted(StrCat(
+                "server overloaded: waiting room full (queue_limit=",
+                queue_limit, "); request shed, retry after the backlog "
+                "drains")));
+}
+
+Status OverlongLineError(size_t line_number, size_t max_line_bytes) {
+  return Status::InvalidArgument(
+      StrCat("request line ", line_number, " exceeds the ", max_line_bytes,
+             "-byte line cap; line discarded"));
+}
+
+bool ReadBoundedLine(std::istream& in, size_t max_bytes, std::string* line,
+                     bool* overlong) {
+  line->clear();
+  *overlong = false;
+  std::streambuf* buffer = in.rdbuf();
+  bool any = false;
+  while (true) {
+    int c = buffer->sbumpc();
+    if (c == std::char_traits<char>::eof()) {
+      in.setstate(std::ios::eofbit);
+      return any;
+    }
+    any = true;
+    if (c == '\n') return true;
+    if (*overlong) continue;  // discarding: consume without storing
+    line->push_back(static_cast<char>(c));
+    if (line->size() > max_bytes) {
+      *overlong = true;
+      line->clear();
+    }
+  }
+}
+
+ServeChunkStats ProcessServeChunk(
+    BatchEngine& engine, std::vector<ServeItem> items,
+    const AnalysisOptions& base,
+    const std::function<void(int64_t seq, std::string line)>& emit) {
+  ServeChunkStats stats;
+  std::vector<BatchRequest> requests;
+  std::vector<int64_t> seqs;
+  std::vector<std::string> queries;
+  std::vector<condinf::ConditionsSweep> sweeps;
+  std::vector<int64_t> sweep_seqs;
+  requests.reserve(items.size());
+  for (ServeItem& item : items) {
+    if (!item.entry.error.ok()) {
+      ++stats.errors;
+      emit(item.seq, ServeErrorLine(item.entry.name, item.entry.error));
+      continue;
+    }
+    if (item.entry.kind == "conditions") {
+      // A conditions request sweeps the whole program's mode lattices
+      // (docs/conditions.md); it shares this chunk's engine — and the
+      // SCC cache every other request warms — through
+      // RunConditionsSweeps below.
+      Result<Program> program = LoadProgram(item.entry);
+      if (!program.ok()) {
+        ++stats.errors;
+        condinf::ConditionsReport error_report;
+        error_report.name = item.entry.name;
+        error_report.status = program.status();
+        emit(item.seq, condinf::ConditionsReportToJsonLine(error_report));
+        continue;
+      }
+      condinf::ConditionsOptions conditions_options;
+      conditions_options.analysis = base;
+      if (item.entry.has_limits) {
+        conditions_options.analysis.limits = item.entry.limits;
+      }
+      sweeps.emplace_back(item.entry.name, std::move(*program),
+                          conditions_options);
+      sweep_seqs.push_back(item.seq);
+      continue;
+    }
+    std::string query_text;
+    Result<BatchRequest> request =
+        BuildRequest(item.entry, base, &query_text);
+    if (!request.ok()) {
+      ++stats.errors;
+      emit(item.seq, ServeErrorLine(item.entry.name, request.status()));
+      continue;
+    }
+    requests.push_back(std::move(*request));
+    seqs.push_back(item.seq);
+    queries.push_back(std::move(query_text));
+  }
+  if (!requests.empty()) {
+    size_t index = 0;
+    engine.Run(requests, [&](const BatchItemResult& result) {
+      emit(seqs[index], ReportToJsonLine(result.name, queries[index],
+                                         result.status, result.report));
+      ++index;
+    });
+  }
+  if (!sweeps.empty()) {
+    std::vector<condinf::ConditionsReport> reports =
+        condinf::RunConditionsSweeps(engine, sweeps);
+    for (size_t i = 0; i < reports.size(); ++i) {
+      emit(sweep_seqs[i], condinf::ConditionsReportToJsonLine(reports[i]));
+    }
+  }
+  stats.served += static_cast<int64_t>(requests.size() + sweeps.size());
+  stats.conditions += static_cast<int64_t>(sweeps.size());
+  return stats;
 }
 
 ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
                  const ServeOptions& options) {
   const int queue_limit = options.queue_limit < 1 ? 1 : options.queue_limit;
   const int chunk = options.chunk < 1 ? 1 : options.chunk;
-  // The shed response is deterministic — same bytes for every shed
-  // request — so clients can match on it; the retry-after note is advice,
-  // not a wall-clock promise.
-  const std::string shed_message =
-      StrCat("server overloaded: waiting room full (queue_limit=",
-             queue_limit, "); request shed, retry after the backlog drains");
+  const size_t max_line_bytes =
+      options.max_line_bytes < 1 ? 1 : options.max_line_bytes;
 
   ServeStats stats;
   ResponseSequencer sequencer(out);
 
   std::mutex mu;
   std::condition_variable work_cv;
-  std::deque<QueuedRequest> queue;
+  std::deque<ServeItem> queue;
   bool reader_done = false;
 
   std::thread reader([&] {
     std::string line;
     size_t line_number = 0;
     int64_t seq = 0;
-    while (std::getline(in, line)) {
+    bool overlong = false;
+    while (ReadBoundedLine(in, max_line_bytes, &line, &overlong)) {
       ++line_number;
+      if (overlong) {
+        // Over-long line: the reader held at most max_line_bytes of it,
+        // the rest was discarded in flight. One structured error
+        // response, the loop keeps serving (docs/serve.md).
+        int64_t this_seq = seq++;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ++stats.lines;
+          ++stats.errors;
+          ++stats.overlong;
+        }
+        sequencer.Emit(this_seq,
+                       ServeErrorLine(StrCat("manifest:", line_number),
+                                      OverlongLineError(line_number,
+                                                        max_line_bytes)));
+        continue;
+      }
       std::string_view stripped = StripWhitespace(line);
       if (stripped.empty()) continue;
       gen::ManifestEntry entry =
@@ -157,14 +278,14 @@ ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
           std::lock_guard<std::mutex> lock(mu);
           ++stats.errors;
         }
-        sequencer.Emit(this_seq, ErrorLine(entry.name, "", entry.error));
+        sequencer.Emit(this_seq, ServeErrorLine(entry.name, entry.error));
         continue;
       }
       bool admitted = false;
       {
         std::lock_guard<std::mutex> lock(mu);
         if (queue.size() < static_cast<size_t>(queue_limit)) {
-          queue.push_back(QueuedRequest{this_seq, std::move(entry)});
+          queue.push_back(ServeItem{this_seq, std::move(entry)});
           admitted = true;
         } else {
           ++stats.shed;
@@ -173,9 +294,7 @@ ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
       if (admitted) {
         work_cv.notify_one();
       } else {
-        sequencer.Emit(this_seq,
-                       ErrorLine(entry.name, "",
-                                 Status::ResourceExhausted(shed_message)));
+        sequencer.Emit(this_seq, ServeShedLine(entry.name, queue_limit));
       }
     }
     {
@@ -186,7 +305,7 @@ ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
   });
 
   while (true) {
-    std::vector<QueuedRequest> batch;
+    std::vector<ServeItem> batch;
     {
       std::unique_lock<std::mutex> lock(mu);
       work_cv.wait(lock, [&] {
@@ -199,81 +318,18 @@ ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
         queue.pop_front();
       }
     }
+    if (batch.empty()) continue;
     // Seats freed: arrivals during this chunk's analysis may be admitted.
-    std::vector<BatchRequest> requests;
-    std::vector<int64_t> seqs;
-    std::vector<std::string> queries;
-    std::vector<condinf::ConditionsSweep> sweeps;
-    std::vector<int64_t> sweep_seqs;
-    requests.reserve(batch.size());
-    for (QueuedRequest& item : batch) {
-      if (item.entry.kind == "conditions") {
-        // A conditions request sweeps the whole program's mode lattices
-        // (docs/conditions.md); it shares this chunk's engine — and the
-        // SCC cache every other request warms — through
-        // RunConditionsSweeps below.
-        Result<Program> program = LoadProgram(item.entry);
-        if (!program.ok()) {
-          {
-            std::lock_guard<std::mutex> lock(mu);
-            ++stats.errors;
-          }
-          condinf::ConditionsReport error_report;
-          error_report.name = item.entry.name;
-          error_report.status = program.status();
-          sequencer.Emit(item.seq,
-                         condinf::ConditionsReportToJsonLine(error_report));
-          continue;
-        }
-        condinf::ConditionsOptions conditions_options;
-        conditions_options.analysis = options.base;
-        if (item.entry.has_limits) {
-          conditions_options.analysis.limits = item.entry.limits;
-        }
-        sweeps.emplace_back(item.entry.name, std::move(*program),
-                            conditions_options);
-        sweep_seqs.push_back(item.seq);
-        continue;
-      }
-      std::string query_text;
-      Result<BatchRequest> request =
-          BuildRequest(item.entry, options.base, &query_text);
-      if (!request.ok()) {
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          ++stats.errors;
-        }
-        sequencer.Emit(item.seq,
-                       ErrorLine(item.entry.name, "", request.status()));
-        continue;
-      }
-      requests.push_back(std::move(*request));
-      seqs.push_back(item.seq);
-      queries.push_back(std::move(query_text));
-    }
-    if (requests.empty() && sweeps.empty()) continue;
-    if (!requests.empty()) {
-      size_t index = 0;
-      engine.Run(requests, [&](const BatchItemResult& item) {
-        sequencer.Emit(seqs[index],
-                       ReportToJsonLine(item.name, queries[index],
-                                        item.status, item.report));
-        ++index;
-      });
-    }
-    if (!sweeps.empty()) {
-      std::vector<condinf::ConditionsReport> reports =
-          condinf::RunConditionsSweeps(engine, sweeps);
-      for (size_t i = 0; i < reports.size(); ++i) {
-        sequencer.Emit(sweep_seqs[i],
-                       condinf::ConditionsReportToJsonLine(reports[i]));
-      }
-    }
+    ServeChunkStats chunk_stats = ProcessServeChunk(
+        engine, std::move(batch), options.base,
+        [&](int64_t seq, std::string response) {
+          sequencer.Emit(seq, std::move(response));
+        });
     {
       std::lock_guard<std::mutex> lock(mu);
-      stats.served +=
-          static_cast<int64_t>(requests.size() + sweeps.size());
-      stats.conditions += static_cast<int64_t>(sweeps.size());
+      stats.served += chunk_stats.served;
+      stats.errors += chunk_stats.errors;
+      stats.conditions += chunk_stats.conditions;
     }
   }
 

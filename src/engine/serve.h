@@ -6,20 +6,23 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/analyzer.h"
 #include "engine/engine.h"
+#include "gen/gen.h"
 
 namespace termilog {
 
-/// Options for the long-running request loop (docs/engine.md,
-/// docs/persistence.md). The protocol reuses the --batch JSONL framing:
-/// one manifest-entry object per input line ("source" or "file", plus
-/// optional "name"/"query"/"limits"/"kind"), one report JSON line per
-/// request on the output, in request order. EOF on the input ends the
-/// loop. "kind":"conditions" answers with a termination-condition sweep
-/// report (docs/conditions.md) instead of a single-mode analysis; an
-/// unknown kind answers with the structured per-request error shape.
+/// Options for the long-running request loop (docs/serve.md,
+/// docs/engine.md, docs/persistence.md). The protocol reuses the --batch
+/// JSONL framing: one manifest-entry object per input line ("source" or
+/// "file", plus optional "name"/"query"/"limits"/"kind"), one report JSON
+/// line per request on the output, in request order. EOF on the input
+/// ends the loop. "kind":"conditions" answers with a termination-
+/// condition sweep report (docs/conditions.md) instead of a single-mode
+/// analysis; an unknown kind answers with the structured per-request
+/// error shape.
 struct ServeOptions {
   /// Base AnalysisOptions for every request; a request's own "limits"
   /// object overrides `base.limits`, so `--deadline-ms` supplies the
@@ -35,6 +38,13 @@ struct ServeOptions {
   /// response latency low; the content cache carries warmth across
   /// chunks either way.
   int chunk = 16;
+  /// Max bytes of one request line. The JSONL reader never buffers more
+  /// than this per line: an over-long line is answered with the
+  /// structured per-request error shape (naming the line number and the
+  /// cap) and its remaining bytes are discarded up to the newline, so an
+  /// adversarial or broken client cannot grow server memory with one
+  /// unbounded line. Shared guard with the socket transport (src/net/).
+  size_t max_line_bytes = 1 << 20;
   /// Test hook: when true the processing side waits until the reader has
   /// consumed its whole input before analyzing anything, making the
   /// shed/accept split a pure function of queue_limit rather than of
@@ -51,9 +61,12 @@ struct ServeStats {
   int64_t shed = 0;
   /// Unreadable request lines answered with a per-line error — truncated
   /// JSON, a missing source, an unknown request "kind", an unparseable
-  /// program. Every one gets the structured per-request error shape
-  /// ({"name":..,"ok":false,"error":..}); none aborts the loop.
+  /// program, a line over max_line_bytes. Every one gets the structured
+  /// per-request error shape ({"name":..,"ok":false,"error":..}); none
+  /// aborts the loop.
   int64_t errors = 0;
+  /// The subset of `errors` that were over-long input lines.
+  int64_t overlong = 0;
   /// The subset of `served` that were "kind":"conditions" sweeps
   /// (docs/conditions.md).
   int64_t conditions = 0;
@@ -61,14 +74,72 @@ struct ServeStats {
   std::string ToJson() const;
 };
 
+// --- Shared request-processing core -------------------------------------
+//
+// The pieces below are the transport-independent half of serve mode: the
+// FIFO/stdin loop (Serve) and the socket transport (src/net/) both admit
+// gen::ManifestEntry requests and answer them through these, so the wire
+// protocol — request kinds, error/shed shapes, response bytes — is one
+// implementation, not two.
+
+/// One admitted request: an opaque sequence token (returned verbatim to
+/// `emit`, never interpreted) and the parsed manifest entry.
+struct ServeItem {
+  int64_t seq = 0;
+  gen::ManifestEntry entry;
+};
+
+/// What one ProcessServeChunk call answered, for the caller's stats.
+struct ServeChunkStats {
+  int64_t served = 0;
+  int64_t errors = 0;
+  int64_t conditions = 0;
+};
+
+/// Analyzes one chunk of admitted requests through `engine` and calls
+/// `emit(seq, line)` exactly once per item with its response line (no
+/// trailing newline). Plain requests batch through BatchEngine::Run;
+/// "conditions" requests sweep through RunConditionsSweeps sharing the
+/// same engine and cache; unreadable entries (ParseManifestLine `error`
+/// set) and per-request failures get the structured error shape. `emit`
+/// runs on the calling thread; emission order within the chunk follows
+/// completion order, so callers that need a global order sequence by
+/// `seq` (ResponseSequencer here, the per-connection sequencers in
+/// src/net/).
+ServeChunkStats ProcessServeChunk(
+    BatchEngine& engine, std::vector<ServeItem> items,
+    const AnalysisOptions& base,
+    const std::function<void(int64_t seq, std::string line)>& emit);
+
+/// The structured per-request error line ({"name":..,"ok":false,
+/// "error":..}) shared by every transport.
+std::string ServeErrorLine(const std::string& name, const Status& status);
+
+/// The deterministic overload response for a full waiting room: same
+/// bytes for every shed request (clients can match on it), carrying a
+/// retry-after note. `queue_limit` names the configured bound.
+std::string ServeShedLine(const std::string& name, int queue_limit);
+
+/// The error status for a request line over `max_line_bytes`, naming the
+/// 1-based line number and the cap.
+Status OverlongLineError(size_t line_number, size_t max_line_bytes);
+
+/// Reads one newline-terminated line from `in`, buffering at most
+/// `max_bytes` of it. Returns false at EOF with nothing consumed. When
+/// the line exceeds the cap, `*overlong` is set, `*line` comes back
+/// empty, and the line's remaining bytes are consumed (not stored) up to
+/// the newline — bounded memory however long the line is.
+bool ReadBoundedLine(std::istream& in, size_t max_bytes, std::string* line,
+                     bool* overlong);
+
 /// Runs the serve loop: reads JSONL requests from `in` until EOF,
 /// answers each with exactly one JSON line on `out` (flushed per line,
 /// strictly in request order). A reader thread admits requests into a
 /// bounded waiting room; overflow is shed with a deterministic overload
 /// response rather than queued. Unreadable lines (truncated JSON,
-/// missing source) get a per-line error response; they never abort the
-/// loop. The caller owns engine setup (jobs, cache, attached store) and
-/// shutdown (FlushStore after Serve returns).
+/// missing source, over-long input) get a per-line error response; they
+/// never abort the loop. The caller owns engine setup (jobs, cache,
+/// attached store) and shutdown (FlushStore after Serve returns).
 ServeStats Serve(BatchEngine& engine, std::istream& in, std::ostream& out,
                  const ServeOptions& options);
 

@@ -288,6 +288,9 @@ Result<std::unique_ptr<PersistentStore>> PersistentStore::Open(
   }
 
   std::map<std::string, CachedSccOutcome> entries;
+  std::map<std::string, int64_t> frame_bytes;
+  int64_t record_bytes_total = 0;
+  int64_t record_bytes_live = 0;
   size_t valid_end = kHeaderSize;
   if (!fresh) {
     size_t pos = kHeaderSize;
@@ -315,6 +318,12 @@ Result<std::unique_ptr<PersistentStore>> PersistentStore::Open(
       }
       std::string_view payload(bytes.data() + pos + kFrameHeaderSize, len);
       pos += kFrameHeaderSize + len;
+      // Every intact frame occupies log bytes whether or not its record
+      // survives validation; only the last frame per key stays live. The
+      // difference is what AutoCompactIfNeeded weighs.
+      const int64_t frame_size =
+          static_cast<int64_t>(kFrameHeaderSize) + static_cast<int64_t>(len);
+      record_bytes_total += frame_size;
       if (Crc32(payload) != payload_crc) {
         ++stats.records_quarantined;
         stats.notes.push_back(StrCat("record at offset ",
@@ -335,6 +344,12 @@ Result<std::unique_ptr<PersistentStore>> PersistentStore::Open(
         continue;
       }
       entries[record->first] = std::move(record->second);
+      auto [it, inserted] = frame_bytes.try_emplace(record->first, frame_size);
+      if (!inserted) {
+        record_bytes_live -= it->second;
+        it->second = frame_size;
+      }
+      record_bytes_live += frame_size;
       valid_end = pos;
     }
     stats.tail_bytes_truncated =
@@ -373,6 +388,9 @@ Result<std::unique_ptr<PersistentStore>> PersistentStore::Open(
   std::unique_ptr<PersistentStore> store(
       new PersistentStore(path, file));
   store->entries_ = std::move(entries);
+  store->frame_bytes_ = std::move(frame_bytes);
+  store->record_bytes_total_ = record_bytes_total;
+  store->record_bytes_live_ = record_bytes_live;
   store->stats_ = std::move(stats);
   return store;
 }
@@ -416,7 +434,19 @@ Status PersistentStore::AppendLocked(const std::string& key,
   }
   ++stats_.appends;
   entries_[key] = outcome;
+  record_bytes_total_ += static_cast<int64_t>(frame.size());
+  TrackLiveLocked(key, static_cast<int64_t>(frame.size()));
   return Status::Ok();
+}
+
+void PersistentStore::TrackLiveLocked(const std::string& key,
+                                      int64_t frame_size) {
+  auto [it, inserted] = frame_bytes_.try_emplace(key, frame_size);
+  if (!inserted) {
+    record_bytes_live_ -= it->second;
+    it->second = frame_size;
+  }
+  record_bytes_live_ += frame_size;
 }
 
 Status PersistentStore::Flush() {
@@ -464,7 +494,42 @@ Status PersistentStore::Compact() {
     return Status::Internal("store: cannot reopen after compaction");
   }
   broken_ = false;
+  // The rewritten log holds exactly the live set: re-encoding is
+  // deterministic, so the per-key frame sizes are unchanged and nothing
+  // is dead anymore.
+  record_bytes_total_ = record_bytes_live_;
   return Status::Ok();
+}
+
+Result<bool> PersistentStore::AutoCompactIfNeeded(double ratio) {
+  if (ratio <= 0.0) return false;
+  int64_t dead = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dead = record_bytes_total_ - record_bytes_live_;
+    if (dead <= 0 ||
+        static_cast<double>(dead) <
+            ratio * static_cast<double>(record_bytes_total_)) {
+      return false;
+    }
+  }
+  Status compacted = Compact();
+  if (!compacted.ok()) return compacted;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.notes.push_back(StrCat("auto-compaction reclaimed ", dead,
+                                " dead record bytes (ratio threshold ",
+                                ratio, ")"));
+  return true;
+}
+
+int64_t PersistentStore::dead_record_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return record_bytes_total_ - record_bytes_live_;
+}
+
+int64_t PersistentStore::total_record_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return record_bytes_total_;
 }
 
 StoreStats PersistentStore::stats() const {

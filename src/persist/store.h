@@ -114,6 +114,20 @@ class PersistentStore {
   /// PATH, dropping shadowed duplicates and quarantined frames.
   Status Compact();
 
+  /// Automatic compaction policy (docs/persistence.md): compacts when the
+  /// dead fraction of the log — shadowed duplicates plus quarantined
+  /// frames, as a share of the file's record bytes — reaches `ratio`
+  /// (0 < ratio <= 1). Called by the CLI at open and after flush when
+  /// `--store-auto-compact` is set; a non-positive ratio disables it.
+  /// Returns whether a compaction ran; compaction errors pass through.
+  Result<bool> AutoCompactIfNeeded(double ratio);
+
+  /// Bytes of record frames in the log that no longer serve the live set
+  /// (shadowed last-write-wins duplicates, quarantined frames), and the
+  /// total record-frame bytes the log holds. dead == total - live.
+  int64_t dead_record_bytes() const;
+  int64_t total_record_bytes() const;
+
   StoreStats stats() const;
   const std::string& path() const { return path_; }
   /// Live entry count (== entries().size()).
@@ -124,12 +138,22 @@ class PersistentStore {
 
   Status AppendLocked(const std::string& key,
                       const CachedSccOutcome& outcome);
+  // Dead-bytes bookkeeping: credits `frame_size` to `key`'s live frame
+  // (debiting the frame it shadows, if any).
+  void TrackLiveLocked(const std::string& key, int64_t frame_size);
 
   const std::string path_;
   mutable std::mutex mu_;
   std::FILE* file_ = nullptr;  // append handle; null once broken
   bool broken_ = false;
   std::map<std::string, CachedSccOutcome> entries_;
+  // Per-key frame size of the live record, and the running totals behind
+  // dead_record_bytes(): every intact frame scanned or appended counts
+  // toward `record_bytes_total_`; only the latest frame per key counts
+  // toward `record_bytes_live_`.
+  std::map<std::string, int64_t> frame_bytes_;
+  int64_t record_bytes_total_ = 0;
+  int64_t record_bytes_live_ = 0;
   StoreStats stats_;
 };
 

@@ -40,6 +40,7 @@
 #include "interp/bottom_up.h"
 #include "interp/sld.h"
 #include "lp/simplex.h"
+#include "net/net.h"
 #include "obs/obs.h"
 #include "persist/store.h"
 #include "persist/writer.h"

@@ -290,6 +290,55 @@ TEST(PersistStoreTest, CompactDropsShadowedRecordsAndKeepsLiveSet) {
   RemoveStoreFiles(path);
 }
 
+TEST(PersistStoreTest, AutoCompactTriggersOnDeadFractionOnly) {
+  std::string path = TempStorePath("persist_autocompact.store");
+  RemoveStoreFiles(path);
+  auto store = PersistentStore::Open(path);
+  ASSERT_TRUE(store.ok());
+
+  // One live record: nothing is dead, no ratio can trigger.
+  ASSERT_TRUE((*store)->Append("key", SampleOutcome(0)).ok());
+  EXPECT_EQ((*store)->dead_record_bytes(), 0);
+  const int64_t first_frame = (*store)->total_record_bytes();
+  Result<bool> ran = (*store)->AutoCompactIfNeeded(0.01);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_FALSE(*ran);
+
+  // Shadow it: exactly the first frame is now dead, roughly half the log.
+  ASSERT_TRUE((*store)->Append("key", SampleOutcome(1)).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  const int64_t dead = (*store)->dead_record_bytes();
+  EXPECT_EQ(dead, first_frame);
+  EXPECT_GT((*store)->total_record_bytes(), dead);
+
+  // A threshold above the dead fraction must not compact...
+  ran = (*store)->AutoCompactIfNeeded(0.9);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_FALSE(*ran);
+  EXPECT_EQ((*store)->dead_record_bytes(), dead);
+
+  // ...one at/below it must, and the compacted log has no dead bytes, so
+  // an immediate retry is a no-op (the policy converges, never loops).
+  const int64_t before = static_cast<int64_t>(fs::file_size(path));
+  ran = (*store)->AutoCompactIfNeeded(0.3);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(*ran);
+  EXPECT_LT(static_cast<int64_t>(fs::file_size(path)), before);
+  EXPECT_EQ((*store)->dead_record_bytes(), 0);
+  ran = (*store)->AutoCompactIfNeeded(0.3);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_FALSE(*ran);
+  // The survivor is the last write.
+  EXPECT_TRUE(OutcomesEqual((*store)->entries().at("key"), SampleOutcome(1)));
+
+  // Non-positive ratio disables the policy outright.
+  ASSERT_TRUE((*store)->Append("key", SampleOutcome(2)).ok());
+  ran = (*store)->AutoCompactIfNeeded(0.0);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_FALSE(*ran);
+  RemoveStoreFiles(path);
+}
+
 TEST(PersistStoreTest, TornWriteFailpointIsRecoveredOnReopen) {
   std::string path = TempStorePath("persist_torn.store");
   RemoveStoreFiles(path);

@@ -209,6 +209,39 @@ TEST(ServeTest, ConditionsKindReportsUnparseableProgramAsError) {
   EXPECT_NE(lines[0].find("\"kind\":\"conditions\""), std::string::npos);
 }
 
+TEST(ServeTest, OverlongLinesAreDiscardedWithAStructuredError) {
+  BatchEngine engine(EngineOptions{/*jobs=*/1, /*use_cache=*/true});
+  // A 1 MiB request line against a 128-byte cap: the reader must answer
+  // with the per-request error shape while buffering at most the cap, and
+  // the next (short enough) request must still be served. The short
+  // request has to actually fit, so use a trivial program inline.
+  std::string tiny = "{\"name\":\"tiny\",\"source\":\"p(a).\","
+                     "\"query\":\"p(b)\"}\n";
+  ASSERT_LT(tiny.size(), 128u);
+  std::istringstream in("{\"name\":\"flood\",\"source\":\"" +
+                        std::string(1 << 20, 'x') + "\"}\n" + tiny);
+  std::ostringstream out;
+  ServeOptions options;
+  options.max_line_bytes = 128;
+  ServeStats stats = Serve(engine, in, out, options);
+  EXPECT_EQ(stats.lines, 2);
+  EXPECT_EQ(stats.served, 1);
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_EQ(stats.overlong, 1);
+  std::vector<std::string> lines = SplitLines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  Response flood = ParseResponse(lines[0]);
+  // The request name is unknowable (the line was never parsed), so the
+  // error names the input position instead.
+  EXPECT_EQ(flood.name, "manifest:1");
+  EXPECT_FALSE(flood.ok);
+  EXPECT_NE(flood.error.find("128-byte line cap"), std::string::npos)
+      << lines[0];
+  Response tiny_response = ParseResponse(lines[1]);
+  EXPECT_EQ(tiny_response.name, "tiny");
+  EXPECT_TRUE(tiny_response.ok) << lines[1];
+}
+
 TEST(ServeTest, PerRequestLimitsOverrideTheBase) {
   BatchEngine engine(EngineOptions{/*jobs=*/1, /*use_cache=*/false});
   // A work budget of 1 cannot complete the SCC analysis: the report must
