@@ -48,6 +48,18 @@
 // tail truncated, or file set aside), the warm run's report lines are
 // byte-identical to the uninjured baseline (a bad store entry degrades to
 // a cache miss, never to a wrong verdict), and zero request errors.
+//
+// Schema v4 follows the engine's parallel-inference refactor
+// (docs/engine.md): throughput cells gain the inference-cache counters
+// (inference_cache_hits / inference_cache_misses) and a "suspect" flag on
+// any warm-slower-than-cold inversion (a warm run does strictly less
+// work — inference and SCC solving are both cached — so an inversion
+// means the measurement is noise-dominated and should not be trended).
+// The stress section reports two distributions: latency_us is per-request
+// service cost in thread-CPU microseconds (comparable across jobs levels
+// even on fewer cores than workers), and e2e_us is the admission-to-
+// completion wall interval that the scheduling-fairness fix (child tasks
+// drain before new preparations) is accountable to.
 
 #include <algorithm>
 #include <cstdio>
@@ -68,7 +80,7 @@ using namespace termilog;
 
 namespace {
 
-constexpr int kSchemaVersion = 3;
+constexpr int kSchemaVersion = 4;
 constexpr int kJobsLevels[] = {1, 2, 4, 8};
 
 int g_repeats = 3;
@@ -112,6 +124,8 @@ struct RunSample {
   int64_t scc_tasks = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  int64_t inference_cache_hits = 0;
+  int64_t inference_cache_misses = 0;
 };
 
 int64_t MedianOf(std::vector<int64_t> values) {
@@ -128,17 +142,21 @@ std::string SampleJson(const RunSample& sample, size_t requests) {
           ? static_cast<double>(sample.cache_hits) /
                 static_cast<double>(sample.scc_tasks)
           : 0.0;
-  char buffer[320];
+  char buffer[448];
   std::snprintf(buffer, sizeof(buffer),
                 "{\"wall_ms\":%lld,\"min_wall_ms\":%lld,\"scc_tasks\":%lld,"
                 "\"cache_hits\":%lld,\"cache_misses\":%lld,"
+                "\"inference_cache_hits\":%lld,"
+                "\"inference_cache_misses\":%lld,"
                 "\"requests_per_s\":%.2f,\"scc_hit_rate\":%.4f}",
                 static_cast<long long>(sample.wall_ms),
                 static_cast<long long>(sample.min_wall_ms),
                 static_cast<long long>(sample.scc_tasks),
                 static_cast<long long>(sample.cache_hits),
-                static_cast<long long>(sample.cache_misses), throughput,
-                hit_rate);
+                static_cast<long long>(sample.cache_misses),
+                static_cast<long long>(sample.inference_cache_hits),
+                static_cast<long long>(sample.inference_cache_misses),
+                throughput, hit_rate);
   return buffer;
 }
 
@@ -158,6 +176,8 @@ std::string ThroughputRow(int jobs, const std::vector<BatchRequest>& requests) {
         cold.scc_tasks = engine.stats().scc_tasks;
         cold.cache_hits = engine.stats().cache_hits;
         cold.cache_misses = engine.stats().cache_misses;
+        cold.inference_cache_hits = engine.stats().inference_cache_hits;
+        cold.inference_cache_misses = engine.stats().inference_cache_misses;
       }
     }
     cold.wall_ms = MedianOf(walls);
@@ -178,15 +198,25 @@ std::string ThroughputRow(int jobs, const std::vector<BatchRequest>& requests) {
         warm.scc_tasks = engine.stats().scc_tasks - before.scc_tasks;
         warm.cache_hits = engine.stats().cache_hits - before.cache_hits;
         warm.cache_misses = engine.stats().cache_misses - before.cache_misses;
+        warm.inference_cache_hits =
+            engine.stats().inference_cache_hits - before.inference_cache_hits;
+        warm.inference_cache_misses = engine.stats().inference_cache_misses -
+                                      before.inference_cache_misses;
       }
     }
     warm.wall_ms = MedianOf(walls);
     warm.min_wall_ms = *std::min_element(walls.begin(), walls.end());
   }
 
+  // A warm run does strictly less work than a cold one (inference and SCC
+  // solving both served from cache), so warm median > cold median can only
+  // be measurement noise. Flag the row rather than silently recording a
+  // physically backwards trajectory point.
+  const bool suspect = warm.wall_ms > cold.wall_ms;
   return StrCat("{\"jobs\":", jobs,
                 ",\"cold\":", SampleJson(cold, requests.size()),
-                ",\"warm\":", SampleJson(warm, requests.size()), "}");
+                ",\"warm\":", SampleJson(warm, requests.size()),
+                ",\"suspect\":", suspect ? "true" : "false", "}");
 }
 
 // Mixed-verdict generated workload for the stress section: unique
@@ -211,10 +241,13 @@ std::string StressRow(int jobs, const std::vector<BatchRequest>& requests) {
   BatchEngine engine(EngineOptions{jobs, /*use_cache=*/true});
   std::vector<BatchItemResult> results = engine.Run(requests);
   std::vector<int64_t> latencies;
+  std::vector<int64_t> e2e;
   latencies.reserve(results.size());
+  e2e.reserve(results.size());
   int64_t proved = 0, limited = 0, errors = 0;
   for (const BatchItemResult& item : results) {
     latencies.push_back(item.latency_us);
+    e2e.push_back(item.e2e_us);
     if (!item.status.ok()) {
       ++errors;
     } else if (item.report.resource_limited) {
@@ -224,23 +257,29 @@ std::string StressRow(int jobs, const std::vector<BatchRequest>& requests) {
     }
   }
   gen::LatencySummary latency = gen::SummarizeLatencies(std::move(latencies));
+  gen::LatencySummary e2e_summary = gen::SummarizeLatencies(std::move(e2e));
   int64_t wall_ms = engine.stats().wall_ms;
   double seconds = static_cast<double>(wall_ms) / 1000.0;
   double throughput =
       seconds > 0 ? static_cast<double>(requests.size()) / seconds : 0.0;
-  char buffer[448];
+  char buffer[640];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"jobs\":%d,\"requests\":%zu,\"wall_ms\":%lld,"
       "\"requests_per_s\":%.1f,\"proved\":%lld,\"resource_limited\":%lld,"
       "\"errors\":%lld,\"latency_us\":{\"p50\":%lld,\"p95\":%lld,"
+      "\"p99\":%lld,\"max\":%lld},\"e2e_us\":{\"p50\":%lld,\"p95\":%lld,"
       "\"p99\":%lld,\"max\":%lld}}",
       jobs, requests.size(), static_cast<long long>(wall_ms), throughput,
       static_cast<long long>(proved), static_cast<long long>(limited),
       static_cast<long long>(errors), static_cast<long long>(latency.p50_us),
       static_cast<long long>(latency.p95_us),
       static_cast<long long>(latency.p99_us),
-      static_cast<long long>(latency.max_us));
+      static_cast<long long>(latency.max_us),
+      static_cast<long long>(e2e_summary.p50_us),
+      static_cast<long long>(e2e_summary.p95_us),
+      static_cast<long long>(e2e_summary.p99_us),
+      static_cast<long long>(e2e_summary.max_us));
   return buffer;
 }
 

@@ -415,17 +415,26 @@ int FinishStore(BatchEngine& engine, int code,
                "{\"store\":{\"path\":\"%s\",\"records_loaded\":%lld,"
                "\"records_quarantined\":%lld,\"tail_bytes_truncated\":%lld,"
                "\"appends\":%lld,\"append_failures\":%lld,"
-               "\"entries\":%lld}}\n",
+               "\"entries\":%lld,\"inference_entries\":%lld}}\n",
                engine.store()->path().c_str(),
                static_cast<long long>(stats.records_loaded),
                static_cast<long long>(stats.records_quarantined),
                static_cast<long long>(stats.tail_bytes_truncated),
                static_cast<long long>(stats.appends),
                static_cast<long long>(stats.append_failures),
-               static_cast<long long>(engine.store()->size()));
+               static_cast<long long>(engine.store()->size()),
+               static_cast<long long>(
+                   engine.store()->inference_entries().size()));
   Status audit = engine.cache().SelfCheck();
   if (!audit.ok()) {
     std::fprintf(stderr, "termilog_cli: cache self-check failed: %s\n",
+                 audit.ToString().c_str());
+    return kExitSelfCheck;
+  }
+  audit = engine.inference_cache().SelfCheck();
+  if (!audit.ok()) {
+    std::fprintf(stderr,
+                 "termilog_cli: inference cache self-check failed: %s\n",
                  audit.ToString().c_str());
     return kExitSelfCheck;
   }
@@ -1269,6 +1278,7 @@ int main(int argc, char** argv) {
   // certificates as the serial analyzer) so the JSON line can carry the
   // per-request scc_tasks / cache_hits accounting.
   int64_t scc_tasks = -1, cache_hits = -1;
+  int64_t inference_tasks = -1, inference_cache_hits = -1;
   Result<TerminationReport> report = Status::Internal("not yet analyzed");
   if (json) {
     Result<std::pair<PredId, Adornment>> parsed_query =
@@ -1290,6 +1300,8 @@ int main(int argc, char** argv) {
     report = std::move(item.report);
     scc_tasks = item.scc_tasks;
     cache_hits = item.cache_hits;
+    inference_tasks = item.inference_tasks;
+    inference_cache_hits = item.inference_cache_hits;
   } else {
     report = analyzer.Analyze(program, query);
   }
@@ -1311,6 +1323,8 @@ int main(int argc, char** argv) {
       // The printed report no longer corresponds to the engine run above.
       scc_tasks = -1;
       cache_hits = -1;
+      inference_tasks = -1;
+      inference_cache_hits = -1;
     } else if (search.ok()) {
       std::printf("reordering search exhausted (%d attempts), no "
                   "terminating order found\n",
@@ -1328,6 +1342,8 @@ int main(int argc, char** argv) {
     json_options.include_spend = true;
     json_options.scc_tasks = scc_tasks;
     json_options.cache_hits = cache_hits;
+    json_options.inference_tasks = inference_tasks;
+    json_options.inference_cache_hits = inference_cache_hits;
     std::printf("%s\n", ReportToJsonLine(positional.empty() ? corpus_name
                                                             : positional[0],
                                          query, Status::Ok(), *report,

@@ -44,6 +44,14 @@
 #   d. ASan and TSan passes over the net suite (the event loop and the
 #      processing-thread handoff are the concurrency surface)
 #
+# --inference runs the inference-cache harness (docs/engine.md): the
+# inference-labelled regressions in the tier-1 tree, a warm-store replay
+# whose second run must serve nonzero persisted inference hits with
+# byte-identical output, a jobs=1 vs jobs=8 cold byte comparison (the
+# DAG-scheduled parallel inference must be output-invisible), and
+# ASan+TSan passes over the same tests (the snapshot/apply handoff and
+# the pending-inference countdown are the new concurrency surface).
+#
 # --crash runs the kill -9 durability drill (docs/persistence.md):
 #   a. a 2000-request generated batch runs uninterrupted (no store) to
 #      produce the reference report stream
@@ -55,7 +63,7 @@
 #   d. an ASan+UBSan pass over the persist/serve-inclusive engine suite
 #
 # Usage: scripts/check.sh [--tier1-only | --stress | --crash | --conditions |
-#                          --serve]
+#                          --serve | --inference]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -239,6 +247,60 @@ if [[ "${1:-}" == "--serve" ]]; then
 
   echo "check.sh: serve harness OK (socket round trip byte-identical," \
        "drain exits 0, kill -9 replay recovered)" >&2
+  exit 0
+fi
+
+if [[ "${1:-}" == "--inference" ]]; then
+  # --- a. inference regressions in the tier-1 tree -----------------------
+  run ctest --test-dir build --output-on-failure -j "$JOBS" \
+      -R 'Inference|CanonicalInferenceKey'
+
+  workdir="$(mktemp -d)"
+  trap 'rm -rf "$workdir"' EXIT
+  manifest="$workdir/inf500.jsonl"
+  store="$workdir/inf.store"
+  run ./build/examples/termilog_cli \
+      --gen "3090:count=500,sccs=1-3,preds=1-3,mix=70/25/5" \
+      --out "$manifest"
+
+  run_batch() {
+    echo "== $*" >&2
+    "$@" || { rc=$?; [[ "$rc" -eq 2 || "$rc" -eq 3 ]] || return "$rc"; }
+  }
+
+  # --- b. jobs=1 vs jobs=8 cold: parallel inference is output-invisible --
+  run_batch ./build/examples/termilog_cli --batch "$manifest" --jobs 1 \
+      >"$workdir/out.j1.jsonl"
+  run_batch ./build/examples/termilog_cli --batch "$manifest" --jobs 8 \
+      >"$workdir/out.j8.jsonl"
+  run cmp "$workdir/out.j1.jsonl" "$workdir/out.j8.jsonl"
+
+  # --- c. warm-store replay: inference recovered, not recomputed ---------
+  run_batch ./build/examples/termilog_cli --batch "$manifest" --jobs 4 \
+      --store "$store" >"$workdir/out.cold.jsonl" 2>"$workdir/err.cold.txt"
+  run_batch ./build/examples/termilog_cli --batch "$manifest" --jobs 4 \
+      --store "$store" >"$workdir/out.warm.jsonl" 2>"$workdir/err.warm.txt"
+  run cmp "$workdir/out.cold.jsonl" "$workdir/out.warm.jsonl"
+  run cmp "$workdir/out.j1.jsonl" "$workdir/out.warm.jsonl"
+  if ! grep -q '"inference_persisted_hits":[1-9]' "$workdir/err.warm.txt"; then
+    echo "check.sh: inference harness failed: warm restart served zero" \
+         "persisted inference hits" >&2
+    cat "$workdir/err.warm.txt" >&2
+    exit 1
+  fi
+
+  # --- d. ASan and TSan over the inference regressions -------------------
+  for flavor in address thread; do
+    tree="build-asan"
+    [[ "$flavor" == "thread" ]] && tree="build-tsan"
+    run cmake -B "$tree" -S . -DTERMILOG_SANITIZE="$flavor" -DTERMILOG_OBS=ON
+    run cmake --build "$tree" -j "$JOBS" --target termilog_engine_tests
+    run ctest --test-dir "$tree" --output-on-failure -j "$JOBS" \
+        -R 'Inference|CanonicalInferenceKey'
+  done
+
+  echo "check.sh: inference harness OK (jobs sweep byte-identical," \
+       "warm store skipped recomputation)" >&2
   exit 0
 fi
 

@@ -1,6 +1,7 @@
 #include "constraints/inference.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "graph/digraph.h"
@@ -100,12 +101,8 @@ Result<Polyhedron> ConstraintInference::RuleTransfer(
   return out;
 }
 
-Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
-                                const InferenceOptions& options,
-                                std::map<PredId, InferenceStats>* stats,
-                                std::vector<std::string>* warnings) {
-  TERMILOG_FAILPOINT("inference.run");
-  TERMILOG_TRACE("inference.run", "inference");
+InferencePlan ConstraintInference::BuildPlan(const Program& program,
+                                             const ArgSizeDb& db) {
   // Dependency graph over defined predicates.
   std::vector<PredId> preds;
   for (const PredId& pred : program.DefinedPredicates()) {
@@ -124,137 +121,184 @@ Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
     }
   }
 
+  InferencePlan plan;
+  // Which plan node computes each predicate (user-supplied predicates are
+  // computed by no node: dependencies on them resolve through the db).
+  std::map<PredId, int> node_of;
   // Callees-first order (Tarjan emits reverse topological order).
   for (const std::vector<int>& component :
        StronglyConnectedComponents(graph)) {
-    std::vector<PredId> scc_preds;
-    for (int node : component) {
-      const PredId& pred = preds[node];
-      if (!db->Has(pred)) scc_preds.push_back(pred);
+    InferencePlanNode node;
+    for (int member : component) {
+      const PredId& pred = preds[member];
+      if (!db.Has(pred)) node.preds.push_back(pred);
     }
-    if (scc_preds.empty()) continue;  // fully user-supplied
+    if (node.preds.empty()) continue;  // fully user-supplied
+    const int node_index = static_cast<int>(plan.nodes.size());
+    std::set<int> deps;
+    for (const PredId& pred : node.preds) {
+      for (int r : program.RuleIndicesFor(pred)) {
+        for (const Literal& lit : program.rules()[r].body) {
+          if (!lit.positive) continue;
+          auto it = node_of.find(lit.atom.pred_id());
+          if (it != node_of.end() && it->second != node_index) {
+            deps.insert(it->second);
+          }
+        }
+      }
+    }
+    for (const PredId& pred : node.preds) node_of[pred] = node_index;
+    node.deps.assign(deps.begin(), deps.end());
+    plan.nodes.push_back(std::move(node));
+  }
+  return plan;
+}
 
-    std::map<PredId, Polyhedron> current;
-    for (const PredId& pred : scc_preds) {
-      current.emplace(pred, Polyhedron::Empty(pred.arity));
-    }
-    std::vector<int> rule_indices;
-    for (const PredId& pred : scc_preds) {
-      for (int r : program.RuleIndicesFor(pred)) rule_indices.push_back(r);
-    }
-    std::sort(rule_indices.begin(), rule_indices.end());
+Result<SccInferenceResult> ConstraintInference::RunScc(
+    const Program& program, const std::vector<PredId>& scc_preds,
+    const ArgSizeDb& db, const InferenceOptions& options) {
+  TERMILOG_TRACE("inference.scc", "inference");
+  SccInferenceResult result;
+  std::map<PredId, Polyhedron> current;
+  for (const PredId& pred : scc_preds) {
+    current.emplace(pred, Polyhedron::Empty(pred.arity));
+  }
+  std::vector<int> rule_indices;
+  for (const PredId& pred : scc_preds) {
+    for (int r : program.RuleIndicesFor(pred)) rule_indices.push_back(r);
+  }
+  std::sort(rule_indices.begin(), rule_indices.end());
 
-    InferenceStats scc_stats;
-    Status scc_status = Status::Ok();
-    for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
-      if (TERMILOG_FAILPOINT_HIT("inference.sweep")) {
-        scc_status = Status::ResourceExhausted(
-            FailpointRegistry::TripMessage("inference.sweep"));
-        break;
-      }
-      if (options.fm.governor != nullptr) {
-        scc_status = options.fm.governor->Charge("inference.sweep");
-        if (!scc_status.ok()) break;
-      }
-      ++scc_stats.sweeps;
-      TERMILOG_COUNTER("inference.sweeps", 1);
-      std::map<PredId, Polyhedron> before = current;
-      for (int r : rule_indices) {
-        const Rule& rule = program.rules()[r];
-        PredId pred = rule.head.pred_id();
-        Result<Polyhedron> transferred =
-            RuleTransfer(program, rule, current, *db, options.fm);
-        if (!transferred.ok()) {
-          scc_status = transferred.status();
-          break;
-        }
-        Result<Polyhedron> joined = Polyhedron::ConvexHull(
-            current.at(pred), *transferred, options.fm);
-        if (!joined.ok()) {
-          scc_status = joined.status();
-          break;
-        }
-        current.at(pred) = std::move(joined).value();
-      }
-      if (!scc_status.ok()) break;
-      bool stable = true;
-      for (const PredId& pred : scc_preds) {
-        if (!before.at(pred).Contains(current.at(pred))) {
-          stable = false;
-          break;
-        }
-      }
-      if (stable) {
-        scc_stats.reached_fixpoint = true;
-        break;
-      }
-      if (sweep + 1 >= options.widen_delay) {
-        TERMILOG_COUNTER("inference.widenings", 1);
-        scc_stats.widened = true;
-        for (const PredId& pred : scc_preds) {
-          current.at(pred) = before.at(pred).Widen(current.at(pred));
-        }
-      }
-    }
-    if (scc_status.ok() && !scc_stats.reached_fixpoint) {
+  Status scc_status = Status::Ok();
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    if (TERMILOG_FAILPOINT_HIT("inference.sweep")) {
       scc_status = Status::ResourceExhausted(
-          StrCat("constraint inference did not converge within ",
-                 options.max_sweeps, " sweeps"));
+          FailpointRegistry::TripMessage("inference.sweep"));
+      break;
     }
-    if (!scc_status.ok()) {
-      // Resource exhaustion degrades per SCC: leave these predicates out of
-      // the db (the unconstrained top approximation, sound downstream) and
-      // move on. Anything else is a real error.
-      if (scc_status.code() != StatusCode::kResourceExhausted) {
-        return scc_status;
+    if (options.fm.governor != nullptr) {
+      scc_status = options.fm.governor->Charge("inference.sweep");
+      if (!scc_status.ok()) break;
+    }
+    ++result.stats.sweeps;
+    TERMILOG_COUNTER("inference.sweeps", 1);
+    std::map<PredId, Polyhedron> before = current;
+    for (int r : rule_indices) {
+      const Rule& rule = program.rules()[r];
+      PredId pred = rule.head.pred_id();
+      Result<Polyhedron> transferred =
+          RuleTransfer(program, rule, current, db, options.fm);
+      if (!transferred.ok()) {
+        scc_status = transferred.status();
+        break;
       }
+      Result<Polyhedron> joined = Polyhedron::ConvexHull(
+          current.at(pred), *transferred, options.fm);
+      if (!joined.ok()) {
+        scc_status = joined.status();
+        break;
+      }
+      current.at(pred) = std::move(joined).value();
+    }
+    if (!scc_status.ok()) break;
+    bool stable = true;
+    for (const PredId& pred : scc_preds) {
+      if (!before.at(pred).Contains(current.at(pred))) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) {
+      result.stats.reached_fixpoint = true;
+      break;
+    }
+    if (sweep + 1 >= options.widen_delay) {
+      TERMILOG_COUNTER("inference.widenings", 1);
+      result.stats.widened = true;
+      for (const PredId& pred : scc_preds) {
+        current.at(pred) = before.at(pred).Widen(current.at(pred));
+      }
+    }
+  }
+  if (scc_status.ok() && !result.stats.reached_fixpoint) {
+    scc_status = Status::ResourceExhausted(
+        StrCat("constraint inference did not converge within ",
+               options.max_sweeps, " sweeps"));
+  }
+  if (!scc_status.ok()) {
+    // Resource exhaustion degrades per SCC: the predicates are left out of
+    // the db (the unconstrained top approximation, sound downstream).
+    // Anything else is a real error.
+    if (scc_status.code() != StatusCode::kResourceExhausted) {
+      return scc_status;
+    }
+    result.resource_limited = true;
+    result.trip_message = std::string(scc_status.message());
+    return result;
+  }
+  // One descending refinement pass: lfp <= F(stable) <= stable, and
+  // F(stable) recovers facts (like argument nonnegativity bounds) that
+  // widening discarded.
+  {
+    std::map<PredId, Polyhedron> refined;
+    for (const PredId& pred : scc_preds) {
+      refined.emplace(pred, Polyhedron::Empty(pred.arity));
+    }
+    bool refine_ok = true;
+    for (int r : rule_indices) {
+      const Rule& rule = program.rules()[r];
+      PredId pred = rule.head.pred_id();
+      Result<Polyhedron> transferred =
+          ConstraintInference::RuleTransfer(program, rule, current, db,
+                                            options.fm);
+      if (!transferred.ok()) {
+        refine_ok = false;
+        break;
+      }
+      Result<Polyhedron> joined = Polyhedron::ConvexHull(
+          refined.at(pred), *transferred, options.fm);
+      if (!joined.ok()) {
+        refine_ok = false;
+        break;
+      }
+      refined.at(pred) = std::move(joined).value();
+    }
+    if (refine_ok) current = std::move(refined);
+  }
+  for (const PredId& pred : scc_preds) {
+    Polyhedron polyhedron = current.at(pred);
+    polyhedron.Minimize();
+    result.entries.emplace_back(pred, std::move(polyhedron));
+  }
+  return result;
+}
+
+Status ConstraintInference::Run(const Program& program, ArgSizeDb* db,
+                                const InferenceOptions& options,
+                                std::map<PredId, InferenceStats>* stats,
+                                std::vector<std::string>* warnings) {
+  TERMILOG_FAILPOINT("inference.run");
+  TERMILOG_TRACE("inference.run", "inference");
+  // Serial in-order execution of the plan; the batch engine schedules the
+  // same nodes across its worker pool instead (src/engine/engine.cc).
+  InferencePlan plan = BuildPlan(program, *db);
+  for (const InferencePlanNode& node : plan.nodes) {
+    Result<SccInferenceResult> scc = RunScc(program, node.preds, *db, options);
+    if (!scc.ok()) return scc.status();
+    if (scc->resource_limited) {
       if (warnings != nullptr) {
         warnings->push_back(
             StrCat("inference skipped for SCC of ",
-                   program.PredName(scc_preds.front()),
-                   " (left unconstrained): ", scc_status.message()));
+                   program.PredName(node.preds.front()),
+                   " (left unconstrained): ", scc->trip_message));
       }
-      if (stats != nullptr) {
-        stats->emplace(scc_preds.front(), scc_stats);
+    } else {
+      for (auto& [pred, polyhedron] : scc->entries) {
+        db->Set(pred, std::move(polyhedron));
       }
-      continue;
-    }
-    // One descending refinement pass: lfp <= F(stable) <= stable, and
-    // F(stable) recovers facts (like argument nonnegativity bounds) that
-    // widening discarded.
-    {
-      std::map<PredId, Polyhedron> refined;
-      for (const PredId& pred : scc_preds) {
-        refined.emplace(pred, Polyhedron::Empty(pred.arity));
-      }
-      bool refine_ok = true;
-      for (int r : rule_indices) {
-        const Rule& rule = program.rules()[r];
-        PredId pred = rule.head.pred_id();
-        Result<Polyhedron> transferred =
-            ConstraintInference::RuleTransfer(program, rule, current, *db,
-                                              options.fm);
-        if (!transferred.ok()) {
-          refine_ok = false;
-          break;
-        }
-        Result<Polyhedron> joined = Polyhedron::ConvexHull(
-            refined.at(pred), *transferred, options.fm);
-        if (!joined.ok()) {
-          refine_ok = false;
-          break;
-        }
-        refined.at(pred) = std::move(joined).value();
-      }
-      if (refine_ok) current = std::move(refined);
-    }
-    for (PredId pred : scc_preds) {
-      Polyhedron polyhedron = current.at(pred);
-      polyhedron.Minimize();
-      db->Set(pred, std::move(polyhedron));
     }
     if (stats != nullptr) {
-      stats->emplace(scc_preds.front(), scc_stats);
+      stats->emplace(node.preds.front(), scc->stats);
     }
   }
   return Status::Ok();

@@ -29,6 +29,39 @@ struct InferenceStats {
   bool reached_fixpoint = false;
 };
 
+/// One node of the inference condensation: the predicates of one SCC of
+/// the dependency graph over defined predicates (those still needing
+/// inference — user-supplied predicates are excluded), plus the indices of
+/// earlier plan nodes whose results the node's rules read. Nodes are in
+/// callees-first (reverse topological) order, so `deps` always point at
+/// smaller indices.
+struct InferencePlanNode {
+  std::vector<PredId> preds;
+  std::vector<int> deps;
+};
+
+/// The schedulable shape of one whole-program inference pass: running the
+/// nodes in order (or in any order that respects `deps`) and applying each
+/// node's results to the shared ArgSizeDb reproduces ConstraintInference::
+/// Run exactly. The batch engine fans the nodes out as tasks over its
+/// worker pool; Run itself is the serial in-order execution of this plan.
+struct InferencePlan {
+  std::vector<InferencePlanNode> nodes;
+};
+
+/// Result of inferring one SCC. Either `entries` holds the minimized
+/// polyhedron for every predicate of the SCC (in the scc_preds order given
+/// to RunScc), or `resource_limited` is set with the budget-trip message
+/// and the predicates are to be left unconstrained — the caller composes
+/// the user-facing warning line so the predicate it names is resolved
+/// against the caller's own program.
+struct SccInferenceResult {
+  bool resource_limited = false;
+  std::string trip_message;
+  std::vector<std::pair<PredId, Polyhedron>> entries;
+  InferenceStats stats;
+};
+
 /// Infers, for every defined predicate, a polyhedron over its argument
 /// sizes that over-approximates all derivable facts — the capability the
 /// paper imports from Van Gelder [VG90] (Section 3: the c / C matrices of
@@ -59,6 +92,25 @@ class ConstraintInference {
                     const InferenceOptions& options = InferenceOptions(),
                     std::map<PredId, InferenceStats>* stats = nullptr,
                     std::vector<std::string>* warnings = nullptr);
+
+  /// Decomposes the pending inference work into per-SCC nodes with
+  /// dependency edges (callees first). Predicates already in `db` are
+  /// trusted inputs: they appear in no node, and dependencies on them
+  /// resolve through the db rather than through plan edges.
+  static InferencePlan BuildPlan(const Program& program, const ArgSizeDb& db);
+
+  /// Runs the [VG90] fixpoint (ascending sweeps with widening, then one
+  /// descending refinement pass) for a single SCC against the callee
+  /// knowledge in `db`. The result is a pure function of (the SCC's rules
+  /// in relative program order, the callee polyhedra its rules read,
+  /// `options` including governor limits) — the property the engine's
+  /// content-addressed inference cache relies on. Resource exhaustion
+  /// (non-convergence, FM blowup, governor trip, the "inference.sweep"
+  /// failpoint) is reported via `resource_limited`, not a non-OK status.
+  static Result<SccInferenceResult> RunScc(const Program& program,
+                                           const std::vector<PredId>& scc_preds,
+                                           const ArgSizeDb& db,
+                                           const InferenceOptions& options);
 
   /// Transfer function for one rule under the given per-predicate
   /// polyhedra: the polyhedron of head-argument sizes derivable through

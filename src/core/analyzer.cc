@@ -346,7 +346,7 @@ SccReport TerminationAnalyzer::AnalyzeScc(
   return report;
 }
 
-Result<PreparedAnalysis> TerminationAnalyzer::Prepare(
+Result<PreparedAnalysis> TerminationAnalyzer::PrepareStructure(
     const Program& program, const PredId& query, const Adornment& adornment,
     const ResourceGovernor* gov) const {
   TERMILOG_TRACE("prep", "analyzer");
@@ -435,29 +435,6 @@ Result<PreparedAnalysis> TerminationAnalyzer::Prepare(
     if (!parsed.ok()) return parsed.status();
     report.arg_sizes.Set(pred, std::move(parsed).value());
   }
-  if (options_.run_inference) {
-    InferenceOptions inference_options = options_.inference;
-    inference_options.fm.governor = gov;
-    std::vector<std::string> warnings;
-    Status status = ConstraintInference::Run(analyzed, &report.arg_sizes,
-                                             inference_options, nullptr,
-                                             &warnings);
-    if (!status.ok()) {
-      // Run degrades resource trips per SCC internally; a non-OK status here
-      // is a real error unless a failpoint forced the whole pass down.
-      if (status.code() != StatusCode::kResourceExhausted) return status;
-      std::string message = StrCat("constraint inference skipped (",
-                                   status.message(),
-                                   "); predicates left unconstrained");
-      report.notes.push_back(message);
-      note_trip(message);
-    }
-    for (const std::string& warning : warnings) {
-      report.notes.push_back(warning);
-      note_trip(warning);
-    }
-  }
-
   // Dependency SCCs over the predicates reachable from the query (those
   // the mode analysis visited).
   TERMILOG_TRACE("prep.condense", "analyzer");
@@ -483,6 +460,51 @@ Result<PreparedAnalysis> TerminationAnalyzer::Prepare(
     }
     task.recursive = IsRecursiveComponent(graph, component);
     prepared.sccs.push_back(std::move(task));
+  }
+
+  if (options_.run_inference) {
+    prepared.inference =
+        ConstraintInference::BuildPlan(analyzed, report.arg_sizes);
+  }
+  return prepared;
+}
+
+Result<PreparedAnalysis> TerminationAnalyzer::Prepare(
+    const Program& program, const PredId& query, const Adornment& adornment,
+    const ResourceGovernor* gov) const {
+  Result<PreparedAnalysis> prepared =
+      PrepareStructure(program, query, adornment, gov);
+  if (!prepared.ok()) return prepared;
+  TerminationReport& report = prepared->report;
+  auto note_trip = [&report](const std::string& message) {
+    report.resource_limited = true;
+    if (report.first_resource_trip.empty()) {
+      report.first_resource_trip = message;
+    }
+  };
+
+  if (options_.run_inference) {
+    InferenceOptions inference_options = options_.inference;
+    inference_options.fm.governor = gov;
+    std::vector<std::string> warnings;
+    Status status =
+        ConstraintInference::Run(report.analyzed_program, &report.arg_sizes,
+                                 inference_options, nullptr, &warnings);
+    if (!status.ok()) {
+      // Run degrades resource trips per SCC internally; a non-OK status here
+      // is a real error unless a failpoint forced the whole pass down.
+      if (status.code() != StatusCode::kResourceExhausted) return status;
+      std::string message = StrCat("constraint inference skipped (",
+                                   status.message(),
+                                   "); predicates left unconstrained");
+      report.notes.push_back(message);
+      note_trip(message);
+    }
+    for (const std::string& warning : warnings) {
+      report.notes.push_back(warning);
+      note_trip(warning);
+    }
+    prepared->inference.nodes.clear();
   }
   return prepared;
 }

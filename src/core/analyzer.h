@@ -124,6 +124,11 @@ struct SccTask {
 struct PreparedAnalysis {
   TerminationReport report;
   std::vector<SccTask> sccs;
+  /// Pending inter-argument inference work, as per-SCC nodes over the
+  /// dependency-graph condensation (callees first). Populated by
+  /// PrepareStructure when `run_inference` is set; empty after Prepare,
+  /// which has already executed the plan into `report.arg_sizes`.
+  InferencePlan inference;
 };
 
 /// Parses a query spec like "perm(b,f)" against the program's symbol
@@ -173,6 +178,18 @@ class TerminationAnalyzer {
   Result<PreparedAnalysis> Prepare(const Program& program, const PredId& query,
                                    const Adornment& adornment,
                                    const ResourceGovernor* governor) const;
+
+  /// Prepare minus the inter-argument inference pass: transformations,
+  /// mode inference with adornment-conflict cloning, supplied constraints,
+  /// the dependency-graph condensation — and, when `run_inference` is set,
+  /// the *plan* of the inference work (`PreparedAnalysis::inference`)
+  /// instead of its execution. The batch engine schedules the plan's nodes
+  /// bottom-up over its worker pool (each under its own governor, results
+  /// content-cached); Prepare is PrepareStructure plus the serial in-order
+  /// execution of the plan under the shared `governor`.
+  Result<PreparedAnalysis> PrepareStructure(
+      const Program& program, const PredId& query, const Adornment& adornment,
+      const ResourceGovernor* governor) const;
 
   /// Analyzes one SCC (Sections 3-6) against the prepared modes and
   /// constraint store. Pure with respect to the analyzer: the verdict is a

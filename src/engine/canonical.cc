@@ -49,6 +49,87 @@ std::vector<PredId> CanonicalSccOrder(const Program& program,
   return preds;
 }
 
+std::vector<PredId> InferenceCalleePreds(const Program& program,
+                                         const std::vector<PredId>& scc_preds) {
+  std::set<PredId> scc_set(scc_preds.begin(), scc_preds.end());
+  std::set<PredId> callees;
+  for (const PredId& pred : scc_preds) {
+    for (int r : program.RuleIndicesFor(pred)) {
+      for (const Literal& lit : program.rules()[r].body) {
+        if (!lit.positive) continue;  // negative subgoals carry no size info
+        PredId callee = lit.atom.pred_id();
+        if (scc_set.count(callee) == 0) callees.insert(callee);
+      }
+    }
+  }
+  return CanonicalSccOrder(program, {callees.begin(), callees.end()});
+}
+
+SccCacheKey CanonicalInferenceKey(const Program& program,
+                                  const std::vector<PredId>& scc_preds,
+                                  const ArgSizeDb& db,
+                                  const AnalysisOptions& options) {
+  std::string text;
+  std::set<PredId> scc_set(scc_preds.begin(), scc_preds.end());
+
+  // The SCC's predicates, in the canonical order entries are emitted in.
+  // No adornments here: the fixpoint describes derivable facts, which do
+  // not depend on the query direction (CanonicalInferenceKey doc comment).
+  text += "inference-scc:";
+  for (const PredId& pred : scc_preds) {
+    text += StrCat(" ", program.PredName(pred));
+  }
+  text += '\n';
+
+  // The SCC's rules in program order (RunScc iterates rule indices in
+  // ascending order, and hull/widen results depend on iteration order),
+  // with canonical variable names.
+  text += "rules:\n";
+  for (const Rule& rule : program.rules()) {
+    if (scc_set.count(rule.head.pred_id()) == 0) continue;
+    std::vector<std::string> vars = CanonicalVarNames(rule);
+    text += StrCat("  ", rule.head.ToString(program.symbols(), vars));
+    for (size_t k = 0; k < rule.body.size(); ++k) {
+      text += k == 0 ? " :- " : ", ";
+      text += rule.body[k].ToString(program.symbols(), vars);
+    }
+    text += ".\n";
+  }
+
+  // The polyhedra RuleTransfer instantiates for out-of-SCC positive
+  // subgoals. A predicate with no db entry renders as "-" (RuleTransfer
+  // then uses the nonnegative orthant): "no knowledge" is part of the
+  // identity, distinct from an explicitly supplied orthant.
+  text += "callees:\n";
+  for (const PredId& pred : InferenceCalleePreds(program, scc_preds)) {
+    text += StrCat("  ", program.PredName(pred), "\n");
+    if (db.Has(pred)) {
+      AppendPolyhedron(db.Get(pred), &text);
+    } else {
+      text += "-\n";
+    }
+  }
+
+  // Every option the fixpoint reads: the inference knobs, its FM knobs,
+  // and the governor limits (a budget can change a result — e.g. stop LP
+  // pruning early — without tripping).
+  const InferenceOptions& inference = options.inference;
+  const GovernorLimits& limits = options.limits;
+  text += StrCat("inference-options: widen_delay=", inference.widen_delay,
+                 " max_sweeps=", inference.max_sweeps,
+                 " fm_row_limit=", inference.fm.row_limit,
+                 " lp_prune=", inference.fm.lp_prune ? 1 : 0,
+                 " lp_prune_threshold=", inference.fm.lp_prune_threshold,
+                 " deadline_ms=", limits.deadline_ms,
+                 " work_budget=", limits.work_budget,
+                 " limb_limit=", limits.bigint_limb_limit, "\n");
+
+  SccCacheKey key;
+  key.digest = Fnv1a64(text);
+  key.text = std::move(text);
+  return key;
+}
+
 SccCacheKey CanonicalSccKey(const Program& program,
                             const std::vector<PredId>& scc_preds,
                             const std::map<PredId, Adornment>& modes,

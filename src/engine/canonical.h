@@ -42,6 +42,27 @@ SccCacheKey CanonicalSccKey(const Program& program,
                             const ArgSizeDb& db,
                             const AnalysisOptions& options);
 
+/// The callee predicates of an inference SCC: every predicate mentioned in
+/// a positive body literal of the SCC's rules that is not itself a member
+/// of the SCC, in canonical (name, arity) order. These are exactly the
+/// predicates whose polyhedra RuleTransfer instantiates when iterating the
+/// SCC, so their values (plus the rules) determine the fixpoint. Shared by
+/// CanonicalInferenceKey and the engine's callee-snapshot step so the two
+/// can never disagree about which polyhedra are inputs.
+std::vector<PredId> InferenceCalleePreds(const Program& program,
+                                         const std::vector<PredId>& scc_preds);
+
+/// Derives the cache key for the [VG90] inference fixpoint of the SCC
+/// `scc_preds` (already in canonical order) given the callee constraint
+/// store `db` and `options`. Adornments are deliberately absent: inference
+/// reads no modes (argument sizes are a property of the derivable facts,
+/// not of the query direction), and adornment-conflict cloning renames
+/// predicates, so clones already differ in the rules section.
+SccCacheKey CanonicalInferenceKey(const Program& program,
+                                  const std::vector<PredId>& scc_preds,
+                                  const ArgSizeDb& db,
+                                  const AnalysisOptions& options);
+
 /// 64-bit FNV-1a, exposed for tests.
 uint64_t Fnv1a64(const std::string& text);
 

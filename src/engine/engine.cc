@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <ctime>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include "persist/store.h"
 #include "persist/writer.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace termilog {
@@ -33,25 +35,43 @@ Program PrivateCopy(const Program& program) {
   return copy;
 }
 
-// FIFO queue feeding the worker pool. Close() lets workers drain the
+// CPU time of the calling thread, the unit of the engine's service-cost
+// accounting (BatchItemResult::latency_us): unlike a wall interval it does
+// not inflate when more workers than cores run concurrently.
+int64_t ThreadCpuMicros() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1000;
+}
+
+// Queue feeding the worker pool, with two priority classes. Child tasks
+// (the inference and SCC tasks a request's preparation spawned) are
+// drained before preparation tasks, so the task chains of admitted
+// requests finish before new requests are admitted. Within a class the
+// order is FIFO. This is the scheduling-fairness fix: with a single FIFO
+// the batch ran every preparation first and every request's final task
+// landed at the very end of the run, inflating admission-to-completion
+// latency to the batch's wall time. Close() lets workers drain the
 // remaining tasks and then exit.
 class TaskQueue {
  public:
-  void Push(std::function<void()> task) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      TERMILOG_CHECK_MSG(!closed_, "task pushed after queue close");
-      tasks_.push_back(std::move(task));
-    }
-    cv_.notify_one();
+  void Push(std::function<void()> task) { PushClass(&preps_, std::move(task)); }
+
+  void PushChild(std::function<void()> task) {
+    PushClass(&children_, std::move(task));
   }
 
   std::optional<std::function<void()>> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
-    if (tasks_.empty()) return std::nullopt;
-    std::function<void()> task = std::move(tasks_.front());
-    tasks_.pop_front();
+    cv_.wait(lock, [this] {
+      return closed_ || !children_.empty() || !preps_.empty();
+    });
+    std::deque<std::function<void()>>* source =
+        !children_.empty() ? &children_ : &preps_;
+    if (source->empty()) return std::nullopt;
+    std::function<void()> task = std::move(source->front());
+    source->pop_front();
     return task;
   }
 
@@ -64,14 +84,25 @@ class TaskQueue {
   }
 
  private:
+  void PushClass(std::deque<std::function<void()>>* tasks,
+                 std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TERMILOG_CHECK_MSG(!closed_, "task pushed after queue close");
+      tasks->push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
+  std::deque<std::function<void()>> children_;
+  std::deque<std::function<void()>> preps_;
   bool closed_ = false;
 };
 
-// Mutable per-request state shared between the prep task, the SCC tasks,
-// and the merge.
+// Mutable per-request state shared between the prep task, the inference
+// tasks, the SCC tasks, and the merge.
 struct RequestState {
   const BatchRequest* request = nullptr;
   std::unique_ptr<TerminationAnalyzer> analyzer;
@@ -83,15 +114,31 @@ struct RequestState {
       Status::Internal("request not yet prepared");
   std::vector<SccReport> slots;  // one per SccTask, condensation order
 
+  // Inference-plan scheduling state, set up by the prep task. db_mu
+  // guards report.arg_sizes (the store every inference task snapshots
+  // callee polyhedra from and applies its entries to), deps_left, and the
+  // per-node warning/error slots. Readiness propagates along the
+  // condensation DAG: a node is pushed when its last dependency's task
+  // decrements deps_left to zero.
+  std::mutex db_mu;
+  std::vector<int> deps_left;              // per plan node
+  std::vector<std::vector<int>> dependents;  // reverse dependency edges
+  std::vector<std::string> inference_warnings;  // per node; "" = none
+  std::vector<Status> inference_errors;         // per node; OK = none
+  std::atomic<int> pending_inference{0};
+
   std::atomic<int> pending_sccs{0};
   std::atomic<int64_t> work{0};
   std::atomic<int64_t> limb_high_water{0};
   std::atomic<int64_t> scc_tasks{0};
   std::atomic<int64_t> cache_hits{0};
-  /// Worker microseconds spent on this request: its preparation plus each
-  /// of its SCC tasks (cache lookups and single-flight waits included).
-  /// Queue time between tasks is not billed, so over a large batch the
-  /// distribution measures per-request service cost, not batch position.
+  std::atomic<int64_t> inference_tasks{0};
+  std::atomic<int64_t> inference_hits{0};
+  /// Thread-CPU microseconds spent on this request: its preparation plus
+  /// each of its inference and SCC tasks. Time blocked in single-flight
+  /// waits or in the queue does not accrue CPU, so over a large batch the
+  /// distribution measures per-request service cost, not batch position
+  /// or core oversubscription.
   std::atomic<int64_t> busy_us{0};
   std::chrono::steady_clock::time_point started;
   // Set by finish_request (single writer: the worker that completes the
@@ -99,7 +146,8 @@ struct RequestState {
   // orders the accesses.
   std::chrono::steady_clock::time_point finished;
   // Per-request trace span: begun by the prep task, ended by the merge
-  // loop on the main thread; SCC tasks attach to it explicitly.
+  // loop on the main thread; inference and SCC tasks attach to it
+  // explicitly.
   obs::SpanId span = 0;
 };
 
@@ -127,6 +175,13 @@ std::string EngineStats::ToString() const {
                 " unique_sccs=", unique_sccs,
                 " persisted_loaded=", persisted_loaded,
                 " persisted_hits=", persisted_hits,
+                " inference_tasks=", inference_tasks,
+                " inference_cache_hits=", inference_cache_hits,
+                " inference_cache_misses=", inference_cache_misses,
+                " inference_single_flight_waits=", inference_single_flight_waits,
+                " unique_inference_sccs=", unique_inference_sccs,
+                " inference_persisted_loaded=", inference_persisted_loaded,
+                " inference_persisted_hits=", inference_persisted_hits,
                 " total_work=", total_work,
                 " wall_ms=", wall_ms, " total_wall_ms=", total_wall_ms);
 }
@@ -144,19 +199,30 @@ Status BatchEngine::AttachStore(
   for (const auto& [key, outcome] : store->entries()) {
     cache_.Preload(key, outcome);
   }
+  for (const auto& [key, outcome] : store->inference_entries()) {
+    inference_cache_.Preload(key, outcome);
+  }
   // Automatic post-warm-start audit (docs/persistence.md): a store whose
-  // recovered entries do not form a structurally sound cache must not be
+  // recovered entries do not form structurally sound caches must not be
   // served from. Preload screens each record, so in practice this only
   // fires on an engine bug — but the check is cheap and the alternative
   // is silently wrong verdicts.
   Status audit = cache_.SelfCheck();
   if (!audit.ok()) return audit;
+  audit = inference_cache_.SelfCheck();
+  if (!audit.ok()) return audit;
   stats_.persisted_loaded = cache_.stats().persisted_loaded;
+  stats_.inference_persisted_loaded =
+      inference_cache_.stats().persisted_loaded;
   store_ = std::move(store);
   writer_ = std::make_unique<persist::StoreWriter>(store_.get());
   cache_.SetNewEntryListener(
       [this](const std::string& key, const CachedSccOutcome& outcome) {
         writer_->Enqueue(key, outcome);
+      });
+  inference_cache_.SetNewEntryListener(
+      [this](const std::string& key, const CachedInferenceOutcome& outcome) {
+        writer_->EnqueueInference(key, outcome);
       });
   return Status::Ok();
 }
@@ -208,7 +274,7 @@ std::vector<BatchItemResult> BatchEngine::Run(
   // request's mode dataflow, not of the SCC's content).
   auto run_scc_task = [&](size_t i, size_t j) {
     RequestState& state = *states[i];
-    const auto task_start = std::chrono::steady_clock::now();
+    const int64_t cpu_start = ThreadCpuMicros();
     obs::ScopedParent trace_parent(state.span);
     TERMILOG_TRACE("scc.task", "engine");
     TERMILOG_COUNTER("engine.scc_tasks", 1);
@@ -253,40 +319,19 @@ std::vector<BatchItemResult> BatchEngine::Run(
     }
     state.scc_tasks.fetch_add(1, std::memory_order_relaxed);
     state.slots[j] = RehydrateSccReport(outcome, program, std::move(preds));
-    state.busy_us.fetch_add(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - task_start)
-            .count(),
-        std::memory_order_relaxed);
+    state.busy_us.fetch_add(ThreadCpuMicros() - cpu_start,
+                            std::memory_order_relaxed);
     if (state.pending_sccs.fetch_sub(1) == 1) finish_request(i);
   };
 
-  auto run_prep_task = [&](size_t i) {
+  // Fills the non-recursive slots and pushes one SCC task per recursive
+  // SCC — the tail of request admission, run by the prep task when there
+  // is no inference plan and by the last inference task otherwise. The
+  // db writes of every inference task are visible here: each task writes
+  // under db_mu before its seq_cst decrement of pending_inference, and
+  // the queue mutex orders the pushes against the SCC workers.
+  auto finalize_sccs = [&](size_t i) {
     RequestState& state = *states[i];
-    const BatchRequest& request = *state.request;
-    state.started = std::chrono::steady_clock::now();
-    state.span = obs::BeginSpan("request", "engine", batch_span);
-    obs::SpanArg(state.span, "name", request.name);
-    obs::ScopedParent trace_parent(state.span);
-    ResourceGovernor governor(request.options.limits);
-    state.prepared = state.analyzer->Prepare(state.program, request.query,
-                                             request.adornment, &governor);
-    AccumulateSpend(&state, governor.Spend());
-    // Billed before any SCC task can finish the request, so the merge
-    // loop's read (ordered by the done_mu handoff) always sees the prep
-    // share.
-    auto bill_prep = [&state] {
-      state.busy_us.fetch_add(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - state.started)
-              .count(),
-          std::memory_order_relaxed);
-    };
-    if (!state.prepared.ok()) {
-      bill_prep();
-      finish_request(i);
-      return;
-    }
     PreparedAnalysis& prepared = *state.prepared;
     state.slots.resize(prepared.sccs.size());
     int recursive = 0;
@@ -300,15 +345,196 @@ std::vector<BatchItemResult> BatchEngine::Run(
       state.slots[j].status = SccStatus::kNonRecursive;
     }
     if (recursive == 0) {
-      bill_prep();
       finish_request(i);
       return;
     }
     state.pending_sccs.store(recursive);
-    bill_prep();
     for (size_t j = 0; j < prepared.sccs.size(); ++j) {
       if (!prepared.sccs[j].recursive) continue;
-      queue.Push([&run_scc_task, i, j] { run_scc_task(i, j); });
+      queue.PushChild([&run_scc_task, i, j] { run_scc_task(i, j); });
+    }
+  };
+
+  // Merges the inference phase into the skeleton report — exactly the
+  // serial Prepare semantics: the first hard error (in plan-node order)
+  // fails the request; budget trips degrade to per-node warning notes
+  // in plan-node order.
+  auto finalize_inference = [&](size_t i) {
+    RequestState& state = *states[i];
+    for (const Status& error : state.inference_errors) {
+      if (!error.ok()) {
+        state.prepared = error;
+        finish_request(i);
+        return;
+      }
+    }
+    TerminationReport& report = state.prepared->report;
+    for (const std::string& warning : state.inference_warnings) {
+      if (warning.empty()) continue;
+      report.notes.push_back(warning);
+      report.resource_limited = true;
+      if (report.first_resource_trip.empty()) {
+        report.first_resource_trip = warning;
+      }
+    }
+    state.prepared->inference.nodes.clear();
+    finalize_sccs(i);
+  };
+
+  // Runs inference-plan node `k` of request `i`: one [VG90] fixpoint over
+  // one SCC of the condensation, through the inference cache. Callee
+  // polyhedra are snapshotted under db_mu; the dependency edges guarantee
+  // every callee entry this SCC reads is final before the node is pushed,
+  // so the snapshot — and with it the cache key and the result — is
+  // deterministic regardless of worker interleaving. Declared as a
+  // std::function so completed nodes can push their newly ready
+  // dependents.
+  std::function<void(size_t, int)> run_inference_task;
+  run_inference_task = [&](size_t i, int k) {
+    RequestState& state = *states[i];
+    const int64_t cpu_start = ThreadCpuMicros();
+    obs::ScopedParent trace_parent(state.span);
+    TERMILOG_TRACE("inference.task", "engine");
+    TERMILOG_COUNTER("engine.inference_tasks", 1);
+    const InferencePlanNode& node = state.prepared->inference.nodes[k];
+    TerminationReport& report = state.prepared->report;
+    const Program& program = report.analyzed_program;
+    std::vector<PredId> preds = CanonicalSccOrder(program, node.preds);
+
+    ArgSizeDb snapshot;
+    {
+      std::lock_guard<std::mutex> lock(state.db_mu);
+      for (const PredId& callee : InferenceCalleePreds(program, preds)) {
+        if (report.arg_sizes.Has(callee)) {
+          snapshot.Set(callee, report.arg_sizes.Get(callee));
+        }
+      }
+    }
+
+    auto compute = [&]() {
+      ResourceGovernor governor(state.request->options.limits);
+      InferenceOptions inference_options = state.request->options.inference;
+      inference_options.fm.governor = &governor;
+      Result<SccInferenceResult> result = ConstraintInference::RunScc(
+          program, preds, snapshot, inference_options);
+      AccumulateSpend(&state, governor.Spend());
+      if (!result.ok()) {
+        // Hard (non-budget) error: carried in the outcome so single-flight
+        // waiters fail identically; never retained by the cache.
+        CachedInferenceOutcome failed;
+        failed.error = result.status();
+        return failed;
+      }
+      return DehydrateInferenceResult(*result, program);
+    };
+
+    CachedInferenceOutcome outcome;
+    if (options_.use_cache) {
+      SccCacheKey key = CanonicalInferenceKey(program, preds, snapshot,
+                                              state.request->options);
+      bool served_from_cache = false;
+      outcome =
+          inference_cache_.GetOrCompute(key.text, compute, &served_from_cache);
+      if (served_from_cache) {
+        state.inference_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      outcome = compute();
+    }
+    state.inference_tasks.fetch_add(1, std::memory_order_relaxed);
+
+    std::vector<int> ready;
+    {
+      std::lock_guard<std::mutex> lock(state.db_mu);
+      if (!outcome.error.ok()) {
+        state.inference_errors[k] = outcome.error;
+      } else if (outcome.resource_limited) {
+        // Same warning text, composed from the same (plan-order) front
+        // predicate, as the serial ConstraintInference::Run path.
+        state.inference_warnings[k] =
+            StrCat("inference skipped for SCC of ",
+                   program.PredName(node.preds.front()),
+                   " (left unconstrained): ", outcome.trip_message);
+      } else {
+        ApplyInferenceOutcome(outcome, program, &report.arg_sizes);
+      }
+      for (int dependent : state.dependents[k]) {
+        if (--state.deps_left[dependent] == 0) ready.push_back(dependent);
+      }
+    }
+    for (int dependent : ready) {
+      queue.PushChild([&run_inference_task, i, dependent] {
+        run_inference_task(i, dependent);
+      });
+    }
+    state.busy_us.fetch_add(ThreadCpuMicros() - cpu_start,
+                            std::memory_order_relaxed);
+    if (state.pending_inference.fetch_sub(1) == 1) finalize_inference(i);
+  };
+
+  auto run_prep_task = [&](size_t i) {
+    RequestState& state = *states[i];
+    const BatchRequest& request = *state.request;
+    state.started = std::chrono::steady_clock::now();
+    const int64_t cpu_start = ThreadCpuMicros();
+    state.span = obs::BeginSpan("request", "engine", batch_span);
+    obs::SpanArg(state.span, "name", request.name);
+    obs::ScopedParent trace_parent(state.span);
+    ResourceGovernor governor(request.options.limits);
+    state.prepared = state.analyzer->PrepareStructure(
+        state.program, request.query, request.adornment, &governor);
+    AccumulateSpend(&state, governor.Spend());
+    // Billed before any child task can finish the request, so the merge
+    // loop's read (ordered by the done_mu handoff) always sees the prep
+    // share.
+    state.busy_us.fetch_add(ThreadCpuMicros() - cpu_start,
+                            std::memory_order_relaxed);
+    if (!state.prepared.ok()) {
+      finish_request(i);
+      return;
+    }
+
+    // Inference phase. The whole-run skip failpoint fires here — once per
+    // request, before any node runs — with the same degraded note as the
+    // serial path; otherwise the plan's source nodes are pushed and the
+    // rest schedule themselves as their dependencies complete.
+    bool run_inference = request.options.run_inference;
+    if (run_inference && TERMILOG_FAILPOINT_HIT("inference.run")) {
+      TerminationReport& report = state.prepared->report;
+      std::string message =
+          StrCat("constraint inference skipped (",
+                 FailpointRegistry::TripMessage("inference.run"),
+                 "); predicates left unconstrained");
+      report.notes.push_back(message);
+      report.resource_limited = true;
+      if (report.first_resource_trip.empty()) {
+        report.first_resource_trip = message;
+      }
+      run_inference = false;
+    }
+    const InferencePlan& plan = state.prepared->inference;
+    if (!run_inference || plan.nodes.empty()) {
+      finalize_sccs(i);
+      return;
+    }
+    const int num_nodes = static_cast<int>(plan.nodes.size());
+    state.deps_left.assign(num_nodes, 0);
+    state.dependents.assign(num_nodes, {});
+    state.inference_warnings.assign(num_nodes, "");
+    state.inference_errors.assign(num_nodes, Status::Ok());
+    for (int k = 0; k < num_nodes; ++k) {
+      state.deps_left[k] = static_cast<int>(plan.nodes[k].deps.size());
+      for (int dep : plan.nodes[k].deps) state.dependents[dep].push_back(k);
+    }
+    state.pending_inference.store(num_nodes);
+    // Initial readiness is read off the immutable plan, not deps_left: an
+    // already-pushed source node can complete (cache hit) and decrement a
+    // dependent's deps_left to zero while this loop is still running, and
+    // reading that zero here would push the dependent a second time.
+    for (int k = 0; k < num_nodes; ++k) {
+      if (!plan.nodes[k].deps.empty()) continue;
+      queue.PushChild(
+          [&run_inference_task, i, k] { run_inference_task(i, k); });
     }
   };
 
@@ -368,8 +594,14 @@ std::vector<BatchItemResult> BatchEngine::Run(
     }
     item.scc_tasks = state.scc_tasks.load();
     item.cache_hits = state.cache_hits.load();
+    item.inference_tasks = state.inference_tasks.load();
+    item.inference_cache_hits = state.inference_hits.load();
     item.latency_us = state.busy_us.load(std::memory_order_relaxed);
+    item.e2e_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      state.finished - state.started)
+                      .count();
     stats_.scc_tasks += item.scc_tasks;
+    stats_.inference_tasks += item.inference_tasks;
     stats_.total_work += state.work.load();
     obs::EndSpan(state.span);
     if (on_result) on_result(item);
@@ -387,6 +619,14 @@ std::vector<BatchItemResult> BatchEngine::Run(
   stats_.unique_sccs = cache_.size();
   stats_.persisted_loaded = cache_stats.persisted_loaded;
   stats_.persisted_hits = cache_stats.persisted_hits;
+  InferenceCache::Stats inference_stats = inference_cache_.stats();
+  stats_.inference_cache_hits =
+      inference_stats.hits + inference_stats.single_flight_waits;
+  stats_.inference_cache_misses = inference_stats.misses;
+  stats_.inference_single_flight_waits = inference_stats.single_flight_waits;
+  stats_.unique_inference_sccs = inference_cache_.size();
+  stats_.inference_persisted_loaded = inference_stats.persisted_loaded;
+  stats_.inference_persisted_hits = inference_stats.persisted_hits;
   stats_.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now() - run_start)
                        .count();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/analyzer.h"
+#include "engine/inference_cache.h"
 #include "engine/scc_cache.h"
 #include "program/ast.h"
 #include "util/status.h"
@@ -47,15 +48,26 @@ struct BatchItemResult {
   /// miss), so these are accounting, not part of the deterministic report.
   int64_t scc_tasks = 0;
   int64_t cache_hits = 0;
-  /// Service latency: worker microseconds spent on this request — its
-  /// preparation plus each of its SCC tasks (cache lookups and
-  /// single-flight waits included). Queue time between tasks is not
-  /// billed: the scheduler runs all preparations before the trailing SCC
-  /// tasks, so an end-to-end interval would measure batch position, not
-  /// the request (at 10k requests it approaches the whole run's wall
-  /// time). Wall-clock accounting — never part of the deterministic
-  /// report bytes (bench_engine's p50/p95/p99 columns).
+  /// Same accounting for the request's inference tasks (one per SCC of the
+  /// inter-argument inference plan).
+  int64_t inference_tasks = 0;
+  int64_t inference_cache_hits = 0;
+  /// Service cost: thread-CPU microseconds (CLOCK_THREAD_CPUTIME_ID) spent
+  /// on this request — its preparation plus each of its inference and SCC
+  /// tasks. CPU time rather than a wall interval so the figure measures
+  /// the work the request cost, not how oversubscribed the machine was
+  /// (on a single core, wall-interval task times inflate roughly jobs-
+  /// fold); it therefore excludes time blocked in single-flight waits.
+  /// Wall-clock accounting — never part of the deterministic report bytes
+  /// (bench_engine's p50/p95/p99 columns).
   int64_t latency_us = 0;
+  /// Admission-to-completion wall microseconds: from the moment a worker
+  /// picked up the request's preparation to the completion of its last
+  /// task. With fair scheduling (a request's inference/SCC tasks run
+  /// before later requests are admitted) this stays close to the service
+  /// cost; under the old all-preparations-first order it approached the
+  /// whole run's wall time for every request.
+  int64_t e2e_us = 0;
 };
 
 /// Aggregate counters across every Run of one engine.
@@ -72,6 +84,15 @@ struct EngineStats {
   /// cache hits those recovered entries served (docs/persistence.md).
   int64_t persisted_loaded = 0;
   int64_t persisted_hits = 0;
+  /// Inter-argument inference tasks routed through the inference cache,
+  /// and the same counter family as above for that cache.
+  int64_t inference_tasks = 0;
+  int64_t inference_cache_hits = 0;
+  int64_t inference_cache_misses = 0;
+  int64_t inference_single_flight_waits = 0;
+  int64_t unique_inference_sccs = 0;
+  int64_t inference_persisted_loaded = 0;
+  int64_t inference_persisted_hits = 0;
   /// Summed governor work ticks across all per-task governors.
   int64_t total_work = 0;
   /// Wall time of the most recent Run only (overwritten each Run); see
@@ -93,12 +114,15 @@ struct EngineOptions {
 };
 
 /// Parallel batch-analysis engine: expands each request into its analysis
-/// preparation plus one task per recursive SCC of the dependency-graph
-/// condensation, schedules the tasks onto a fixed-size worker pool, and
-/// memoizes SCC outcomes in a content-addressed cache (CanonicalSccKey) so
-/// identical SCCs across requests — repeated corpus entries, declared
-/// modes, re-submitted programs — are solved once. Every task runs under
-/// its own ResourceGovernor built from the request's limits.
+/// preparation, one task per SCC of the inter-argument inference plan
+/// (scheduled bottom-up over the condensation DAG as dependencies
+/// complete), and one task per recursive SCC of the dependency-graph
+/// condensation; schedules the tasks onto a fixed-size worker pool; and
+/// memoizes both inference and SCC outcomes in content-addressed caches
+/// (CanonicalInferenceKey / CanonicalSccKey) so identical SCCs across
+/// requests — repeated corpus entries, declared modes, re-submitted
+/// programs — are solved once. Every task runs under its own
+/// ResourceGovernor built from the request's limits.
 ///
 /// The cache persists across Run calls: a second Run over the same
 /// requests is served warm.
@@ -140,10 +164,12 @@ class BatchEngine {
   const EngineOptions& options() const { return options_; }
   const EngineStats& stats() const { return stats_; }
   SccCache& cache() { return cache_; }
+  InferenceCache& inference_cache() { return inference_cache_; }
 
  private:
   EngineOptions options_;
   SccCache cache_;
+  InferenceCache inference_cache_;
   EngineStats stats_;
   // Declaration order matters for shutdown: the writer drains into the
   // store on destruction, so it must die first (members are destroyed in

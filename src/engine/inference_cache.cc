@@ -1,0 +1,182 @@
+#include "engine/inference_cache.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace termilog {
+
+CachedInferenceOutcome DehydrateInferenceResult(const SccInferenceResult& result,
+                                                const Program& program) {
+  CachedInferenceOutcome out;
+  out.resource_limited = result.resource_limited;
+  out.trip_message = result.trip_message;
+  for (const auto& [pred, polyhedron] : result.entries) {
+    out.entries.push_back(
+        {program.symbols().Name(pred.symbol), pred.arity, polyhedron});
+  }
+  return out;
+}
+
+void ApplyInferenceOutcome(const CachedInferenceOutcome& outcome,
+                           const Program& program, ArgSizeDb* db) {
+  if (outcome.resource_limited) return;
+  for (const CachedInferenceOutcome::Entry& entry : outcome.entries) {
+    int symbol = program.symbols().Lookup(entry.name);
+    TERMILOG_CHECK_MSG(symbol >= 0,
+                       "cached inference outcome names a predicate absent "
+                       "from the requesting program");
+    db->Set(PredId{symbol, entry.arity}, entry.polyhedron);
+  }
+}
+
+CachedInferenceOutcome InferenceCache::GetOrCompute(
+    const std::string& key,
+    const std::function<CachedInferenceOutcome()>& compute,
+    bool* served_from_cache) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    TERMILOG_COUNTER("inference_cache.lookups", 1);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second;
+      if (entry->ready) {
+        ++stats_.hits;
+        TERMILOG_COUNTER("inference_cache.hits", 1);
+        if (entry->from_store) {
+          ++stats_.persisted_hits;
+          TERMILOG_COUNTER("inference_cache.persisted_hits", 1);
+        }
+      } else {
+        // Another worker is running this fixpoint right now: wait for it
+        // rather than iterating the same SCC twice.
+        ++stats_.single_flight_waits;
+        TERMILOG_COUNTER("inference_cache.single_flight_waits", 1);
+        ready_cv_.wait(lock, [&entry] { return entry->ready; });
+      }
+      if (served_from_cache != nullptr) *served_from_cache = true;
+      return entry->outcome;
+    }
+    entry = std::make_shared<Entry>();
+    entries_.emplace(key, entry);
+    ++stats_.misses;
+    TERMILOG_COUNTER("inference_cache.misses", 1);
+  }
+
+  // Compute outside the lock: other keys proceed concurrently, and waiters
+  // on this key block on ready_cv_, not on the mutex.
+  CachedInferenceOutcome outcome = compute();
+  bool retained;
+  std::function<void(const std::string&, const CachedInferenceOutcome&)>
+      listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->outcome = outcome;
+    entry->ready = true;
+    retained = !outcome.resource_limited && outcome.error.ok();
+    if (!retained) {
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == entry) entries_.erase(it);
+    }
+    listener = new_entry_listener_;
+  }
+  ready_cv_.notify_all();
+  // Persistence hook, outside the lock so the write-behind queue's own
+  // lock never nests inside the cache mutex. Only retained outcomes are
+  // offered: a starved fixpoint must not outlive the run, on disk least
+  // of all.
+  if (retained && listener) listener(key, outcome);
+  if (served_from_cache != nullptr) *served_from_cache = false;
+  return outcome;
+}
+
+bool InferenceCache::Preload(const std::string& key,
+                             CachedInferenceOutcome outcome) {
+  if (key.empty() || outcome.resource_limited || !outcome.error.ok()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(key) > 0) return false;
+  auto entry = std::make_shared<Entry>();
+  entry->ready = true;
+  entry->from_store = true;
+  entry->outcome = std::move(outcome);
+  entries_.emplace(key, std::move(entry));
+  ++stats_.persisted_loaded;
+  TERMILOG_COUNTER("inference_cache.persisted_loaded", 1);
+  return true;
+}
+
+void InferenceCache::SetNewEntryListener(
+    std::function<void(const std::string&, const CachedInferenceOutcome&)>
+        listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  new_entry_listener_ = std::move(listener);
+}
+
+InferenceCache::Stats InferenceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t InferenceCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t ready = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    if (entry->ready) ++ready;
+  }
+  return ready;
+}
+
+Status InferenceCache::SelfCheck() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    if (key.empty()) {
+      return Status::Internal("inference cache self-check: empty key retained");
+    }
+    if (entry == nullptr) {
+      return Status::Internal(
+          "inference cache self-check: null entry retained");
+    }
+    if (!entry->ready) {
+      return Status::Internal(
+          "inference cache self-check: in-flight entry retained after run "
+          "(abandoned single-flight slot)");
+    }
+    if (entry->outcome.resource_limited) {
+      return Status::Internal(
+          "inference cache self-check: resource-limited outcome retained "
+          "(starved fixpoints must never be served from cache)");
+    }
+    if (!entry->outcome.error.ok()) {
+      return Status::Internal(
+          "inference cache self-check: errored outcome retained");
+    }
+  }
+  if (stats_.lookups !=
+      stats_.hits + stats_.misses + stats_.single_flight_waits) {
+    return Status::Internal(
+        "inference cache self-check: lookup accounting does not reconcile");
+  }
+  if (stats_.persisted_hits > stats_.hits) {
+    return Status::Internal(
+        "inference cache self-check: more persisted hits than hits");
+  }
+  int64_t from_store = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    if (entry->from_store) ++from_store;
+  }
+  if (from_store > stats_.persisted_loaded) {
+    return Status::Internal(
+        "inference cache self-check: more store-origin entries than Preload "
+        "admitted");
+  }
+  return Status::Ok();
+}
+
+}  // namespace termilog

@@ -1,0 +1,138 @@
+#ifndef TERMILOG_ENGINE_INFERENCE_CACHE_H_
+#define TERMILOG_ENGINE_INFERENCE_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "constraints/arg_size_db.h"
+#include "constraints/inference.h"
+#include "fm/polyhedron.h"
+#include "program/ast.h"
+
+namespace termilog {
+
+/// A program-independent SccInferenceResult: predicates are stored by
+/// (name, arity) instead of PredId, because symbol ids are an artifact of
+/// interning order and differ between programs containing the same SCC
+/// verbatim. Each polyhedron is the exact minimized value the fixpoint
+/// produced (rows verbatim, hard-bottom flag preserved), so applying a
+/// cached outcome is byte-for-byte indistinguishable from recomputing it.
+struct CachedInferenceOutcome {
+  struct Entry {
+    std::string name;
+    int arity = 0;
+    Polyhedron polyhedron{0};
+  };
+
+  /// A budget trip (non-convergence, FM blowup, governor limit). The
+  /// warning line shown to the user is composed by the *caller* from
+  /// `trip_message` and its own node's first predicate, so single-flight
+  /// waiters never inherit another program's predicate choice.
+  bool resource_limited = false;
+  std::string trip_message;
+  /// Hard (non-budget) failure of the fixpoint. Like resource-limited
+  /// outcomes, never retained or persisted; carried in the outcome so a
+  /// single-flight waiter of a failing computation fails its request with
+  /// the same status as the computing one — keeping batch output
+  /// independent of which worker reached the key first.
+  Status error;
+  std::vector<Entry> entries;
+};
+
+/// Converts a freshly computed per-SCC inference result into cacheable
+/// form.
+CachedInferenceOutcome DehydrateInferenceResult(
+    const SccInferenceResult& result, const Program& program);
+
+/// Applies a cached outcome to `db`, resolving names against `program`'s
+/// symbol table. Every name must resolve (guaranteed when the outcome was
+/// keyed on the SCC's rules, which mention exactly those names) — a failed
+/// resolution is a checked failure. No-op for resource-limited outcomes
+/// (the predicates stay unconstrained, exactly as the serial path leaves
+/// them).
+void ApplyInferenceOutcome(const CachedInferenceOutcome& outcome,
+                           const Program& program, ArgSizeDb* db);
+
+/// Thread-safe content-addressed store of per-SCC inference outcomes with
+/// single-flight deduplication, keyed by CanonicalInferenceKey text
+/// (src/engine/canonical.h). Identical in structure and contract to
+/// SccCache: concurrent requests for one key run the compute function
+/// exactly once; resource-limited outcomes are handed to in-flight waiters
+/// but never retained (a starved fixpoint describes the budget, not the
+/// SCC, and failpoints can force one without appearing in the key).
+class InferenceCache {
+ public:
+  struct Stats {
+    int64_t lookups = 0;
+    /// Served from a completed entry.
+    int64_t hits = 0;
+    /// This caller ran the compute function.
+    int64_t misses = 0;
+    /// Served by blocking on another worker's in-flight computation.
+    int64_t single_flight_waits = 0;
+    /// Entries warm-started from a persistent store (Preload).
+    int64_t persisted_loaded = 0;
+    /// Subset of `hits` served by a preloaded entry — inference some
+    /// prior process paid for (docs/persistence.md).
+    int64_t persisted_hits = 0;
+  };
+
+  InferenceCache() = default;
+  InferenceCache(const InferenceCache&) = delete;
+  InferenceCache& operator=(const InferenceCache&) = delete;
+
+  /// Returns the outcome for `key`, running `compute` at most once across
+  /// all threads per key lifetime. `served_from_cache` (optional) is set
+  /// to true when the caller did not run `compute` itself.
+  CachedInferenceOutcome GetOrCompute(
+      const std::string& key,
+      const std::function<CachedInferenceOutcome()>& compute,
+      bool* served_from_cache = nullptr);
+
+  /// Inserts a ready entry recovered from a persistent store, before any
+  /// GetOrCompute traffic. Returns false (entry ignored) for an empty
+  /// key, a resource-limited or errored outcome, or a key already
+  /// present.
+  bool Preload(const std::string& key, CachedInferenceOutcome outcome);
+
+  /// Registers a callback invoked (outside the cache lock, on the
+  /// computing worker's thread) for every freshly computed outcome the
+  /// cache retains — the write-behind persistence hook. Preloaded and
+  /// resource-limited outcomes never fire it.
+  void SetNewEntryListener(
+      std::function<void(const std::string&, const CachedInferenceOutcome&)>
+          listener);
+
+  Stats stats() const;
+  /// Number of completed entries currently retained.
+  int64_t size() const;
+
+  /// Post-run invariant audit (same contract as SccCache::SelfCheck): no
+  /// abandoned single-flight slots, no retained resource-limited outcome,
+  /// no empty keys, reconciling stats.
+  Status SelfCheck() const;
+
+ private:
+  struct Entry {
+    bool ready = false;
+    bool from_store = false;
+    CachedInferenceOutcome outcome;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  Stats stats_;
+  std::function<void(const std::string&, const CachedInferenceOutcome&)>
+      new_entry_listener_;
+};
+
+}  // namespace termilog
+
+#endif  // TERMILOG_ENGINE_INFERENCE_CACHE_H_

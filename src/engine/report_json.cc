@@ -123,7 +123,12 @@ std::string ReportToJsonLine(const std::string& name, const std::string& query,
   }
   if (options.scc_tasks >= 0 && options.cache_hits >= 0) {
     out += StrCat(",\"engine\":{\"scc_tasks\":", options.scc_tasks,
-                  ",\"cache_hits\":", options.cache_hits, "}");
+                  ",\"cache_hits\":", options.cache_hits);
+    if (options.inference_tasks >= 0 && options.inference_cache_hits >= 0) {
+      out += StrCat(",\"inference_tasks\":", options.inference_tasks,
+                    ",\"inference_cache_hits\":", options.inference_cache_hits);
+    }
+    out += '}';
   }
   out += '}';
   return out;
@@ -138,6 +143,16 @@ std::string EngineStatsToJson(const EngineStats& stats, int jobs) {
                 ",\"unique_sccs\":", stats.unique_sccs,
                 ",\"persisted_loaded\":", stats.persisted_loaded,
                 ",\"persisted_hits\":", stats.persisted_hits,
+                ",\"inference_tasks\":", stats.inference_tasks,
+                ",\"inference_cache_hits\":", stats.inference_cache_hits,
+                ",\"inference_cache_misses\":", stats.inference_cache_misses,
+                ",\"inference_single_flight_waits\":",
+                stats.inference_single_flight_waits,
+                ",\"unique_inference_sccs\":", stats.unique_inference_sccs,
+                ",\"inference_persisted_loaded\":",
+                stats.inference_persisted_loaded,
+                ",\"inference_persisted_hits\":",
+                stats.inference_persisted_hits,
                 ",\"total_work\":", stats.total_work,
                 ",\"wall_ms\":", stats.wall_ms,
                 ",\"total_wall_ms\":", stats.total_wall_ms, "}");

@@ -25,6 +25,11 @@ struct ReportJsonOptions {
   /// byte-identity across --jobs settings.
   int64_t scc_tasks = -1;
   int64_t cache_hits = -1;
+  /// Same contract for the request's inference-task accounting
+  /// (BatchItemResult::inference_tasks / inference_cache_hits), appended
+  /// inside the same "engine" object when both are >= 0.
+  int64_t inference_tasks = -1;
+  int64_t inference_cache_hits = -1;
 };
 
 /// One-line JSON rendering of a single analysis outcome — the one

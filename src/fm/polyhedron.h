@@ -43,6 +43,14 @@ class Polyhedron {
   /// True iff no point satisfies the constraints (exact LP; cached).
   bool IsEmpty() const;
 
+  /// True when this value is the hard bottom (built by Empty(), or by
+  /// Minimize() collapsing a syntactic contradiction): emptiness known
+  /// without any LP work, and `constraints()` holds no rows. Exposed so
+  /// serializers (src/persist/) can reproduce the exact value state —
+  /// IsEmpty() would instead *decide* emptiness, turning a lazily-unknown
+  /// system of rows into a rowless bottom on round trip.
+  bool known_empty() const { return known_empty_; }
+
   /// True iff every point of the polyhedron satisfies `row`.
   bool Entails(const Constraint& row) const;
 

@@ -19,6 +19,7 @@ constexpr size_t kHeaderSize = 16;   // magic[8] + version u32 + crc u32
 constexpr size_t kFrameHeaderSize = 12;  // len u32 + len_crc u32 + payload_crc u32
 constexpr uint32_t kMaxPayloadLen = 1u << 30;
 constexpr uint8_t kRecordTypeSccOutcome = 1;
+constexpr uint8_t kRecordTypeInference = 2;
 
 void PutU32(std::string* out, uint32_t v) {
   out->push_back(static_cast<char>(v & 0xFF));
@@ -228,6 +229,100 @@ Result<std::pair<std::string, CachedSccOutcome>> DecodeRecord(
   return std::make_pair(std::move(key), std::move(outcome));
 }
 
+std::string EncodeInferenceRecord(const std::string& key,
+                                  const CachedInferenceOutcome& outcome) {
+  std::string out;
+  out.push_back(static_cast<char>(kRecordTypeInference));
+  PutString(&out, key);
+  PutU32(&out, static_cast<uint32_t>(outcome.entries.size()));
+  for (const CachedInferenceOutcome::Entry& entry : outcome.entries) {
+    PutString(&out, entry.name);
+    PutU32(&out, static_cast<uint32_t>(entry.arity));
+    const Polyhedron& polyhedron = entry.polyhedron;
+    // The exact value state: hard bottom carries no rows; otherwise the
+    // rows verbatim (re-deciding emptiness happens lazily on use, exactly
+    // as for the freshly computed value).
+    out.push_back(polyhedron.known_empty() ? 1 : 0);
+    const ConstraintSystem& system = polyhedron.constraints();
+    PutU32(&out, static_cast<uint32_t>(system.rows().size()));
+    for (const Constraint& row : system.rows()) {
+      out.push_back(row.rel == Relation::kEq ? 0 : 1);
+      PutU32(&out, static_cast<uint32_t>(row.coeffs.size()));
+      for (const Rational& coeff : row.coeffs) PutString(&out, coeff.ToString());
+      PutString(&out, row.constant.ToString());
+    }
+  }
+  return out;
+}
+
+Result<std::pair<std::string, CachedInferenceOutcome>> DecodeInferenceRecord(
+    std::string_view payload) {
+  auto bad = [](const char* what) {
+    return Status::InvalidArgument(StrCat("store inference record: ", what));
+  };
+  Reader reader(payload);
+  uint8_t record_type = 0;
+  if (!reader.ReadU8(&record_type)) return bad("truncated record type");
+  if (record_type != kRecordTypeInference) return bad("unknown record type");
+  std::string key;
+  if (!reader.ReadString(&key)) return bad("truncated key");
+  if (key.empty()) return bad("empty key");
+  CachedInferenceOutcome outcome;
+  uint32_t entry_count = 0;
+  if (!reader.ReadU32(&entry_count)) return bad("truncated entry count");
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    CachedInferenceOutcome::Entry entry;
+    uint32_t arity = 0;
+    uint8_t known_empty = 0;
+    uint32_t row_count = 0;
+    if (!reader.ReadString(&entry.name) || !reader.ReadU32(&arity) ||
+        !reader.ReadU8(&known_empty) || !reader.ReadU32(&row_count)) {
+      return bad("truncated entry");
+    }
+    if (entry.name.empty() || arity > (1u << 20)) return bad("bad entry");
+    if (known_empty > 1) return bad("bad bool");
+    entry.arity = static_cast<int>(arity);
+    if (known_empty == 1) {
+      // The hard bottom holds no rows by construction (Polyhedron
+      // invariant); a record claiming both is corrupt.
+      if (row_count != 0) return bad("hard-bottom entry with rows");
+      entry.polyhedron = Polyhedron::Empty(entry.arity);
+      outcome.entries.push_back(std::move(entry));
+      continue;
+    }
+    ConstraintSystem system(entry.arity);
+    for (uint32_t r = 0; r < row_count; ++r) {
+      uint8_t rel = 0;
+      uint32_t coeff_count = 0;
+      if (!reader.ReadU8(&rel) || !reader.ReadU32(&coeff_count)) {
+        return bad("truncated row");
+      }
+      if (rel > 1) return bad("bad relation");
+      if (coeff_count != arity) return bad("row width != arity");
+      std::vector<Rational> coeffs;
+      for (uint32_t c = 0; c < coeff_count; ++c) {
+        std::string text;
+        if (!reader.ReadString(&text)) return bad("truncated coefficient");
+        Result<Rational> value = ParseRational(text);
+        if (!value.ok()) return bad("unparseable coefficient");
+        coeffs.push_back(std::move(*value));
+      }
+      std::string constant_text;
+      if (!reader.ReadString(&constant_text)) return bad("truncated constant");
+      Result<Rational> constant = ParseRational(constant_text);
+      if (!constant.ok()) return bad("unparseable constant");
+      system.Add(Constraint(std::move(coeffs), std::move(*constant),
+                            rel == 0 ? Relation::kEq : Relation::kGe));
+    }
+    entry.polyhedron = Polyhedron::FromSystem(std::move(system));
+    outcome.entries.push_back(std::move(entry));
+  }
+  if (!reader.AtEnd()) return bad("trailing bytes");
+  // resource_limited is not even encoded: a retained outcome is by
+  // definition a completed fixpoint.
+  return std::make_pair(std::move(key), std::move(outcome));
+}
+
 PersistentStore::PersistentStore(std::string path, std::FILE* file)
     : path_(std::move(path)), file_(file) {}
 
@@ -288,6 +383,7 @@ Result<std::unique_ptr<PersistentStore>> PersistentStore::Open(
   }
 
   std::map<std::string, CachedSccOutcome> entries;
+  std::map<std::string, CachedInferenceOutcome> inference_entries;
   std::map<std::string, int64_t> frame_bytes;
   int64_t record_bytes_total = 0;
   int64_t record_bytes_live = 0;
@@ -332,19 +428,43 @@ Result<std::unique_ptr<PersistentStore>> PersistentStore::Open(
         valid_end = pos;  // framing is intact, keep scanning
         continue;
       }
-      Result<std::pair<std::string, CachedSccOutcome>> record =
-          DecodeRecord(payload);
-      if (!record.ok()) {
+      // Dispatch on the record-type byte. Each decoder validates its own
+      // type byte again; anything else (including types from the future)
+      // lands in DecodeRecord's "unknown record type" rejection and is
+      // quarantined per-record — the forward-compatibility contract that
+      // let the inference record type ship without a version bump.
+      std::string record_key;
+      Status decode_status = Status::Ok();
+      if (!payload.empty() &&
+          static_cast<uint8_t>(payload[0]) == kRecordTypeInference) {
+        Result<std::pair<std::string, CachedInferenceOutcome>> record =
+            DecodeInferenceRecord(payload);
+        if (record.ok()) {
+          record_key = record->first;
+          inference_entries[record->first] = std::move(record->second);
+        } else {
+          decode_status = record.status();
+        }
+      } else {
+        Result<std::pair<std::string, CachedSccOutcome>> record =
+            DecodeRecord(payload);
+        if (record.ok()) {
+          record_key = record->first;
+          entries[record->first] = std::move(record->second);
+        } else {
+          decode_status = record.status();
+        }
+      }
+      if (!decode_status.ok()) {
         ++stats.records_quarantined;
         stats.notes.push_back(StrCat("record at offset ",
                                      pos - kFrameHeaderSize - len, ": ",
-                                     record.status().message(),
+                                     decode_status.message(),
                                      "; quarantined"));
         valid_end = pos;
         continue;
       }
-      entries[record->first] = std::move(record->second);
-      auto [it, inserted] = frame_bytes.try_emplace(record->first, frame_size);
+      auto [it, inserted] = frame_bytes.try_emplace(record_key, frame_size);
       if (!inserted) {
         record_bytes_live -= it->second;
         it->second = frame_size;
@@ -354,7 +474,8 @@ Result<std::unique_ptr<PersistentStore>> PersistentStore::Open(
     }
     stats.tail_bytes_truncated =
         static_cast<int64_t>(bytes.size() - valid_end);
-    stats.records_loaded = static_cast<int64_t>(entries.size());
+    stats.records_loaded =
+        static_cast<int64_t>(entries.size() + inference_entries.size());
   }
 
   std::FILE* file = nullptr;
@@ -388,6 +509,7 @@ Result<std::unique_ptr<PersistentStore>> PersistentStore::Open(
   std::unique_ptr<PersistentStore> store(
       new PersistentStore(path, file));
   store->entries_ = std::move(entries);
+  store->inference_entries_ = std::move(inference_entries);
   store->frame_bytes_ = std::move(frame_bytes);
   store->record_bytes_total_ = record_bytes_total;
   store->record_bytes_live_ = record_bytes_live;
@@ -399,6 +521,26 @@ Status PersistentStore::Append(const std::string& key,
                                const CachedSccOutcome& outcome) {
   std::lock_guard<std::mutex> lock(mu_);
   return AppendLocked(key, outcome);
+}
+
+Status PersistentStore::AppendInference(const std::string& key,
+                                        const CachedInferenceOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (broken_ || file_ == nullptr) {
+    ++stats_.append_failures;
+    return Status::Internal("store: append handle is broken");
+  }
+  if (key.empty()) {
+    return Status::InvalidArgument("store: empty key");
+  }
+  if (outcome.resource_limited || !outcome.error.ok()) {
+    return Status::InvalidArgument(
+        "store: resource-limited or errored inference outcomes are not "
+        "persistable");
+  }
+  Status appended = AppendPayloadLocked(key, EncodeInferenceRecord(key, outcome));
+  if (appended.ok()) inference_entries_[key] = outcome;
+  return appended;
 }
 
 Status PersistentStore::AppendLocked(const std::string& key,
@@ -414,7 +556,13 @@ Status PersistentStore::AppendLocked(const std::string& key,
     return Status::InvalidArgument(
         "store: kResourceLimit outcomes are not persistable");
   }
-  std::string payload = EncodeRecord(key, outcome);
+  Status appended = AppendPayloadLocked(key, EncodeRecord(key, outcome));
+  if (appended.ok()) entries_[key] = outcome;
+  return appended;
+}
+
+Status PersistentStore::AppendPayloadLocked(const std::string& key,
+                                            std::string_view payload) {
   std::string frame = FrameBytes(payload);
   if (TERMILOG_FAILPOINT_HIT("persist.append")) {
     // Crash-mid-write replay: half a frame reaches the disk image and
@@ -433,7 +581,6 @@ Status PersistentStore::AppendLocked(const std::string& key,
     return Status::Internal("store: short write; handle marked broken");
   }
   ++stats_.appends;
-  entries_[key] = outcome;
   record_bytes_total_ += static_cast<int64_t>(frame.size());
   TrackLiveLocked(key, static_cast<int64_t>(frame.size()));
   return Status::Ok();
@@ -472,6 +619,12 @@ Status PersistentStore::Compact() {
   bool ok = std::fwrite(header.data(), 1, header.size(), out) == header.size();
   for (auto it = entries_.begin(); ok && it != entries_.end(); ++it) {
     std::string frame = FrameBytes(EncodeRecord(it->first, it->second));
+    ok = std::fwrite(frame.data(), 1, frame.size(), out) == frame.size();
+  }
+  for (auto it = inference_entries_.begin();
+       ok && it != inference_entries_.end(); ++it) {
+    std::string frame =
+        FrameBytes(EncodeInferenceRecord(it->first, it->second));
     ok = std::fwrite(frame.data(), 1, frame.size(), out) == frame.size();
   }
   ok = ok && std::fflush(out) == 0 && ::fsync(fileno(out)) == 0;
@@ -539,7 +692,7 @@ StoreStats PersistentStore::stats() const {
 
 int64_t PersistentStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(entries_.size());
+  return static_cast<int64_t>(entries_.size() + inference_entries_.size());
 }
 
 }  // namespace persist

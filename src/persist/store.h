@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/inference_cache.h"
 #include "engine/scc_cache.h"
 #include "util/status.h"
 
@@ -41,6 +42,24 @@ std::string EncodeRecord(const std::string& key,
 Result<std::pair<std::string, CachedSccOutcome>> DecodeRecord(
     std::string_view payload);
 
+/// Serializes one inference record (key + per-predicate polyhedra) into a
+/// record payload. Inference records share the log with SCC-outcome
+/// records, distinguished by the payload's leading record-type byte; no
+/// format-version bump was needed because binaries predating the type
+/// simply quarantine such records per-record (a cache miss, not an error).
+/// Polyhedra are encoded as their exact constraint rows plus the
+/// hard-bottom flag — never re-minimized or re-parsed through ParseSpec,
+/// which would add nonnegativity rows and break the byte-identity
+/// contract between warm and cold runs.
+std::string EncodeInferenceRecord(const std::string& key,
+                                  const CachedInferenceOutcome& outcome);
+
+/// Decodes an inference-record payload with the same validation posture
+/// as DecodeRecord (everything bounds-checked, kInvalidArgument on any
+/// violation, resource-limited outcomes rejected).
+Result<std::pair<std::string, CachedInferenceOutcome>> DecodeInferenceRecord(
+    std::string_view payload);
+
 /// Counters describing what Open recovered and what has been written
 /// since. `notes` is a human-readable recovery log (one line per
 /// quarantine/truncation event), surfaced on stderr by the CLI.
@@ -63,7 +82,9 @@ struct StoreStats {
 };
 
 /// Append-only, checksummed, versioned on-disk store of SCC analysis
-/// outcomes keyed by CanonicalSccKey text (docs/persistence.md).
+/// outcomes keyed by CanonicalSccKey text, and of inter-argument
+/// inference outcomes keyed by CanonicalInferenceKey text
+/// (docs/persistence.md).
 ///
 /// Layout: a 16-byte header (magic, format version, header CRC) followed
 /// by length-prefixed frames `[len u32][len_crc u32][payload_crc u32]
@@ -101,11 +122,24 @@ class PersistentStore {
     return entries_;
   }
 
+  /// The recovered inference live set (last write per key). The two kinds
+  /// of record share one log but address disjoint key spaces (SCC keys
+  /// open with "scc:", inference keys with "inference-scc:").
+  const std::map<std::string, CachedInferenceOutcome>& inference_entries()
+      const {
+    return inference_entries_;
+  }
+
   /// Appends one record. Failpoint "persist.append" simulates a crash
   /// mid-write: half the frame reaches the file and the handle goes
   /// broken (later appends are counted as failures, not retried), so
   /// tests can replay a kill -9 between the bytes of a frame.
   Status Append(const std::string& key, const CachedSccOutcome& outcome);
+
+  /// Appends one inference record; same contract (and failpoint) as
+  /// Append.
+  Status AppendInference(const std::string& key,
+                         const CachedInferenceOutcome& outcome);
 
   /// Durability point: flushes stdio buffers and fsyncs the file.
   Status Flush();
@@ -130,7 +164,8 @@ class PersistentStore {
 
   StoreStats stats() const;
   const std::string& path() const { return path_; }
-  /// Live entry count (== entries().size()).
+  /// Live entry count over both record kinds
+  /// (== entries().size() + inference_entries().size()).
   int64_t size() const;
 
  private:
@@ -138,6 +173,9 @@ class PersistentStore {
 
   Status AppendLocked(const std::string& key,
                       const CachedSccOutcome& outcome);
+  // Shared tail of both append paths: frames `payload`, runs the
+  // "persist.append" failpoint, writes, and does the byte bookkeeping.
+  Status AppendPayloadLocked(const std::string& key, std::string_view payload);
   // Dead-bytes bookkeeping: credits `frame_size` to `key`'s live frame
   // (debiting the frame it shadows, if any).
   void TrackLiveLocked(const std::string& key, int64_t frame_size);
@@ -147,6 +185,7 @@ class PersistentStore {
   std::FILE* file_ = nullptr;  // append handle; null once broken
   bool broken_ = false;
   std::map<std::string, CachedSccOutcome> entries_;
+  std::map<std::string, CachedInferenceOutcome> inference_entries_;
   // Per-key frame size of the live record, and the running totals behind
   // dead_record_bytes(): every intact frame scanned or appended counts
   // toward `record_bytes_total_`; only the latest frame per key counts

@@ -21,13 +21,29 @@ StoreWriter::~StoreWriter() {
 }
 
 bool StoreWriter::Enqueue(std::string key, CachedSccOutcome outcome) {
+  QueueItem item;
+  item.key = std::move(key);
+  item.scc = std::move(outcome);
+  return EnqueueItem(std::move(item));
+}
+
+bool StoreWriter::EnqueueInference(std::string key,
+                                   CachedInferenceOutcome outcome) {
+  QueueItem item;
+  item.inference = true;
+  item.key = std::move(key);
+  item.inf = std::move(outcome);
+  return EnqueueItem(std::move(item));
+}
+
+bool StoreWriter::EnqueueItem(QueueItem item) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_ || queue_.size() >= capacity_) {
       ++dropped_;
       return false;
     }
-    queue_.emplace_back(std::move(key), std::move(outcome));
+    queue_.push_back(std::move(item));
   }
   work_cv_.notify_one();
   return true;
@@ -61,11 +77,13 @@ void StoreWriter::Loop() {
       if (shutdown_) return;
       continue;
     }
-    std::pair<std::string, CachedSccOutcome> item = std::move(queue_.front());
+    QueueItem item = std::move(queue_.front());
     queue_.pop_front();
     busy_ = true;
     lock.unlock();
-    Status appended = store_->Append(item.first, item.second);
+    Status appended = item.inference
+                          ? store_->AppendInference(item.key, item.inf)
+                          : store_->Append(item.key, item.scc);
     lock.lock();
     busy_ = false;
     if (appended.ok()) {

@@ -32,10 +32,14 @@ class StoreWriter {
   StoreWriter(const StoreWriter&) = delete;
   StoreWriter& operator=(const StoreWriter&) = delete;
 
-  /// Queues one entry for appending; never blocks. Returns false (and
-  /// counts a drop) when the queue is full or the writer is shutting
+  /// Queues one SCC outcome for appending; never blocks. Returns false
+  /// (and counts a drop) when the queue is full or the writer is shutting
   /// down.
   bool Enqueue(std::string key, CachedSccOutcome outcome);
+
+  /// Queues one inference outcome; same contract as Enqueue. Both kinds
+  /// share the queue (and its capacity), preserving arrival order.
+  bool EnqueueInference(std::string key, CachedInferenceOutcome outcome);
 
   /// Blocks until the queue is empty and the store has been flushed.
   /// Returns the first append/flush error seen over the writer's
@@ -48,14 +52,23 @@ class StoreWriter {
   int64_t written() const;
 
  private:
+  // One queued append of either record kind.
+  struct QueueItem {
+    bool inference = false;
+    std::string key;
+    CachedSccOutcome scc;
+    CachedInferenceOutcome inf;
+  };
+
   void Loop();
+  bool EnqueueItem(QueueItem item);
 
   PersistentStore* const store_;
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // signals the writer thread
   std::condition_variable drain_cv_;  // signals Drain waiters
-  std::deque<std::pair<std::string, CachedSccOutcome>> queue_;
+  std::deque<QueueItem> queue_;
   bool shutdown_ = false;
   bool busy_ = false;  // writer thread is mid-append (queue may be empty)
   int64_t dropped_ = 0;

@@ -390,6 +390,203 @@ TEST(PersistStoreTest, RejectsResourceLimitAndEmptyKeyAppends) {
   RemoveStoreFiles(path);
 }
 
+// --- inference records (record type 2) -----------------------------------
+
+// A representative inference outcome: one entry with exact rational rows
+// (kEq and kGe), one universe entry, one hard-bottom entry — every value
+// state the encoder must reproduce byte-exactly.
+CachedInferenceOutcome SampleInference(int i) {
+  CachedInferenceOutcome outcome;
+  CachedInferenceOutcome::Entry constrained;
+  constrained.name = "inf" + std::to_string(i);
+  constrained.arity = 2;
+  ConstraintSystem system(2);
+  system.Add(Constraint({Rational(1), Rational(-1)}, Rational(i, 3),
+                        Relation::kGe));
+  system.Add(Constraint({Rational(1, 2), Rational(i + 1)}, Rational(-7),
+                        Relation::kEq));
+  constrained.polyhedron = Polyhedron::FromSystem(std::move(system));
+  outcome.entries.push_back(std::move(constrained));
+  CachedInferenceOutcome::Entry universe;
+  universe.name = "top";
+  universe.arity = 1;
+  universe.polyhedron = Polyhedron::Universe(1);
+  outcome.entries.push_back(std::move(universe));
+  CachedInferenceOutcome::Entry bottom;
+  bottom.name = "bot";
+  bottom.arity = 3;
+  bottom.polyhedron = Polyhedron::Empty(3);
+  outcome.entries.push_back(std::move(bottom));
+  return outcome;
+}
+
+bool InferenceEqual(const CachedInferenceOutcome& a,
+                    const CachedInferenceOutcome& b) {
+  return persist::EncodeInferenceRecord("k", a) ==
+         persist::EncodeInferenceRecord("k", b);
+}
+
+TEST(PersistInferenceTest, EncodeDecodeRoundtrip) {
+  for (int i = 0; i < 5; ++i) {
+    CachedInferenceOutcome outcome = SampleInference(i);
+    std::string payload = persist::EncodeInferenceRecord("the key", outcome);
+    auto decoded = persist::DecodeInferenceRecord(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->first, "the key");
+    EXPECT_TRUE(InferenceEqual(decoded->second, outcome));
+    // The exact value state survives: rows verbatim, hard bottom intact,
+    // no nonnegativity rows invented on the way back.
+    ASSERT_EQ(decoded->second.entries.size(), 3u);
+    EXPECT_EQ(decoded->second.entries[0].polyhedron.ToString(),
+              outcome.entries[0].polyhedron.ToString());
+    EXPECT_TRUE(decoded->second.entries[1].polyhedron.constraints().empty());
+    EXPECT_FALSE(decoded->second.entries[1].polyhedron.known_empty());
+    EXPECT_TRUE(decoded->second.entries[2].polyhedron.known_empty());
+  }
+}
+
+TEST(PersistInferenceTest, StoreRejectsNonRetainableAppends) {
+  std::string path = TempStorePath("persist_inf_reject.store");
+  RemoveStoreFiles(path);
+  auto store = PersistentStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  CachedInferenceOutcome starved = SampleInference(0);
+  starved.resource_limited = true;
+  EXPECT_FALSE((*store)->AppendInference("k", starved).ok());
+  CachedInferenceOutcome errored = SampleInference(0);
+  errored.error = Status::Internal("fixpoint failed");
+  EXPECT_FALSE((*store)->AppendInference("k", errored).ok());
+  EXPECT_FALSE((*store)->AppendInference("", SampleInference(0)).ok());
+  EXPECT_EQ((*store)->size(), 0);
+  RemoveStoreFiles(path);
+}
+
+TEST(PersistInferenceTest, DecodeRejectsTrailingBytes) {
+  std::string payload =
+      persist::EncodeInferenceRecord("k", SampleInference(1));
+  payload.push_back('\0');
+  EXPECT_FALSE(persist::DecodeInferenceRecord(payload).ok());
+}
+
+TEST(PersistInferenceTest, MixedRecordKindsRecoverIntoDisjointMaps) {
+  std::string path = TempStorePath("persist_mixed.store");
+  RemoveStoreFiles(path);
+  {
+    auto store = PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Append("scc:a", SampleOutcome(0)).ok());
+    ASSERT_TRUE(
+        (*store)->AppendInference("inference-scc:a", SampleInference(0)).ok());
+    ASSERT_TRUE((*store)->Append("scc:b", SampleOutcome(1)).ok());
+    ASSERT_TRUE(
+        (*store)->AppendInference("inference-scc:b", SampleInference(1)).ok());
+    // Last write wins within the inference key space too.
+    ASSERT_TRUE(
+        (*store)->AppendInference("inference-scc:a", SampleInference(2)).ok());
+  }
+  auto store = PersistentStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->size(), 4);
+  EXPECT_EQ((*store)->entries().size(), 2u);
+  EXPECT_EQ((*store)->inference_entries().size(), 2u);
+  EXPECT_EQ((*store)->stats().records_quarantined, 0);
+  EXPECT_TRUE(InferenceEqual((*store)->inference_entries().at("inference-scc:a"),
+                             SampleInference(2)));
+  EXPECT_TRUE(InferenceEqual((*store)->inference_entries().at("inference-scc:b"),
+                             SampleInference(1)));
+  // Compaction keeps both kinds.
+  ASSERT_TRUE((*store)->Compact().ok());
+  store->reset();
+  auto compacted = PersistentStore::Open(path);
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ((*compacted)->entries().size(), 2u);
+  EXPECT_EQ((*compacted)->inference_entries().size(), 2u);
+  RemoveStoreFiles(path);
+}
+
+TEST(PersistInferenceTest, TornInferenceWriteIsRecoveredOnReopen) {
+  std::string path = TempStorePath("persist_inf_torn.store");
+  RemoveStoreFiles(path);
+  {
+    auto store = PersistentStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Append("scc:good", SampleOutcome(0)).ok());
+    ASSERT_TRUE(
+        (*store)->AppendInference("inference-scc:good", SampleInference(0)).ok());
+    FailpointRegistry::Global().EnableFromSpec("persist.append");
+    EXPECT_FALSE(
+        (*store)->AppendInference("inference-scc:torn", SampleInference(1)).ok());
+    FailpointRegistry::Global().Clear();
+  }
+  auto reopened = PersistentStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 2);
+  EXPECT_GT((*reopened)->stats().tail_bytes_truncated, 0);
+  EXPECT_EQ((*reopened)->inference_entries().count("inference-scc:torn"), 0u);
+  EXPECT_TRUE(InferenceEqual(
+      (*reopened)->inference_entries().at("inference-scc:good"),
+      SampleInference(0)));
+  RemoveStoreFiles(path);
+}
+
+TEST(PersistInferenceTest, UnknownRecordTypeIsQuarantinedPerRecord) {
+  std::string path = TempStorePath("persist_unknown_type.store");
+  std::string full = BuildStore(path, 1);
+  // Frame a well-formed CRC'd record whose payload opens with a type byte
+  // from the future, followed by a valid inference record: the unknown
+  // record must be skipped (and counted), not kill the scan.
+  auto frame = [](std::string_view payload) {
+    std::string out;
+    out.push_back(static_cast<char>(payload.size() & 0xFF));
+    out.push_back(static_cast<char>((payload.size() >> 8) & 0xFF));
+    out.push_back(static_cast<char>((payload.size() >> 16) & 0xFF));
+    out.push_back(static_cast<char>((payload.size() >> 24) & 0xFF));
+    uint32_t len_crc = persist::Crc32(std::string_view(out.data(), 4));
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<char>((len_crc >> (8 * i)) & 0xFF));
+    }
+    uint32_t payload_crc = persist::Crc32(payload);
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<char>((payload_crc >> (8 * i)) & 0xFF));
+    }
+    out.append(payload);
+    return out;
+  };
+  std::string future_payload = "\x07" + std::string("bytes from v2");
+  std::string tail =
+      frame(future_payload) +
+      frame(persist::EncodeInferenceRecord("inference-scc:x", SampleInference(3)));
+  WriteFile(path, full + tail);
+
+  auto store = PersistentStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->stats().records_quarantined, 1);
+  EXPECT_FALSE((*store)->stats().file_quarantined);
+  EXPECT_EQ((*store)->entries().size(), 1u);
+  ASSERT_EQ((*store)->inference_entries().size(), 1u);
+  EXPECT_TRUE(InferenceEqual((*store)->inference_entries().at("inference-scc:x"),
+                             SampleInference(3)));
+  RemoveStoreFiles(path);
+}
+
+TEST(StoreWriterTest, InferenceEnqueueIsWrittenBehind) {
+  std::string path = TempStorePath("persist_inf_writer.store");
+  RemoveStoreFiles(path);
+  auto opened = PersistentStore::Open(path);
+  ASSERT_TRUE(opened.ok());
+  PersistentStore* store = opened->get();
+  {
+    StoreWriter writer(store, /*queue_capacity=*/64);
+    writer.Enqueue("scc:k", SampleOutcome(0));
+    writer.EnqueueInference("inference-scc:k", SampleInference(0));
+    ASSERT_TRUE(writer.Drain().ok());
+    EXPECT_EQ(writer.written(), 2);
+  }
+  EXPECT_EQ(store->entries().size(), 1u);
+  EXPECT_EQ(store->inference_entries().size(), 1u);
+  RemoveStoreFiles(path);
+}
+
 TEST(StoreWriterTest, ConcurrentEnqueueDrainsEverythingWritten) {
   std::string path = TempStorePath("persist_writer.store");
   RemoveStoreFiles(path);
@@ -453,6 +650,7 @@ TEST(PersistEngineTest, WarmStartIsByteIdenticalWithPersistedHits) {
     }
     ASSERT_TRUE(engine.FlushStore().ok());
     ASSERT_TRUE(engine.cache().SelfCheck().ok());
+    ASSERT_TRUE(engine.inference_cache().SelfCheck().ok());
     *stats = engine.stats();
   };
 
@@ -464,6 +662,12 @@ TEST(PersistEngineTest, WarmStartIsByteIdenticalWithPersistedHits) {
   EXPECT_EQ(cold_stats.persisted_loaded, 0);
   EXPECT_GT(warm_stats.persisted_loaded, 0);
   EXPECT_GT(warm_stats.persisted_hits, 0);
+  // Inference results persist too: the warm process recovers them and
+  // skips the [VG90] fixpoint for every recursive SCC.
+  EXPECT_EQ(cold_stats.inference_persisted_loaded, 0);
+  EXPECT_GT(cold_stats.inference_cache_misses, 0);
+  EXPECT_GT(warm_stats.inference_persisted_loaded, 0);
+  EXPECT_GT(warm_stats.inference_persisted_hits, 0);
   EXPECT_EQ(warm_lines, cold_lines);
   RemoveStoreFiles(path);
 }

@@ -322,6 +322,8 @@ TEST(ReportJsonTest, ResourceLimitedReportRoundTrips) {
   json_options.include_spend = true;
   json_options.scc_tasks = 2;
   json_options.cache_hits = 1;
+  json_options.inference_tasks = 3;
+  json_options.inference_cache_hits = 2;
   std::string line = ReportToJsonLine(entry->name, entry->query,
                                       Status::Ok(), *report, json_options);
   std::unique_ptr<JsonValue> parsed = MustParseJson(line);
@@ -371,6 +373,8 @@ TEST(ReportJsonTest, ResourceLimitedReportRoundTrips) {
   ASSERT_TRUE(engine.IsObject());
   EXPECT_EQ(static_cast<int64_t>(engine.At("scc_tasks").number), 2);
   EXPECT_EQ(static_cast<int64_t>(engine.At("cache_hits").number), 1);
+  EXPECT_EQ(static_cast<int64_t>(engine.At("inference_tasks").number), 3);
+  EXPECT_EQ(static_cast<int64_t>(engine.At("inference_cache_hits").number), 2);
 }
 
 TEST(ReportJsonTest, EngineAccountingOmittedByDefault) {
